@@ -1,0 +1,142 @@
+// Command psbench regenerates every table and text-reported result of
+// the paper's evaluation section, printing measured values next to the
+// published ones. See DESIGN.md for the experiment index.
+//
+// Usage:
+//
+//	psbench [-table all|1|2|3|X1|X2|X3|X4|X5|X6|F1|F2] [-scale small|paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pscluster/internal/cluster"
+	"pscluster/internal/core"
+	"pscluster/internal/domain"
+	"pscluster/internal/experiments"
+	"pscluster/internal/geom"
+	"pscluster/internal/stats"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to regenerate: all, 1, 2, 3, X1..X6, A1, F1, F2")
+	scale := flag.String("scale", "paper", "experiment scale: small or paper")
+	format := flag.String("format", "text", "output format for tables: text, csv, or json")
+	flag.Parse()
+
+	cfg := experiments.PaperScale
+	if *scale == "small" {
+		cfg = experiments.Small
+	}
+
+	type job struct {
+		id  string
+		run func(experiments.Config) (*stats.Table, error)
+	}
+	jobs := []job{
+		{"1", experiments.Table1},
+		{"2", experiments.Table2},
+		{"3", experiments.Table3},
+		{"X1", experiments.TextX1},
+		{"X2", experiments.TextX2},
+		{"X3", experiments.TextX3},
+		{"X4", experiments.TextX4},
+		{"X5", experiments.TextX5},
+		{"X6", experiments.TextX6},
+		{"A1", experiments.Ablations},
+	}
+
+	want := strings.ToUpper(*table)
+	ran := false
+	for _, j := range jobs {
+		if want != "ALL" && want != strings.ToUpper(j.id) {
+			continue
+		}
+		ran = true
+		t, err := j.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psbench: table %s: %v\n", j.id, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			err = t.WriteCSV(os.Stdout)
+		case "json":
+			err = t.WriteJSON(os.Stdout)
+		default:
+			err = t.Format(os.Stdout)
+			fmt.Println()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if want == "ALL" || want == "F1" {
+		ran = true
+		printFigure1()
+	}
+	if want == "ALL" || want == "F2" {
+		ran = true
+		if err := printFigure2(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "psbench: figure 2: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "psbench: unknown table %q\n", *table)
+		os.Exit(1)
+	}
+}
+
+// printFigure1 reproduces the paper's Figure 1: the initial equal-size
+// division of the space [-10, 10] into four domains.
+func printFigure1() {
+	fmt.Println("F1 — Figure 1: initial equal-size domains, space [-10, 10], 4 calculators")
+	tab, err := domain.NewEqual(geom.AxisX, -10, 10, 4)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Printf("  %v\n", tab)
+	for i := 0; i < tab.N(); i++ {
+		lo, hi := tab.Bounds(i)
+		fmt.Printf("  P%d: [%g, %g)\n", i+1, lo, hi)
+	}
+	fmt.Println()
+}
+
+// printFigure2 reproduces the paper's Figure 2: the phase sequence of
+// one frame of one system, traced from a live parallel run.
+func printFigure2(cfg experiments.Config) error {
+	fmt.Println("F2 — Figure 2: simulation phases of one frame (traced from a live run)")
+	scn := experiments.Snow(cfg, core.FiniteSpace, core.DynamicLB)
+	scn.Frames = 1
+	scn.Trace = true
+	cl := cluster.New(cluster.Myrinet, cluster.GCC, cluster.NodeSpec{Type: cluster.TypeB, Count: 4})
+	res, err := core.RunParallel(scn, cl, 4)
+	if err != nil {
+		return err
+	}
+	role := func(p int) string {
+		switch p {
+		case 0:
+			return "manager"
+		case 1:
+			return "image generator"
+		default:
+			return fmt.Sprintf("calculator %d", p-2)
+		}
+	}
+	for _, ev := range res.Events {
+		if ev.System > 0 { // one system is enough to show the structure
+			continue
+		}
+		fmt.Printf("  t=%9.6fs  %-16s %s\n", ev.T, role(ev.Proc), ev.Phase)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,77 @@
+package pscluster_test
+
+import (
+	"fmt"
+
+	"pscluster"
+)
+
+// ExampleRunSequential animates a tiny fountain on a single simulated
+// E800 node and reports the virtual time deterministically.
+func ExampleRunSequential() {
+	scn := pscluster.Scenario{
+		Name: "doc-fountain",
+		Systems: []pscluster.System{{
+			Name: "jet", Seed: 3,
+			Actions: []pscluster.Action{
+				&pscluster.Source{
+					Rate: 100,
+					Pos:  pscluster.PointDomain{P: pscluster.V(0, 0, 0)},
+					Vel: pscluster.ConeDomain{
+						Apex: pscluster.V(0, 0, 0), Base: pscluster.V(0, 10, 0), Radius: 3},
+				},
+				&pscluster.Gravity{G: pscluster.V(0, -9.8, 0)},
+				&pscluster.KillOld{MaxAge: 1},
+				&pscluster.Move{},
+			},
+		}},
+		Axis: pscluster.AxisX, Mode: pscluster.InfiniteSpace,
+		Frames: 10, DT: 0.1,
+	}
+	res, err := pscluster.RunSequential(scn, pscluster.TypeB, pscluster.GCC)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("frames: %d, deterministic: %t\n", res.Frames, res.Time > 0)
+	// Output: frames: 10, deterministic: true
+}
+
+// ExampleResult_Speedup measures a parallel run against its sequential
+// baseline, the paper's headline metric.
+func ExampleResult_Speedup() {
+	scn := pscluster.Scenario{
+		Name: "doc-speedup",
+		Systems: []pscluster.System{{
+			Name: "rain", Seed: 5,
+			Actions: []pscluster.Action{
+				&pscluster.Source{
+					Rate: 3000,
+					Pos: pscluster.BoxDomain{B: pscluster.Box(
+						pscluster.V(-40, 20, -5), pscluster.V(40, 25, 5))},
+					Vel: pscluster.PointDomain{P: pscluster.V(0, -10, 0)},
+				},
+				&pscluster.KillOld{MaxAge: 1.5},
+				&pscluster.Move{},
+			},
+		}},
+		Axis:  pscluster.AxisX,
+		Space: pscluster.Box(pscluster.V(-40, -5, -10), pscluster.V(40, 30, 10)),
+		Mode:  pscluster.FiniteSpace, Frames: 12, DT: 0.1,
+		LB:               pscluster.DynamicLB,
+		ExchangeScanWork: 0.5,
+	}
+	seq, err := pscluster.RunSequential(scn, pscluster.TypeB, pscluster.GCC)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cl := pscluster.NewCluster(pscluster.Myrinet, pscluster.GCC, pscluster.Nodes(pscluster.TypeB, 4))
+	par, err := pscluster.RunParallel(scn, cl, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("parallel beats sequential: %t\n", par.Speedup(seq) > 1)
+	// Output: parallel beats sequential: true
+}

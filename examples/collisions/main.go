@@ -1,0 +1,99 @@
+// Collisions: inter-particle collision detection, the feature the
+// model's data locality exists for (§3.1.4 — "if the space was not
+// divided into domains, it would be necessary to test collision with
+// all the particles of all the processes"). Two jets collide head-on;
+// the CollideParticles store action resolves the impacts inside each
+// calculator's domain.
+//
+//	go run ./examples/collisions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pscluster"
+)
+
+func main() {
+	scn := pscluster.Scenario{
+		Name: "colliding-jets",
+		Systems: []pscluster.System{{
+			Name: "jets",
+			Seed: 7,
+			Actions: []pscluster.Action{
+				// Left jet, firing right.
+				&pscluster.Source{
+					Rate: 400,
+					Pos: pscluster.BoxDomain{B: pscluster.Box(
+						pscluster.V(-40, -2, -2), pscluster.V(-38, 2, 2))},
+					Vel: pscluster.BoxDomain{B: pscluster.Box(
+						pscluster.V(18, -1, -1), pscluster.V(24, 1, 1))},
+					Color: pscluster.PointDomain{P: pscluster.V(1, 0.4, 0.2)},
+					Size:  0.5, Alpha: 0.9,
+				},
+				// Right jet, firing left.
+				&pscluster.Source{
+					Rate: 400,
+					Pos: pscluster.BoxDomain{B: pscluster.Box(
+						pscluster.V(38, -2, -2), pscluster.V(40, 2, 2))},
+					Vel: pscluster.BoxDomain{B: pscluster.Box(
+						pscluster.V(-24, -1, -1), pscluster.V(-18, 1, 1))},
+					Color: pscluster.PointDomain{P: pscluster.V(0.2, 0.5, 1)},
+					Size:  0.5, Alpha: 0.9,
+				},
+				&pscluster.CollideParticles{Radius: 1.0, Elasticity: 0.9},
+				&pscluster.KillOld{MaxAge: 5},
+				&pscluster.Move{},
+			},
+		}},
+		Axis:   pscluster.AxisX,
+		Space:  pscluster.Box(pscluster.V(-45, -25, -25), pscluster.V(45, 25, 25)),
+		Mode:   pscluster.FiniteSpace,
+		Frames: 40,
+		DT:     0.05,
+		LB:     pscluster.DynamicLB,
+	}
+
+	// Fast-Ethernet makes the communication structure visible: on it the
+	// baseline's ghost broadcast dominates the frame time.
+	cl := pscluster.NewCluster(pscluster.FastEthernet, pscluster.GCC, pscluster.Nodes(pscluster.TypeB, 4))
+	scn.CollectParticles = true
+	scn.GhostCollisions = true // detect pairs straddling domain boundaries (§3.1.4)
+	par, err := pscluster.RunParallel(scn, cl, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measure the scattering the collisions produced: without them every
+	// particle would keep |vy| <= 1 and |vz| <= 1 forever.
+	scattered := 0
+	for _, p := range par.FinalParticles[0] {
+		if p.Vel.Y > 1.5 || p.Vel.Y < -1.5 || p.Vel.Z > 1.5 || p.Vel.Z < -1.5 {
+			scattered++
+		}
+	}
+	total := len(par.FinalParticles[0])
+	fmt.Printf("after %d frames: %d particles alive, %d (%.0f%%) scattered by collisions\n",
+		par.Frames, total, scattered, 100*float64(scattered)/float64(total))
+	fmt.Printf("model: %.2fs virtual time, %.0f KB sent, on %s\n",
+		par.Time, float64(par.BytesSent)/1024, cl)
+
+	// Contrast with the Karl Sims CM-2 baseline (§2): round-robin
+	// particles with no locality must broadcast everything as ghosts.
+	scn2 := scn
+	scn2.GhostCollisions = false
+	sims, err := pscluster.RunSimsBaseline(scn2, cl, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sims baseline: %.2fs virtual time, %.0f KB sent (ghost broadcast)\n",
+		sims.Time, float64(sims.BytesSent)/1024)
+	fmt.Println()
+	fmt.Println("The model's domains keep spatial neighbors on the same calculator, so")
+	fmt.Println("collision detection only ships thin boundary bands to adjacent")
+	fmt.Println("processes instead of broadcasting every particle (paper §3.1.4) —")
+	fmt.Printf("%.0fx less traffic here. At the paper's 3.2M-particle scale the\n",
+		float64(sims.BytesSent)/float64(par.BytesSent))
+	fmt.Println("broadcast dominates the frame time entirely (see BenchmarkBaselineSims).")
+}

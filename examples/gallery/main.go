@@ -1,0 +1,51 @@
+// Gallery: compose the ready-made effect presets (smoke, fire, sparks,
+// waterfall, fountain, snowfall) into one scene, animate it on the
+// simulated cluster, and render the frames to gallery-frames/.
+//
+//	go run ./examples/gallery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pscluster"
+)
+
+func main() {
+	scn := pscluster.Scenario{
+		Name: "gallery",
+		Systems: []pscluster.System{
+			pscluster.EffectFire(pscluster.V(-28, 0, 0), pscluster.EffectConfig{Rate: 400, Seed: 1}),
+			pscluster.EffectSmoke(pscluster.V(-28, 2, 0), pscluster.EffectConfig{Rate: 250, Seed: 2}),
+			pscluster.EffectSparks(pscluster.V(-10, 4, 0), pscluster.EffectConfig{Rate: 150, Seed: 3}),
+			pscluster.EffectFountainJet(pscluster.V(8, 0, 0), pscluster.EffectConfig{Rate: 400, Seed: 4}),
+			pscluster.EffectWaterfall(pscluster.V(28, 14, -4), 8, pscluster.EffectConfig{Rate: 400, Seed: 5}),
+			pscluster.EffectSnowfall(pscluster.Box(
+				pscluster.V(-40, 0, -12), pscluster.V(40, 26, 12)),
+				pscluster.EffectConfig{Rate: 300, Seed: 6}),
+		},
+		Axis:             pscluster.AxisX,
+		Space:            pscluster.Box(pscluster.V(-40, -2, -14), pscluster.V(40, 28, 14)),
+		Mode:             pscluster.FiniteSpace,
+		Frames:           60,
+		DT:               1.0 / 30,
+		LB:               pscluster.DynamicLB,
+		ExchangeScanWork: 0.5,
+		Render: pscluster.RenderConfig{
+			Width: 640, Height: 280,
+			Rasterize: true,
+			OutputDir: "gallery-frames",
+		},
+	}
+
+	cl := pscluster.NewCluster(pscluster.Myrinet, pscluster.GCC, pscluster.Nodes(pscluster.TypeB, 6))
+	res, err := pscluster.RunParallel(scn, cl, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rendered %d frames (%d systems, 6 calculators) in %.2f virtual seconds\n",
+		res.Frames, len(scn.Systems), res.Time)
+	fmt.Println("frames written to gallery-frames/ (PPM; view with any image tool,")
+	fmt.Printf("or convert: ffmpeg -i gallery-frames/frame-%s.ppm gallery.gif)\n", "%04d")
+}

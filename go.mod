@@ -1,0 +1,3 @@
+module pscluster
+
+go 1.22

@@ -1,0 +1,186 @@
+package actions
+
+import (
+	"math"
+
+	"pscluster/internal/geom"
+	"pscluster/internal/particle"
+)
+
+// The original API bounces particles off several collider shapes, not
+// just infinite planes. These remain property actions in the model's
+// taxonomy (§3.2.2): they only redirect velocities.
+
+// BounceSphere reflects particles that would enter a sphere this frame.
+type BounceSphere struct {
+	Center     geom.Vec3
+	Radius     float64
+	Elasticity float64
+	Friction   float64
+}
+
+// Name implements Action.
+func (a *BounceSphere) Name() string { return "bounce-sphere" }
+
+// Kind implements Action.
+func (a *BounceSphere) Kind() Kind { return KindProperty }
+
+// Cost implements Action.
+func (a *BounceSphere) Cost() float64 { return 2.0 }
+
+// Apply implements ParticleAction.
+func (a *BounceSphere) Apply(ctx *Context, p *particle.Particle) {
+	rel := p.Pos.Sub(a.Center)
+	dist := rel.Len()
+	if dist == 0 {
+		return
+	}
+	// Only particles outside, moving inward, and close enough to reach
+	// the surface this frame bounce.
+	n := rel.Scale(1 / dist)
+	vn := p.Vel.Dot(n)
+	if dist < a.Radius || vn >= 0 {
+		return
+	}
+	if dist+vn*ctx.DT > a.Radius {
+		return
+	}
+	normal := n.Scale(vn)
+	tangent := p.Vel.Sub(normal)
+	p.Vel = tangent.Scale(1 - a.Friction).Sub(normal.Scale(a.Elasticity))
+}
+
+// BounceDisc reflects particles crossing a finite disc.
+type BounceDisc struct {
+	Disc       geom.DiscDomain
+	Elasticity float64
+	Friction   float64
+}
+
+// Name implements Action.
+func (a *BounceDisc) Name() string { return "bounce-disc" }
+
+// Kind implements Action.
+func (a *BounceDisc) Kind() Kind { return KindProperty }
+
+// Cost implements Action.
+func (a *BounceDisc) Cost() float64 { return 2.0 }
+
+// Apply implements ParticleAction.
+func (a *BounceDisc) Apply(ctx *Context, p *particle.Particle) {
+	n := a.Disc.Normal.Norm()
+	d := p.Pos.Sub(a.Disc.Center).Dot(n)
+	vn := p.Vel.Dot(n)
+	// Work in the half-space the particle starts in.
+	if d < 0 {
+		d, vn, n = -d, -vn, n.Scale(-1)
+	}
+	if vn >= 0 || d+vn*ctx.DT > 0 {
+		return
+	}
+	// Where does the trajectory cross the plane, and is it on the disc?
+	t := -d / vn
+	hit := p.Pos.Add(p.Vel.Scale(t))
+	rad := hit.Sub(a.Disc.Center).Sub(n.Scale(hit.Sub(a.Disc.Center).Dot(n))).Len()
+	if rad < a.Disc.InnerR || rad > a.Disc.OuterR {
+		return
+	}
+	normal := n.Scale(p.Vel.Dot(n))
+	tangent := p.Vel.Sub(normal)
+	p.Vel = tangent.Scale(1 - a.Friction).Sub(normal.Scale(a.Elasticity))
+}
+
+// BounceTriangle reflects particles crossing a triangle.
+type BounceTriangle struct {
+	Tri        geom.TriangleDomain
+	Elasticity float64
+	Friction   float64
+}
+
+// Name implements Action.
+func (a *BounceTriangle) Name() string { return "bounce-triangle" }
+
+// Kind implements Action.
+func (a *BounceTriangle) Kind() Kind { return KindProperty }
+
+// Cost implements Action.
+func (a *BounceTriangle) Cost() float64 { return 2.5 }
+
+// Apply implements ParticleAction.
+func (a *BounceTriangle) Apply(ctx *Context, p *particle.Particle) {
+	n := a.Tri.B.Sub(a.Tri.A).Cross(a.Tri.C.Sub(a.Tri.A))
+	if n.Len2() == 0 {
+		return
+	}
+	n = n.Norm()
+	d := p.Pos.Sub(a.Tri.A).Dot(n)
+	vn := p.Vel.Dot(n)
+	if d < 0 {
+		d, vn, n = -d, -vn, n.Scale(-1)
+	}
+	if vn >= 0 || d+vn*ctx.DT > 0 {
+		return
+	}
+	t := -d / vn
+	hit := p.Pos.Add(p.Vel.Scale(t))
+	// Project the hit onto the triangle plane before the barycentric
+	// test (the tolerance in Within is tight).
+	hit = hit.Sub(n.Scale(hit.Sub(a.Tri.A).Dot(n)))
+	if !a.Tri.Within(hit) {
+		return
+	}
+	normal := n.Scale(p.Vel.Dot(n))
+	tangent := p.Vel.Sub(normal)
+	p.Vel = tangent.Scale(1 - a.Friction).Sub(normal.Scale(a.Elasticity))
+}
+
+// Avoid steers particles around a spherical obstacle: inside LookAhead
+// of the surface, a lateral acceleration pushes the velocity away from
+// the collision course (the original API's pAvoid).
+type Avoid struct {
+	Center    geom.Vec3
+	Radius    float64
+	LookAhead float64 // distance at which steering begins
+	Strength  float64
+}
+
+// Name implements Action.
+func (a *Avoid) Name() string { return "avoid" }
+
+// Kind implements Action.
+func (a *Avoid) Kind() Kind { return KindProperty }
+
+// Cost implements Action.
+func (a *Avoid) Cost() float64 { return 2.5 }
+
+// Apply implements ParticleAction.
+func (a *Avoid) Apply(ctx *Context, p *particle.Particle) {
+	rel := a.Center.Sub(p.Pos)
+	dist := rel.Len() - a.Radius
+	if dist > a.LookAhead || dist <= 0 {
+		return
+	}
+	speed := p.Vel.Len()
+	if speed == 0 {
+		return
+	}
+	dir := p.Vel.Scale(1 / speed)
+	// Heading toward the obstacle?
+	closing := rel.Dot(dir)
+	if closing <= 0 {
+		return
+	}
+	// Lateral escape direction: component of -rel orthogonal to the
+	// velocity.
+	lateral := rel.Sub(dir.Scale(closing)).Scale(-1)
+	if lateral.Len2() == 0 {
+		// Dead-center course: pick a deterministic perpendicular.
+		ref := geom.V(0, 1, 0)
+		if math.Abs(dir.Y) > 0.9 {
+			ref = geom.V(1, 0, 0)
+		}
+		lateral = dir.Cross(ref)
+	}
+	scale := a.Strength * ctx.DT * (1 - dist/a.LookAhead)
+	p.Vel = p.Vel.Add(lateral.Norm().Scale(scale * speed))
+}

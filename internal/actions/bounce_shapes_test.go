@@ -1,0 +1,149 @@
+package actions
+
+import (
+	"math"
+	"testing"
+
+	"pscluster/internal/geom"
+	"pscluster/internal/particle"
+)
+
+func TestBounceSphereReflectsIncoming(t *testing.T) {
+	a := &BounceSphere{Center: geom.V(0, 0, 0), Radius: 2, Elasticity: 1}
+	p := particle.Particle{Pos: geom.V(2.1, 0, 0), Vel: geom.V(-3, 0, 0)}
+	a.Apply(ctx(), &p)
+	if p.Vel.X != 3 {
+		t.Errorf("vel = %v, want reflected +3", p.Vel)
+	}
+}
+
+func TestBounceSphereIgnoresNonImpacting(t *testing.T) {
+	a := &BounceSphere{Center: geom.V(0, 0, 0), Radius: 2, Elasticity: 1}
+	cases := map[string]particle.Particle{
+		"far away":    {Pos: geom.V(50, 0, 0), Vel: geom.V(-3, 0, 0)},
+		"moving away": {Pos: geom.V(2.1, 0, 0), Vel: geom.V(3, 0, 0)},
+		"tangential":  {Pos: geom.V(2.5, 0, 0), Vel: geom.V(0, 1, 0)},
+	}
+	for name, p := range cases {
+		before := p.Vel
+		a.Apply(ctx(), &p)
+		if p.Vel != before {
+			t.Errorf("%s: velocity changed to %v", name, p.Vel)
+		}
+	}
+}
+
+func TestBounceSphereFriction(t *testing.T) {
+	a := &BounceSphere{Center: geom.V(0, 0, 0), Radius: 2, Elasticity: 0.5, Friction: 0.5}
+	p := particle.Particle{Pos: geom.V(2.05, 0, 0), Vel: geom.V(-2, 4, 0)}
+	a.Apply(ctx(), &p)
+	if math.Abs(p.Vel.X-1) > 1e-12 { // normal: -(-2)*0.5
+		t.Errorf("normal component = %v", p.Vel.X)
+	}
+	if math.Abs(p.Vel.Y-2) > 1e-12 { // tangential: 4*(1-0.5)
+		t.Errorf("tangential component = %v", p.Vel.Y)
+	}
+}
+
+func TestBounceDiscHitsOnlyTheDisc(t *testing.T) {
+	a := &BounceDisc{
+		Disc:       geom.DiscDomain{Center: geom.V(0, 0, 0), Normal: geom.V(0, 1, 0), OuterR: 2},
+		Elasticity: 1,
+	}
+	// Falling onto the disc: bounces.
+	hit := particle.Particle{Pos: geom.V(1, 0.1, 0), Vel: geom.V(0, -3, 0)}
+	a.Apply(ctx(), &hit)
+	if hit.Vel.Y != 3 {
+		t.Errorf("on-disc vel = %v", hit.Vel)
+	}
+	// Falling beside the disc: passes.
+	miss := particle.Particle{Pos: geom.V(5, 0.1, 0), Vel: geom.V(0, -3, 0)}
+	a.Apply(ctx(), &miss)
+	if miss.Vel.Y != -3 {
+		t.Errorf("off-disc vel = %v", miss.Vel)
+	}
+	// Falling through the hole of an annulus: passes.
+	ann := &BounceDisc{
+		Disc:       geom.DiscDomain{Normal: geom.V(0, 1, 0), InnerR: 1, OuterR: 2},
+		Elasticity: 1,
+	}
+	hole := particle.Particle{Pos: geom.V(0.2, 0.1, 0), Vel: geom.V(0, -3, 0)}
+	ann.Apply(ctx(), &hole)
+	if hole.Vel.Y != -3 {
+		t.Errorf("through-hole vel = %v", hole.Vel)
+	}
+}
+
+func TestBounceDiscWorksFromBothSides(t *testing.T) {
+	a := &BounceDisc{
+		Disc:       geom.DiscDomain{Normal: geom.V(0, 1, 0), OuterR: 2},
+		Elasticity: 1,
+	}
+	below := particle.Particle{Pos: geom.V(0, -0.1, 0), Vel: geom.V(0, 3, 0)}
+	a.Apply(ctx(), &below)
+	if below.Vel.Y != -3 {
+		t.Errorf("from below vel = %v", below.Vel)
+	}
+}
+
+func TestBounceTriangle(t *testing.T) {
+	a := &BounceTriangle{
+		Tri:        geom.TriangleDomain{A: geom.V(-2, 0, -2), B: geom.V(2, 0, -2), C: geom.V(0, 0, 2)},
+		Elasticity: 1,
+	}
+	hit := particle.Particle{Pos: geom.V(0, 0.1, 0), Vel: geom.V(0, -3, 0)}
+	a.Apply(ctx(), &hit)
+	if hit.Vel.Y != 3 {
+		t.Errorf("on-triangle vel = %v", hit.Vel)
+	}
+	miss := particle.Particle{Pos: geom.V(3, 0.1, 0), Vel: geom.V(0, -3, 0)}
+	a.Apply(ctx(), &miss)
+	if miss.Vel.Y != -3 {
+		t.Errorf("off-triangle vel = %v", miss.Vel)
+	}
+}
+
+func TestAvoidSteersAroundObstacle(t *testing.T) {
+	a := &Avoid{Center: geom.V(10, 0, 0), Radius: 2, LookAhead: 5, Strength: 20}
+	// Head-on course, slightly off-axis: lateral velocity appears.
+	p := particle.Particle{Pos: geom.V(4, 0.5, 0), Vel: geom.V(5, 0, 0)}
+	a.Apply(ctx(), &p)
+	if p.Vel.Y <= 0 {
+		t.Errorf("should steer away (up): %v", p.Vel)
+	}
+	// Dead-center course still gets a deterministic escape.
+	q := particle.Particle{Pos: geom.V(4, 0, 0), Vel: geom.V(5, 0, 0)}
+	a.Apply(ctx(), &q)
+	if q.Vel.Sub(geom.V(5, 0, 0)).Len() == 0 {
+		t.Error("dead-center course not steered")
+	}
+}
+
+func TestAvoidIgnoresSafeCourses(t *testing.T) {
+	a := &Avoid{Center: geom.V(10, 0, 0), Radius: 2, LookAhead: 5, Strength: 20}
+	cases := map[string]particle.Particle{
+		"too far":     {Pos: geom.V(-20, 0, 0), Vel: geom.V(5, 0, 0)},
+		"moving away": {Pos: geom.V(4, 0, 0), Vel: geom.V(-5, 0, 0)},
+		"stationary":  {Pos: geom.V(4, 0, 0)},
+	}
+	for name, p := range cases {
+		before := p.Vel
+		a.Apply(ctx(), &p)
+		if p.Vel != before {
+			t.Errorf("%s: velocity changed", name)
+		}
+	}
+}
+
+func TestShapeBouncesAreProperty(t *testing.T) {
+	for _, a := range []Action{
+		&BounceSphere{}, &BounceDisc{}, &BounceTriangle{}, &Avoid{},
+	} {
+		if a.Kind() != KindProperty {
+			t.Errorf("%s is %v, want property", a.Name(), a.Kind())
+		}
+		if a.Cost() <= 0 {
+			t.Errorf("%s has non-positive cost", a.Name())
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNodeTypeRatios(t *testing.T) {
+	// Calibration sanity: B/GCC is the fastest PIII combination, C/ICC
+	// beats C/GCC, A is roughly the 550/1000 clock ratio of B.
+	if TypeB.Rate[GCC] <= TypeA.Rate[GCC] {
+		t.Error("E800 should outrun E60 under GCC")
+	}
+	if TypeC.Rate[ICC] <= TypeC.Rate[GCC] {
+		t.Error("Itanium should prefer ICC")
+	}
+	ratio := TypeA.Rate[GCC] / TypeB.Rate[GCC]
+	if math.Abs(ratio-0.55) > 0.1 {
+		t.Errorf("A/B GCC ratio = %v, want ~0.55", ratio)
+	}
+}
+
+func TestNetworkTransferTime(t *testing.T) {
+	if Myrinet.TransferTime(0) != Myrinet.Latency {
+		t.Error("zero-byte message should cost exactly the latency")
+	}
+	big := 1 << 20
+	if Myrinet.TransferTime(big) >= FastEthernet.TransferTime(big) {
+		t.Error("Myrinet should beat Fast-Ethernet on large transfers")
+	}
+	// 1 MB over Fast-Ethernet ~ 0.095s; sanity window.
+	got := FastEthernet.TransferTime(big)
+	if got < 0.05 || got > 0.2 {
+		t.Errorf("1MB over Fast-Ethernet = %gs", got)
+	}
+}
+
+func TestClusterString(t *testing.T) {
+	c := New(Myrinet, GCC, NodeSpec{TypeB, 4}, NodeSpec{TypeA, 4})
+	s := c.String()
+	for _, want := range []string{"4*B", "4*A", "Myrinet", "GCC"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestPlaceOnePerNodeFirst(t *testing.T) {
+	c := New(Myrinet, GCC, NodeSpec{TypeB, 8})
+	p, err := c.Place(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumProcs() != 10 {
+		t.Fatalf("NumProcs = %d", p.NumProcs())
+	}
+	seen := map[int]int{}
+	for i := 2; i < 10; i++ {
+		seen[p.NodeOf[i]]++
+	}
+	for n := 0; n < 8; n++ {
+		if seen[n] != 1 {
+			t.Errorf("node %d has %d calculators, want 1", n, seen[n])
+		}
+	}
+}
+
+func TestPlaceSecondCores(t *testing.T) {
+	c := New(Myrinet, GCC, NodeSpec{TypeB, 8})
+	p, err := c.Place(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for i := 2; i < p.NumProcs(); i++ {
+		seen[p.NodeOf[i]]++
+	}
+	for n := 0; n < 8; n++ {
+		if seen[n] != 2 {
+			t.Errorf("node %d has %d calculators, want 2", n, seen[n])
+		}
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	c := New(Myrinet, GCC)
+	if _, err := c.Place(1); err == nil {
+		t.Error("placement on empty cluster succeeded")
+	}
+	c = New(Myrinet, GCC, NodeSpec{TypeB, 1})
+	if _, err := c.Place(0); err == nil {
+		t.Error("placement of zero calculators succeeded")
+	}
+}
+
+func TestRateSingleOccupancy(t *testing.T) {
+	c := New(Myrinet, GCC, NodeSpec{TypeB, 4})
+	p, _ := c.Place(4)
+	for i := 2; i < 6; i++ {
+		if got := p.Rate(i); got != TypeB.Rate[GCC] {
+			t.Errorf("proc %d rate = %v, want full %v", i, got, TypeB.Rate[GCC])
+		}
+	}
+}
+
+func TestRateDualPenalty(t *testing.T) {
+	c := New(Myrinet, GCC, NodeSpec{TypeB, 4})
+	p, _ := c.Place(8) // two calculators per node
+	want := TypeB.Rate[GCC] * TypeB.DualPenalty
+	for i := 2; i < 10; i++ {
+		if got := p.Rate(i); math.Abs(got-want) > 1e-9 {
+			t.Errorf("proc %d rate = %v, want %v", i, got, want)
+		}
+	}
+	// Aggregate throughput of a dual node must exceed a single process
+	// but stay below 2x.
+	agg := 2 * want
+	if agg <= TypeB.Rate[GCC] || agg >= 2*TypeB.Rate[GCC] {
+		t.Errorf("dual aggregate %v out of (1x, 2x) range", agg)
+	}
+}
+
+func TestRateOversubscription(t *testing.T) {
+	c := New(Myrinet, GCC, NodeSpec{TypeB, 1})
+	p, _ := c.Place(4) // 4 calculators on one dual node
+	perProc := p.Rate(2)
+	want := TypeB.Rate[GCC] * TypeB.DualPenalty * 2 / 4 * oversubscribePenalty
+	if math.Abs(perProc-want) > 1e-9 {
+		t.Errorf("oversubscribed rate = %v, want %v", perProc, want)
+	}
+	// Aggregate oversubscribed throughput must not exceed the two-core
+	// aggregate.
+	if 4*perProc >= 2*TypeB.Rate[GCC]*TypeB.DualPenalty {
+		t.Error("oversubscription should cost aggregate throughput")
+	}
+}
+
+func TestHeterogeneousRates(t *testing.T) {
+	c := New(FastEthernet, ICC, NodeSpec{TypeB, 2}, NodeSpec{TypeC, 2})
+	p, _ := c.Place(4)
+	// First two calculators land on B nodes, last two on C nodes.
+	if p.Rate(2) != TypeB.Rate[ICC] {
+		t.Errorf("B calc rate = %v", p.Rate(2))
+	}
+	if p.Rate(5) != TypeC.Rate[ICC] {
+		t.Errorf("C calc rate = %v", p.Rate(5))
+	}
+	if p.Rate(5) <= p.Rate(2) {
+		t.Error("Itanium/ICC should outrun E800/ICC")
+	}
+}
+
+func TestSameNode(t *testing.T) {
+	c := New(Myrinet, GCC, NodeSpec{TypeB, 2})
+	p, _ := c.Place(4)
+	if !p.SameNode(0, 1) {
+		t.Error("manager and image generator should share node 0")
+	}
+	if !p.SameNode(2, 4) { // calc 0 and calc 2 both on node 0
+		t.Error("calc 0 and calc 2 should share node 0")
+	}
+	if p.SameNode(2, 3) {
+		t.Error("calc 0 and calc 1 should be on different nodes")
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	c.Advance(2)
+	c.AdvanceWork(100, 50)
+	if c.Now() != 4 {
+		t.Errorf("Now = %v", c.Now())
+	}
+	c.Fuse(3) // earlier: no effect
+	if c.Now() != 4 {
+		t.Error("Fuse lowered the clock")
+	}
+	c.Fuse(10)
+	if c.Now() != 10 {
+		t.Error("Fuse did not raise the clock")
+	}
+}
+
+func TestClockPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative advance": func() { new(Clock).Advance(-1) },
+		"zero rate":        func() { new(Clock).AdvanceWork(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCompilerString(t *testing.T) {
+	if GCC.String() != "GCC" || ICC.String() != "ICC" {
+		t.Error("compiler names wrong")
+	}
+}

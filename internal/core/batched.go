@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+
+	"pscluster/internal/actions"
+	"pscluster/internal/domain"
+	"pscluster/internal/loadbalance"
+	"pscluster/internal/particle"
+	"pscluster/internal/transport"
+)
+
+// This file implements the BatchedSchedule of §3.3: every phase of
+// Figure 2 runs once per frame for all particle systems together, so
+// the n² exchange messages, the load-balancing round-trips and the
+// render sends are paid once per frame instead of once per system.
+// Physics is identical to the per-system schedule — the engines remain
+// bit-equivalent.
+
+// runBatchedFrame is the manager's side of one batched frame.
+func (m *managerProc) runBatchedFrame(frame int, ctxs []*actions.Context) error {
+	_ = frame
+	scn := m.scn
+
+	// Creation: generate every system's new particles (in the same
+	// (system, action) order as the sequential engine) and scatter one
+	// combined message per calculator.
+	perCalc := make([][][]particle.Particle, m.nCalc)
+	slots := 0
+	for si := range scn.Systems {
+		for _, a := range scn.Systems[si].Actions {
+			ca, ok := a.(actions.CreateAction)
+			if !ok {
+				continue
+			}
+			ps := ca.Generate(ctxs[si])
+			m.ep.Clock.AdvanceWork(a.Cost()*float64(len(ps))*scn.Ratio, m.rate)
+			groups := groupByOwner(ps, m.tables[si], m.nCalc)
+			for c := 0; c < m.nCalc; c++ {
+				perCalc[c] = append(perCalc[c], groups[c])
+			}
+			slots++
+		}
+	}
+	if slots > 0 {
+		for c := 0; c < m.nCalc; c++ {
+			payload := encodeMultiBatch(perCalc[c])
+			m.ep.SendSized(rankCalc0+c, transport.TagParticles, payload,
+				billed(len(payload), scn.Ratio))
+		}
+	}
+
+	if scn.LB != DynamicLB {
+		return nil
+	}
+
+	// One combined report per calculator, one balancing pass per
+	// system, one combined order message back.
+	nSys := len(scn.Systems)
+	msgs := m.ep.RecvFromEach(m.calcRanks, transport.TagLoadReport)
+	reports := make([][]loadbalance.Report, nSys) // [system][calc]
+	for si := range reports {
+		reports[si] = make([]loadbalance.Report, m.nCalc)
+	}
+	for ci, msg := range msgs {
+		rs, err := decodeMultiReports(msg.Payload, nSys)
+		if err != nil {
+			return err
+		}
+		for si, r := range rs {
+			reports[si][ci] = r
+		}
+	}
+	m.ep.Clock.AdvanceWork(evalWorkPerCalc*float64(m.nCalc*nSys), m.rate)
+
+	ordersBySys := make([][]loadbalance.Order, nSys)
+	perCalcOrders := make([][]*loadbalance.Order, m.nCalc)
+	for c := range perCalcOrders {
+		perCalcOrders[c] = make([]*loadbalance.Order, nSys)
+	}
+	for si := range scn.Systems {
+		orders := m.balancers[si].Evaluate(reports[si], m.power)
+		if len(orders) > 0 {
+			m.lbRounds++
+		}
+		ordersBySys[si] = orders
+		for i := range orders {
+			perCalcOrders[orders[i].Proc][si] = &orders[i]
+		}
+	}
+	for c := 0; c < m.nCalc; c++ {
+		m.ep.Send(rankCalc0+c, transport.TagLBOrder, encodeMultiOrders(perCalcOrders[c]))
+	}
+
+	// Donor boundaries, in (system, order) sequence — donors emit them
+	// in the same order, so the matching is deterministic.
+	for si := range scn.Systems {
+		for _, o := range ordersBySys[si] {
+			if o.Op != loadbalance.Send {
+				continue
+			}
+			msg := m.ep.Recv(rankCalc0+o.Proc, transport.TagNewDims)
+			sys, edge, val, err := decodeBoundarySys(msg.Payload)
+			if err != nil {
+				return err
+			}
+			if sys != si {
+				return fmt.Errorf("core: donor %d sent boundary for system %d, expected %d",
+					o.Proc, sys, si)
+			}
+			if err := m.tables[si].SetBoundary(edge, val); err != nil {
+				return err
+			}
+			m.lbMovedStored += o.Count
+		}
+	}
+
+	// One combined dimension broadcast.
+	edgeTables := make([][]float64, nSys)
+	for si := range edgeTables {
+		edgeTables[si] = m.tables[si].Edges()
+	}
+	dims := encodeMultiEdges(edgeTables)
+	for c := 0; c < m.nCalc; c++ {
+		m.ep.Send(rankCalc0+c, transport.TagNewDims, dims)
+	}
+	return nil
+}
+
+// runBatchedFrame is a calculator's side of one batched frame.
+func (c *calcProc) runBatchedFrame(frame int, ctxs []*actions.Context, others []int) error {
+	scn := c.scn
+	nSys := len(scn.Systems)
+
+	// Creation: one combined message; slots appear in (system, action)
+	// order.
+	var created [][]particle.Particle
+	slot := 0
+	hasCreate := false
+	for si := range scn.Systems {
+		for _, a := range scn.Systems[si].Actions {
+			if a.Kind() == actions.KindCreate {
+				hasCreate = true
+			}
+		}
+	}
+	if hasCreate {
+		msg := c.ep.Recv(rankManager, transport.TagParticles)
+		var err error
+		created, err = decodeMultiBatch(msg.Payload)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Compute phase for every system.
+	workFrame := make([]float64, nSys)
+	oldLoad := make([]int, nSys)
+	for si := range scn.Systems {
+		sys := &scn.Systems[si]
+		st := c.stores[si]
+		for _, a := range sys.Actions {
+			switch act := a.(type) {
+			case actions.CreateAction:
+				if slot >= len(created) {
+					return fmt.Errorf("core: creation slot %d out of range", slot)
+				}
+				st.AddSlice(created[slot])
+				slot++
+			case actions.StoreAction:
+				w, err := c.applyStoreAction(si, act, ctxs[si])
+				if err != nil {
+					return err
+				}
+				w *= scn.Ratio
+				c.ep.Clock.AdvanceWork(w, c.rate)
+				workFrame[si] += w
+			case actions.ParticleAction:
+				st.ForEach(func(p *particle.Particle) { act.Apply(ctxs[si], p) })
+				w := a.Cost() * float64(st.Len()) * scn.Ratio
+				c.ep.Clock.AdvanceWork(w, c.rate)
+				workFrame[si] += w
+			default:
+				return fmt.Errorf("core: system %d action %q has unknown shape", si, a.Name())
+			}
+		}
+		for _, pa := range scn.scriptedFor(frame, si) {
+			st.ForEach(func(p *particle.Particle) { pa.Apply(ctxs[si], p) })
+			w := pa.Cost() * float64(st.Len()) * scn.Ratio
+			c.ep.Clock.AdvanceWork(w, c.rate)
+			workFrame[si] += w
+		}
+		st.RemoveDead()
+		oldLoad[si] = st.Len()
+		scanWork := scn.ExchangeScanWork * float64(st.Len()) * scn.Ratio
+		c.ep.Clock.AdvanceWork(scanWork, c.rate)
+		workFrame[si] += scanWork
+	}
+
+	// One combined exchange: per peer, a multi-batch with one slot per
+	// system.
+	perPeer := make([][][]particle.Particle, c.nCalc)
+	for p := range perPeer {
+		perPeer[p] = make([][]particle.Particle, nSys)
+	}
+	for si := range scn.Systems {
+		st := c.stores[si]
+		out := st.Partition()
+		groups := groupByOwner(out, c.tables[si], c.nCalc)
+		if len(groups[c.idx]) > 0 {
+			st.AddSlice(groups[c.idx])
+		}
+		for p := 0; p < c.nCalc; p++ {
+			if p != c.idx {
+				perPeer[p][si] = groups[p]
+				c.exchangedStored += len(groups[p])
+			}
+		}
+	}
+	for p := 0; p < c.nCalc; p++ {
+		if p == c.idx {
+			continue
+		}
+		payload := encodeMultiBatch(perPeer[p])
+		c.ep.SendSized(rankCalc0+p, transport.TagParticles, payload,
+			billed(len(payload), scn.Ratio))
+	}
+	for _, msg := range c.ep.RecvFromEach(others, transport.TagParticles) {
+		batches, err := decodeMultiBatch(msg.Payload)
+		if err != nil {
+			return err
+		}
+		if len(batches) != nSys {
+			return fmt.Errorf("core: exchange carried %d systems, want %d", len(batches), nSys)
+		}
+		for si, ps := range batches {
+			c.stores[si].AddSlice(ps)
+		}
+	}
+
+	// One combined load report.
+	if scn.LB == DynamicLB {
+		reports := make([]loadbalance.Report, nSys)
+		for si := range scn.Systems {
+			newLoad := c.stores[si].Len()
+			t := workFrame[si] / c.rate
+			var rescaled float64
+			if oldLoad[si] > 0 {
+				rescaled = t * float64(newLoad) / float64(oldLoad[si])
+			} else {
+				perParticle := scn.Systems[si].perParticleWork() + scn.ExchangeScanWork
+				rescaled = float64(newLoad) * perParticle * scn.Ratio / c.rate
+			}
+			reports[si] = loadbalance.Report{Load: newLoad, Time: rescaled}
+		}
+		c.ep.Send(rankManager, transport.TagLoadReport, encodeMultiReports(reports))
+	}
+
+	// One combined render send.
+	blobs := make([][]byte, nSys)
+	bill := 4
+	for si := range scn.Systems {
+		blobs[si] = encodeRenderBatch(c.stores[si].All())
+		bill += 4 + int(float64(c.stores[si].Len()*scn.Render.BytesPerParticle)*scn.Ratio)
+	}
+	payload := encodeMultiRender(blobs)
+	if bill < len(payload) {
+		bill = len(payload)
+	}
+	c.ep.SendSized(rankImageGen, transport.TagRenderBatch, payload, bill)
+
+	// Balancing execution, interleaved across systems.
+	if scn.LB == DynamicLB {
+		return c.executeBatchedBalancing()
+	}
+	return nil
+}
+
+// executeBatchedBalancing performs the calculator's balancing for every
+// system of one batched frame: donations selected and announced in
+// system order, one combined dimension broadcast, transfers in system
+// order.
+func (c *calcProc) executeBatchedBalancing() error {
+	scn := c.scn
+	nSys := len(scn.Systems)
+	msg := c.ep.Recv(rankManager, transport.TagLBOrder)
+	orders, err := decodeMultiOrders(msg.Payload, nSys)
+	if err != nil {
+		return err
+	}
+
+	donated := make([][]particle.Particle, nSys)
+	for si, o := range orders {
+		if o == nil || o.Op != loadbalance.Send {
+			continue
+		}
+		st := c.stores[si]
+		side := particle.HighSide
+		edge := c.idx + 1
+		if o.Peer < c.idx {
+			side = particle.LowSide
+			edge = c.idx
+		}
+		var boundary float64
+		donated[si], boundary = st.SelectDonation(o.Count, side)
+		c.ep.Send(rankManager, transport.TagNewDims, encodeBoundarySys(si, edge, boundary))
+	}
+
+	dimsMsg := c.ep.Recv(rankManager, transport.TagNewDims)
+	edgeTables, err := decodeMultiEdges(dimsMsg.Payload, nSys, c.nCalc+1)
+	if err != nil {
+		return err
+	}
+	for si, edges := range edgeTables {
+		table, err := domain.FromEdges(scn.Axis, edges)
+		if err != nil {
+			return err
+		}
+		c.tables[si] = table
+		lo, hi := table.Bounds(c.idx)
+		c.stores[si].Resize(lo, hi)
+	}
+
+	for si, o := range orders {
+		if o == nil {
+			continue
+		}
+		peerRank := rankCalc0 + o.Peer
+		if o.Op == loadbalance.Send {
+			payload := particle.EncodeBatch(donated[si])
+			c.ep.SendSized(peerRank, transport.TagLBParticles, payload,
+				billed(len(payload), scn.Ratio))
+			continue
+		}
+		pm := c.ep.Recv(peerRank, transport.TagLBParticles)
+		ps, err := particle.DecodeBatch(pm.Payload)
+		if err != nil {
+			return err
+		}
+		c.stores[si].AddSlice(ps)
+	}
+	return nil
+}

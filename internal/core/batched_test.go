@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"pscluster/internal/actions"
+	"pscluster/internal/cluster"
+)
+
+// The batched schedule must be bit-equivalent to both the per-system
+// schedule and the sequential engine.
+func TestBatchedScheduleEquivalence(t *testing.T) {
+	for _, lb := range []LBMode{StaticLB, DynamicLB} {
+		for _, mode := range []SpaceMode{FiniteSpace, InfiniteSpace} {
+			for _, nCalc := range []int{1, 3, 4} {
+				name := fmt.Sprintf("%v/%v/%dcalc", lb, mode, nCalc)
+				t.Run(name, func(t *testing.T) {
+					scn := miniSnow(lb, mode)
+					scn.Schedule = BatchedSchedule
+					seq, err := RunSequential(scn, cluster.TypeB, cluster.GCC)
+					if err != nil {
+						t.Fatal(err)
+					}
+					par, err := RunParallel(scn, testCluster(4), nCalc)
+					if err != nil {
+						t.Fatal(err)
+					}
+					compareResults(t, seq, par)
+				})
+			}
+		}
+	}
+}
+
+func TestBatchedScheduleSendsFewerMessages(t *testing.T) {
+	perSys := miniSnow(DynamicLB, FiniteSpace)
+	batched := miniSnow(DynamicLB, FiniteSpace)
+	batched.Schedule = BatchedSchedule
+	a, err := RunParallel(perSys, testCluster(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunParallel(batched, testCluster(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three systems share each phase's messages: expect roughly a 3x
+	// reduction, require at least 2x.
+	if b.MsgsSent*2 > a.MsgsSent {
+		t.Errorf("batched sent %d messages vs per-system %d; expected < half",
+			b.MsgsSent, a.MsgsSent)
+	}
+	// Payload volume stays in the same ballpark (same particles move;
+	// multi-batch framing adds a few header bytes).
+	if b.BytesSent > a.BytesSent+a.BytesSent/100 || b.BytesSent < a.BytesSent/2 {
+		t.Errorf("batched bytes %d vs per-system %d out of expected band",
+			b.BytesSent, a.BytesSent)
+	}
+}
+
+// The §3.3 trade-off, both ways: batching amortizes per-system message
+// latency but gives up the overlap between one system's render ingest
+// and the next system's compute. With many small systems over a
+// high-latency network, batching wins; with heavy render traffic, the
+// per-system pipeline wins.
+func TestBatchedScheduleTradeoff(t *testing.T) {
+	cl := cluster.New(cluster.FastEthernet, cluster.GCC,
+		cluster.NodeSpec{Type: cluster.TypeB, Count: 4})
+
+	// Latency-dominated: 12 nearly-empty systems.
+	mkLatencyBound := func(sched Schedule) Scenario {
+		scn := miniSnow(DynamicLB, FiniteSpace)
+		base := scn.Systems[0]
+		scn.Systems = nil
+		for i := 0; i < 12; i++ {
+			s := base
+			s.Name = fmt.Sprintf("tiny-%d", i)
+			s.Seed = uint64(50 + i)
+			scn.Systems = append(scn.Systems, s)
+		}
+		// Shrink creation so compute and render are negligible.
+		for i := range scn.Systems {
+			src := *scn.Systems[i].Actions[0].(*actions.Source)
+			src.Rate = 10
+			acts := append([]actions.Action(nil), scn.Systems[i].Actions...)
+			acts[0] = &src
+			scn.Systems[i].Actions = acts
+		}
+		scn.Schedule = sched
+		return scn
+	}
+	a, err := RunParallel(mkLatencyBound(PerSystemSchedule), cl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunParallel(mkLatencyBound(BatchedSchedule), cl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Time >= a.Time {
+		t.Errorf("latency-bound: batched %.4fs should beat per-system %.4fs", b.Time, a.Time)
+	}
+
+	// Render-dominated: the standard mini scenario, where the
+	// per-system pipeline overlaps ingest with compute.
+	perSys := miniSnow(DynamicLB, FiniteSpace)
+	batched := miniSnow(DynamicLB, FiniteSpace)
+	batched.Schedule = BatchedSchedule
+	c, err := RunParallel(perSys, cl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := RunParallel(batched, cl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Time < c.Time*0.95 {
+		t.Errorf("render-bound: batched %.4fs unexpectedly far ahead of per-system %.4fs",
+			d.Time, c.Time)
+	}
+}
+
+func TestBatchedRejectsDecentralized(t *testing.T) {
+	scn := miniSnow(DecentralizedLB, FiniteSpace)
+	scn.Schedule = BatchedSchedule
+	if err := scn.Validate(); err == nil {
+		t.Error("batched + decentralized accepted")
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if PerSystemSchedule.String() != "per-system" || BatchedSchedule.String() != "batched" {
+		t.Error("schedule names wrong")
+	}
+}
+
+func TestBatchedDeterministic(t *testing.T) {
+	scn := miniSnow(DynamicLB, InfiniteSpace)
+	scn.Schedule = BatchedSchedule
+	r1, err := RunParallel(scn, testCluster(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunParallel(scn, testCluster(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Time != r2.Time || r1.MsgsSent != r2.MsgsSent {
+		t.Error("batched runs diverged")
+	}
+}

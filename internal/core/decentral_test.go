@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"pscluster/internal/cluster"
+)
+
+func TestDecentralizedBalancesISPathology(t *testing.T) {
+	seq, err := RunSequential(miniSnow(StaticLB, InfiniteSpace), cluster.TypeB, cluster.GCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slb, err := RunParallel(miniSnow(StaticLB, InfiniteSpace), testCluster(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delb, err := RunParallel(miniSnow(DecentralizedLB, InfiniteSpace), testCluster(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delb.LBMoved == 0 {
+		t.Error("decentralized balancing never moved a particle")
+	}
+	if delb.Speedup(seq) <= slb.Speedup(seq) {
+		t.Errorf("IS: decentralized LB speedup %.2f should beat SLB %.2f",
+			delb.Speedup(seq), slb.Speedup(seq))
+	}
+}
+
+func TestDecentralizedLoadsConverge(t *testing.T) {
+	scn := miniSnow(DecentralizedLB, InfiniteSpace)
+	scn.Frames = 16
+	res, err := RunParallel(scn, testCluster(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	max := 0
+	for _, l := range res.CalcLoads {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		t.Fatal("no particles")
+	}
+	// Under static IS decomposition one calculator would hold ~100%;
+	// diffusion must spread the load well below that.
+	share := float64(max) / float64(total)
+	if share > 0.65 {
+		t.Errorf("busiest calculator still holds %.0f%% after 16 frames", 100*share)
+	}
+}
+
+func TestDecentralizedSkipsManagerTraffic(t *testing.T) {
+	dlb, err := RunParallel(miniSnow(DynamicLB, FiniteSpace), testCluster(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delb, err := RunParallel(miniSnow(DecentralizedLB, FiniteSpace), testCluster(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both runs compute identical frames (verified by equivalence
+	// tests); here we only check the decentralized one exists as a
+	// distinct mode with balancing rounds tracked on calculators.
+	if dlb.LBRounds == 0 {
+		t.Skip("no balancing triggered in this configuration")
+	}
+	if delb.Time <= 0 {
+		t.Error("decentralized run has no time")
+	}
+}
+
+func TestIgnorePowerSplitsEqually(t *testing.T) {
+	// Heterogeneous cluster, uniform workload: with power-proportional
+	// splitting the fast nodes end up with more particles; with
+	// IgnorePower the loads stay near-equal.
+	cl := cluster.New(cluster.Myrinet, cluster.GCC,
+		cluster.NodeSpec{Type: cluster.TypeA, Count: 2},
+		cluster.NodeSpec{Type: cluster.TypeB, Count: 2})
+	scn := miniSnow(DynamicLB, FiniteSpace)
+	scn.Frames = 16
+	prop, err := RunParallel(scn, cl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn2 := miniSnow(DynamicLB, FiniteSpace)
+	scn2.Frames = 16
+	scn2.IgnorePower = true
+	equal, err := RunParallel(scn2, cl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(loads []int) float64 {
+		min, max := loads[0], loads[0]
+		for _, l := range loads {
+			if l < min {
+				min = l
+			}
+			if l > max {
+				max = l
+			}
+		}
+		if max == 0 {
+			return 0
+		}
+		return float64(max-min) / float64(max)
+	}
+	// Proportional splitting must give the B calculators (indices 2, 3)
+	// more than the A ones.
+	aLoad := prop.CalcLoads[0] + prop.CalcLoads[1]
+	bLoad := prop.CalcLoads[2] + prop.CalcLoads[3]
+	if bLoad <= aLoad {
+		t.Errorf("power-proportional split: A=%d B=%d, want B > A", aLoad, bLoad)
+	}
+	if spread(equal.CalcLoads) > spread(prop.CalcLoads) {
+		t.Errorf("IgnorePower spread %.2f should not exceed proportional spread %.2f",
+			spread(equal.CalcLoads), spread(prop.CalcLoads))
+	}
+}

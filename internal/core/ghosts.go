@@ -1,0 +1,83 @@
+package core
+
+import (
+	"pscluster/internal/actions"
+	"pscluster/internal/particle"
+	"pscluster/internal/transport"
+)
+
+// This file implements the collision-time neighbor exchange of §3.1.4:
+// "depending on the collision detection mechanisms chosen by the user,
+// the particles that change domains may be exchanged between processes
+// during the computation and validation of their new position". Each
+// calculator ships its boundary band — the particles within the
+// interaction radius of a domain edge — to the adjacent calculator as
+// read-only ghosts, so cross-boundary pairs are detected without any
+// global communication.
+
+// applyStoreAction runs one inter-particle action for system si,
+// performing the ghost-band exchange first when the scenario enables it
+// and the action supports ghosts.
+func (c *calcProc) applyStoreAction(si int, act actions.StoreAction,
+	ctx *actions.Context) (float64, error) {
+	st := c.stores[si]
+	col, ok := act.(*actions.CollideParticles)
+	if !c.scn.GhostCollisions || !ok {
+		return act.ApplyStore(ctx, st), nil
+	}
+	ghosts, err := c.exchangeGhostBand(si, col.Radius)
+	if err != nil {
+		return 0, err
+	}
+	return col.ApplyWithGhosts(ctx, st, ghosts), nil
+}
+
+// exchangeGhostBand trades boundary bands with both domain neighbors
+// and returns the received ghosts, left neighbor's first (determinism).
+// Both neighbors reach this point in the same (frame, system, action)
+// position, so the protocol needs no further coordination.
+func (c *calcProc) exchangeGhostBand(si int, radius float64) ([]particle.Particle, error) {
+	st := c.stores[si]
+	lo, hi := st.Bounds()
+	axis := c.scn.Axis
+	var low, high []particle.Particle
+	st.ForEach(func(p *particle.Particle) {
+		x := p.Pos.Component(axis)
+		if x < lo+radius {
+			low = append(low, *p)
+		}
+		if x >= hi-radius {
+			high = append(high, *p)
+		}
+	})
+	hasLeft := c.idx > 0
+	hasRight := c.idx < c.nCalc-1
+	if hasLeft {
+		payload := particle.EncodeBatch(low)
+		c.ep.SendSized(rankCalc0+c.idx-1, transport.TagGhosts, payload,
+			billed(len(payload), c.scn.Ratio))
+	}
+	if hasRight {
+		payload := particle.EncodeBatch(high)
+		c.ep.SendSized(rankCalc0+c.idx+1, transport.TagGhosts, payload,
+			billed(len(payload), c.scn.Ratio))
+	}
+	var ghosts []particle.Particle
+	if hasLeft {
+		msg := c.ep.Recv(rankCalc0+c.idx-1, transport.TagGhosts)
+		ps, err := particle.DecodeBatch(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		ghosts = append(ghosts, ps...)
+	}
+	if hasRight {
+		msg := c.ep.Recv(rankCalc0+c.idx+1, transport.TagGhosts)
+		ps, err := particle.DecodeBatch(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		ghosts = append(ghosts, ps...)
+	}
+	return ghosts, nil
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pscluster/internal/render"
+)
+
+// writeFramePPM writes one rasterized frame to the scenario's output
+// directory as frame-NNNN.ppm.
+func writeFramePPM(dir string, frame int, fb *render.Framebuffer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: creating output dir: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("frame-%04d.ppm", frame))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: creating frame file: %w", err)
+	}
+	defer f.Close()
+	if err := fb.WritePPM(f); err != nil {
+		return fmt.Errorf("core: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// maybeWriteFrame writes the frame if the scenario asks for files.
+func maybeWriteFrame(scn *Scenario, frame int, fb *render.Framebuffer) error {
+	if fb == nil || scn.Render.OutputDir == "" {
+		return nil
+	}
+	return writeFramePPM(scn.Render.OutputDir, frame, fb)
+}

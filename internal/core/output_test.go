@@ -1,0 +1,105 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pscluster/internal/actions"
+	"pscluster/internal/cluster"
+)
+
+func TestParallelWritesPPMFrames(t *testing.T) {
+	dir := t.TempDir()
+	scn := miniSnow(StaticLB, FiniteSpace)
+	scn.Frames = 3
+	scn.Render.Rasterize = true
+	scn.Render.OutputDir = dir
+	if _, err := RunParallel(scn, testCluster(2), 2); err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 3; f++ {
+		path := filepath.Join(dir, "frame-000"+string(rune('0'+f))+".ppm")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		if len(data) < 10 || string(data[:2]) != "P6" {
+			t.Fatalf("frame %d is not a PPM", f)
+		}
+	}
+}
+
+func TestSequentialWritesPPMFrames(t *testing.T) {
+	dir := t.TempDir()
+	scn := miniSnow(StaticLB, FiniteSpace)
+	scn.Frames = 2
+	scn.Render.Rasterize = true
+	scn.Render.OutputDir = dir
+	if _, err := RunSequential(scn, cluster.TypeB, cluster.GCC); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d frames written, want 2", len(entries))
+	}
+}
+
+func TestNoOutputWithoutRasterize(t *testing.T) {
+	dir := t.TempDir()
+	scn := miniSnow(StaticLB, FiniteSpace)
+	scn.Frames = 2
+	scn.Render.OutputDir = dir // Rasterize off: nothing written
+	if _, err := RunParallel(scn, testCluster(2), 2); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("%d files written without rasterization", len(entries))
+	}
+}
+
+func TestSequentialStoreActions(t *testing.T) {
+	// The sequential engine must run collision actions (used as the
+	// reference for the collision examples).
+	scn := collisionScenario()
+	scn.CollectParticles = true
+	res, err := RunSequential(scn, cluster.TypeB, cluster.GCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Error("no time accumulated")
+	}
+	total := 0
+	for _, ps := range res.FinalParticles {
+		total += len(ps)
+	}
+	if total == 0 {
+		t.Error("no particles")
+	}
+}
+
+func TestSequentialRejectsUnknownActionShape(t *testing.T) {
+	scn := miniSnow(StaticLB, FiniteSpace)
+	scn.Systems[0].Actions = append(scn.Systems[0].Actions, bogusAction{})
+	if _, err := RunSequential(scn, cluster.TypeB, cluster.GCC); err == nil {
+		t.Error("unknown action shape accepted")
+	}
+	if _, err := RunParallel(scn, testCluster(2), 2); err == nil {
+		t.Error("unknown action shape accepted by parallel engine")
+	}
+}
+
+// bogusAction implements Action but none of the executable interfaces.
+type bogusAction struct{}
+
+func (bogusAction) Name() string       { return "bogus" }
+func (bogusAction) Kind() actions.Kind { return actions.KindProperty }
+func (bogusAction) Cost() float64      { return 1 }

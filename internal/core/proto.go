@@ -1,0 +1,376 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"pscluster/internal/geom"
+	"pscluster/internal/loadbalance"
+	"pscluster/internal/particle"
+)
+
+// Wire encodings for the model's control messages (Figure 2 arrows) and
+// the compact render record. All little-endian.
+
+// encodeLoadReport packs a calculator's end-of-frame report.
+func encodeLoadReport(r loadbalance.Report) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint64(b, uint64(r.Load))
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(r.Time))
+	return b
+}
+
+func decodeLoadReport(b []byte) (loadbalance.Report, error) {
+	if len(b) != 16 {
+		return loadbalance.Report{}, fmt.Errorf("core: load report is %d bytes, want 16", len(b))
+	}
+	return loadbalance.Report{
+		Load: int(binary.LittleEndian.Uint64(b)),
+		Time: math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+	}, nil
+}
+
+// Order opcodes on the wire.
+const (
+	opNone    = 0
+	opSend    = 1
+	opReceive = 2
+)
+
+// encodeOrder packs a load-balancing order for one calculator; a nil
+// order encodes as a no-op (the manager always sends one message per
+// calculator so the receive pattern stays deterministic).
+func encodeOrder(o *loadbalance.Order) []byte {
+	b := make([]byte, 9)
+	if o == nil {
+		b[0] = opNone
+		return b
+	}
+	if o.Op == loadbalance.Send {
+		b[0] = opSend
+	} else {
+		b[0] = opReceive
+	}
+	binary.LittleEndian.PutUint32(b[1:], uint32(o.Peer))
+	binary.LittleEndian.PutUint32(b[5:], uint32(o.Count))
+	return b
+}
+
+func decodeOrder(b []byte) (*loadbalance.Order, error) {
+	if len(b) != 9 {
+		return nil, fmt.Errorf("core: order is %d bytes, want 9", len(b))
+	}
+	if b[0] == opNone {
+		return nil, nil
+	}
+	o := &loadbalance.Order{
+		Peer:  int(binary.LittleEndian.Uint32(b[1:])),
+		Count: int(binary.LittleEndian.Uint32(b[5:])),
+	}
+	if b[0] == opSend {
+		o.Op = loadbalance.Send
+	} else {
+		o.Op = loadbalance.Receive
+	}
+	return o, nil
+}
+
+// encodeBoundary packs a donor's new domain boundary (edge index +
+// value, §3.2.5).
+func encodeBoundary(edge int, value float64) []byte {
+	b := make([]byte, 12)
+	binary.LittleEndian.PutUint32(b, uint32(edge))
+	binary.LittleEndian.PutUint64(b[4:], math.Float64bits(value))
+	return b
+}
+
+func decodeBoundary(b []byte) (edge int, value float64, err error) {
+	if len(b) != 12 {
+		return 0, 0, fmt.Errorf("core: boundary is %d bytes, want 12", len(b))
+	}
+	return int(binary.LittleEndian.Uint32(b)),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[4:])), nil
+}
+
+// encodeEdges packs a full domain-edge table for the manager's
+// broadcast of new dimensions.
+func encodeEdges(edges []float64) []byte {
+	b := make([]byte, 8*len(edges))
+	for i, e := range edges {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(e))
+	}
+	return b
+}
+
+func decodeEdges(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("core: edge table of %d bytes not a multiple of 8", len(b))
+	}
+	edges := make([]float64, len(b)/8)
+	for i := range edges {
+		edges[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return edges, nil
+}
+
+// ---------------------------------------------------------------------
+// Batched-schedule codecs (§3.3): one message carries all systems.
+// ---------------------------------------------------------------------
+
+// encodeMultiBatch concatenates particle batches (one per (system,
+// create-action) slot, or one per system) behind a count prefix.
+func encodeMultiBatch(batches [][]particle.Particle) []byte {
+	size := 4
+	for _, b := range batches {
+		size += particle.BatchBytes(len(b))
+	}
+	buf := make([]byte, 4, size)
+	binary.LittleEndian.PutUint32(buf, uint32(len(batches)))
+	for _, b := range batches {
+		buf = append(buf, particle.EncodeBatch(b)...)
+	}
+	return buf
+}
+
+// decodeMultiBatch splits a multi-batch back into its per-slot batches.
+func decodeMultiBatch(b []byte) ([][]particle.Particle, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("core: multi-batch of %d bytes has no header", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	out := make([][]particle.Particle, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("core: multi-batch truncated at slot %d", i)
+		}
+		count := int(binary.LittleEndian.Uint32(b))
+		size := particle.BatchBytes(count)
+		if len(b) < size {
+			return nil, fmt.Errorf("core: multi-batch slot %d needs %d bytes, have %d", i, size, len(b))
+		}
+		ps, err := particle.DecodeBatch(b[:size])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ps
+		b = b[size:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("core: multi-batch has %d trailing bytes", len(b))
+	}
+	return out, nil
+}
+
+// encodeMultiReports packs one load report per system.
+func encodeMultiReports(rs []loadbalance.Report) []byte {
+	buf := make([]byte, 0, 16*len(rs))
+	for _, r := range rs {
+		buf = append(buf, encodeLoadReport(r)...)
+	}
+	return buf
+}
+
+// decodeMultiReports unpacks nSys load reports.
+func decodeMultiReports(b []byte, nSys int) ([]loadbalance.Report, error) {
+	if len(b) != 16*nSys {
+		return nil, fmt.Errorf("core: multi-report of %d bytes, want %d", len(b), 16*nSys)
+	}
+	out := make([]loadbalance.Report, nSys)
+	for i := range out {
+		r, err := decodeLoadReport(b[16*i : 16*i+16])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// encodeMultiOrders packs one (possibly nil) order per system.
+func encodeMultiOrders(os []*loadbalance.Order) []byte {
+	buf := make([]byte, 0, 9*len(os))
+	for _, o := range os {
+		buf = append(buf, encodeOrder(o)...)
+	}
+	return buf
+}
+
+// decodeMultiOrders unpacks nSys orders.
+func decodeMultiOrders(b []byte, nSys int) ([]*loadbalance.Order, error) {
+	if len(b) != 9*nSys {
+		return nil, fmt.Errorf("core: multi-order of %d bytes, want %d", len(b), 9*nSys)
+	}
+	out := make([]*loadbalance.Order, nSys)
+	for i := range out {
+		o, err := decodeOrder(b[9*i : 9*i+9])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = o
+	}
+	return out, nil
+}
+
+// encodeMultiEdges packs every system's edge table (all tables have the
+// same length, nCalc+1).
+func encodeMultiEdges(tables [][]float64) []byte {
+	var buf []byte
+	for _, e := range tables {
+		buf = append(buf, encodeEdges(e)...)
+	}
+	return buf
+}
+
+// decodeMultiEdges unpacks nSys edge tables of edgeLen entries each.
+func decodeMultiEdges(b []byte, nSys, edgeLen int) ([][]float64, error) {
+	want := nSys * edgeLen * 8
+	if len(b) != want {
+		return nil, fmt.Errorf("core: multi-edges of %d bytes, want %d", len(b), want)
+	}
+	out := make([][]float64, nSys)
+	for i := range out {
+		e, err := decodeEdges(b[i*edgeLen*8 : (i+1)*edgeLen*8])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// encodeBoundarySys tags a donor boundary with its system index for the
+// batched schedule's interleaved donations.
+func encodeBoundarySys(sys, edge int, value float64) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint32(b, uint32(sys))
+	copy(b[4:], encodeBoundary(edge, value))
+	return b
+}
+
+func decodeBoundarySys(b []byte) (sys, edge int, value float64, err error) {
+	if len(b) != 16 {
+		return 0, 0, 0, fmt.Errorf("core: sys-boundary is %d bytes, want 16", len(b))
+	}
+	sys = int(binary.LittleEndian.Uint32(b))
+	edge, value, err = decodeBoundary(b[4:])
+	return sys, edge, value, err
+}
+
+// encodeMultiRender concatenates per-system render batches behind a
+// count prefix.
+func encodeMultiRender(blobs [][]byte) []byte {
+	size := 4
+	for _, blob := range blobs {
+		size += len(blob)
+	}
+	buf := make([]byte, 4, size)
+	binary.LittleEndian.PutUint32(buf, uint32(len(blobs)))
+	for _, blob := range blobs {
+		buf = append(buf, blob...)
+	}
+	return buf
+}
+
+// decodeMultiRender splits a multi-render payload into its per-system
+// render batches.
+func decodeMultiRender(b []byte) ([][]byte, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("core: multi-render of %d bytes has no header", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("core: multi-render truncated at slot %d", i)
+		}
+		count := int(binary.LittleEndian.Uint32(b))
+		size := 4 + count*renderRecordSize
+		if len(b) < size {
+			return nil, fmt.Errorf("core: multi-render slot %d needs %d bytes, have %d", i, size, len(b))
+		}
+		out[i] = b[:size]
+		b = b[size:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("core: multi-render has %d trailing bytes", len(b))
+	}
+	return out, nil
+}
+
+// renderRecordSize is the compact on-wire size of one particle sent to
+// the image generator: position (3×f32), color (3×f32), alpha and size
+// (f32 each).
+const renderRecordSize = 32
+
+// encodeRenderBatch packs particles into compact render records with a
+// count prefix. Both engines hash frames through this quantization, so
+// sequential and parallel checksums agree bit-for-bit.
+func encodeRenderBatch(ps []particle.Particle) []byte {
+	b := make([]byte, 4, 4+len(ps)*renderRecordSize)
+	binary.LittleEndian.PutUint32(b, uint32(len(ps)))
+	var rec [renderRecordSize]byte
+	for i := range ps {
+		p := &ps[i]
+		putF32 := func(off int, v float64) {
+			binary.LittleEndian.PutUint32(rec[off:], math.Float32bits(float32(v)))
+		}
+		putF32(0, p.Pos.X)
+		putF32(4, p.Pos.Y)
+		putF32(8, p.Pos.Z)
+		putF32(12, p.Color.X)
+		putF32(16, p.Color.Y)
+		putF32(20, p.Color.Z)
+		putF32(24, p.Alpha)
+		putF32(28, p.Size)
+		b = append(b, rec[:]...)
+	}
+	return b
+}
+
+// decodeRenderBatch unpacks compact render records into particles (only
+// the rendering fields are populated).
+func decodeRenderBatch(b []byte) ([]particle.Particle, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("core: render batch of %d bytes has no header", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if len(b) != n*renderRecordSize {
+		return nil, fmt.Errorf("core: render batch of %d records needs %d bytes, have %d",
+			n, n*renderRecordSize, len(b))
+	}
+	ps := make([]particle.Particle, n)
+	for i := range ps {
+		rec := b[i*renderRecordSize:]
+		getF32 := func(off int) float64 {
+			return float64(math.Float32frombits(binary.LittleEndian.Uint32(rec[off:])))
+		}
+		ps[i].Pos = geom.V(getF32(0), getF32(4), getF32(8))
+		ps[i].Color = geom.V(getF32(12), getF32(16), getF32(20))
+		ps[i].Alpha = getF32(24)
+		ps[i].Size = getF32(28)
+	}
+	return ps, nil
+}
+
+// hashRenderRecords returns an order-independent digest of a render
+// batch: the modular sum of per-record FNV hashes. Both engines use it
+// as the frame checksum when rasterization is off; because addition
+// commutes, the arrival order of calculator batches cannot change it.
+func hashRenderRecords(b []byte) uint64 {
+	if len(b) < 4 {
+		return 0
+	}
+	b = b[4:]
+	var sum uint64
+	for off := 0; off+renderRecordSize <= len(b); off += renderRecordSize {
+		h := fnv.New64a()
+		h.Write(b[off : off+renderRecordSize])
+		sum += h.Sum64()
+	}
+	return sum
+}

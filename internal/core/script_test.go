@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pscluster/internal/actions"
+	"pscluster/internal/cluster"
+	"pscluster/internal/geom"
+)
+
+func scriptedScenario() Scenario {
+	scn := miniSnow(DynamicLB, FiniteSpace)
+	scn.Script = []ScriptEntry{
+		{Frame: 4, System: 1, Action: &actions.Explosion{
+			Center: geom.V(0, 10, 0), Speed: 400, Falloff: 0.5}},
+		{Frame: 6, System: 0, Action: &actions.TargetColor{
+			Color: geom.V(1, 0, 0), Rate: 100}},
+	}
+	return scn
+}
+
+func TestScriptedExplosionChangesTheAnimation(t *testing.T) {
+	plain, err := RunSequential(miniSnow(DynamicLB, FiniteSpace), cluster.TypeB, cluster.GCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripted, err := RunSequential(scriptedScenario(), cluster.TypeB, cluster.GCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frames through the script entry are identical (the explosion only
+	// changes velocities, which render one Move later); the next frame
+	// differs.
+	for f := 0; f <= 4; f++ {
+		if plain.FrameChecksums[f] != scripted.FrameChecksums[f] {
+			t.Fatalf("frame %d differs before the script could be visible", f)
+		}
+	}
+	if plain.FrameChecksums[5] == scripted.FrameChecksums[5] {
+		t.Error("explosion at frame 4 left no trace at frame 5")
+	}
+	// The scripted color change must show on system 0's survivors.
+	reddened := 0
+	for _, p := range scripted.FinalParticles[0] {
+		if p.Color.X > 0.9 && p.Color.Y < 0.1 {
+			reddened++
+		}
+	}
+	if reddened == 0 {
+		t.Error("target-color script entry had no effect")
+	}
+	// The perturbation persists: the final frame still differs (the
+	// exploded particles live several frames past the blast).
+	last := len(plain.FrameChecksums) - 1
+	if plain.FrameChecksums[last] == scripted.FrameChecksums[last] {
+		t.Error("scripted run converged back to the plain run")
+	}
+}
+
+func TestScriptedRunsStayEquivalent(t *testing.T) {
+	scn := scriptedScenario()
+	seq, err := RunSequential(scn, cluster.TypeB, cluster.GCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []Schedule{PerSystemSchedule, BatchedSchedule} {
+		s2 := scriptedScenario()
+		s2.Schedule = sched
+		par, err := RunParallel(s2, testCluster(4), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, seq, par)
+	}
+	sims, err := RunSimsBaseline(scn, testCluster(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, seq, sims)
+}
+
+func TestScriptValidation(t *testing.T) {
+	bad := map[string]ScriptEntry{
+		"negative frame": {Frame: -1, System: 0, Action: &actions.Move{}},
+		"frame too late": {Frame: 99, System: 0, Action: &actions.Move{}},
+		"bad system":     {Frame: 0, System: 9, Action: &actions.Move{}},
+		"create action": {Frame: 0, System: 0, Action: &actions.Source{
+			Rate: 1, Pos: geom.PointDomain{P: geom.V(0, 0, 0)}}},
+		"store action": {Frame: 0, System: 0,
+			Action: &actions.CollideParticles{Radius: 1}},
+	}
+	for name, entry := range bad {
+		scn := miniSnow(StaticLB, FiniteSpace)
+		scn.Script = []ScriptEntry{entry}
+		if err := scn.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+	// Move is a position action: scriptable.
+	scn := miniSnow(StaticLB, FiniteSpace)
+	scn.Script = []ScriptEntry{{Frame: 0, System: 0, Action: &actions.Move{}}}
+	if err := scn.Validate(); err != nil {
+		t.Errorf("position action rejected: %v", err)
+	}
+}
+
+func TestScriptChargesVirtualTime(t *testing.T) {
+	plain, err := RunParallel(miniSnow(StaticLB, FiniteSpace), testCluster(2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn := miniSnow(StaticLB, FiniteSpace)
+	// An expensive scripted action on every frame of system 0.
+	for f := 0; f < scn.Frames; f++ {
+		scn.Script = append(scn.Script, ScriptEntry{Frame: f, System: 0,
+			Action: &actions.Vortex{Center: geom.V(0, 0, 0), Axis: geom.V(0, 1, 0), Strength: 1}})
+	}
+	scripted, err := RunParallel(scn, testCluster(2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(scripted.Time > plain.Time) || math.IsNaN(scripted.Time) {
+		t.Errorf("scripted work not billed: %.4f vs %.4f", scripted.Time, plain.Time)
+	}
+}

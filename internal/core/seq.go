@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"pscluster/internal/actions"
+	"pscluster/internal/cluster"
+	"pscluster/internal/geom"
+	"pscluster/internal/particle"
+	"pscluster/internal/render"
+)
+
+// RunSequential executes the scenario in a single process on one node —
+// the baseline the paper's speedups divide by ("we used the sequential
+// execution time as the comparison measure of processing power", §4).
+// The virtual time is the total work divided by the node's rate under
+// the given compiler.
+func RunSequential(scn Scenario, node cluster.NodeType, comp cluster.Compiler) (*Result, error) {
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	rate := node.Rate[comp]
+	if rate <= 0 {
+		return nil, fmt.Errorf("core: node %s has no rate for %s", node.Name, comp)
+	}
+
+	var clock cluster.Clock
+	lo, hi := scn.SpaceInterval()
+
+	stores := make([]*particle.Store, len(scn.Systems))
+	ctxs := make([]*actions.Context, len(scn.Systems))
+	for i := range scn.Systems {
+		stores[i] = particle.NewStore(scn.Axis, lo, hi, scn.Bins)
+		ctxs[i] = &actions.Context{RNG: geom.NewRNG(scn.Systems[i].Seed), DT: scn.DT}
+	}
+
+	var fb *render.Framebuffer
+	var cam render.Camera
+	if scn.Render.Rasterize {
+		fb = render.NewFramebuffer(scn.Render.Width, scn.Render.Height)
+		cam = defaultCamera(&scn)
+	}
+
+	res := &Result{Frames: scn.Frames}
+	if scn.CollectParticles {
+		res.FinalParticles = make([][]particle.Particle, len(scn.Systems))
+	}
+	var events []Event
+	emit := func(frame, sys int, phase string) {
+		if scn.Trace {
+			events = append(events, Event{Frame: frame, System: sys, Proc: 0, Phase: phase, T: clock.Now()})
+		}
+	}
+
+	for frame := 0; frame < scn.Frames; frame++ {
+		var frameSum uint64
+		if fb != nil {
+			fb.Clear()
+		}
+		for si := range scn.Systems {
+			sys := &scn.Systems[si]
+			st := stores[si]
+			ctx := ctxs[si]
+
+			for _, a := range sys.Actions {
+				switch act := a.(type) {
+				case actions.CreateAction:
+					ps := act.Generate(ctx)
+					clock.AdvanceWork(a.Cost()*float64(len(ps))*scn.Ratio, rate)
+					st.AddSlice(ps)
+					emit(frame, si, "create")
+				case actions.StoreAction:
+					work := act.ApplyStore(ctx, st)
+					clock.AdvanceWork(work*scn.Ratio, rate)
+				case actions.ParticleAction:
+					st.ForEach(func(p *particle.Particle) { act.Apply(ctx, p) })
+					clock.AdvanceWork(a.Cost()*float64(st.Len())*scn.Ratio, rate)
+				default:
+					return nil, fmt.Errorf("core: system %d action %q has unknown shape", si, a.Name())
+				}
+			}
+			for _, pa := range scn.scriptedFor(frame, si) {
+				st.ForEach(func(p *particle.Particle) { pa.Apply(ctxs[si], p) })
+				clock.AdvanceWork(pa.Cost()*float64(st.Len())*scn.Ratio, rate)
+			}
+			st.RemoveDead()
+			emit(frame, si, "calculus")
+
+			// Render this system's particles.
+			batch := encodeRenderBatch(st.All())
+			clock.AdvanceWork(scn.Render.CostPerParticle*float64(st.Len())*scn.Ratio, rate)
+			frameSum += hashRenderRecords(batch)
+			if fb != nil {
+				ps, err := decodeRenderBatch(batch)
+				if err != nil {
+					return nil, err
+				}
+				fb.SplatBatch(cam, ps)
+			}
+			emit(frame, si, "render")
+		}
+		clock.AdvanceWork(scn.Render.FrameOverhead, rate)
+		if fb != nil {
+			frameSum = fb.Checksum()
+			if err := maybeWriteFrame(&scn, frame, fb); err != nil {
+				return nil, err
+			}
+		}
+		res.FrameChecksums = append(res.FrameChecksums, frameSum)
+		res.FrameTimes = append(res.FrameTimes, clock.Now())
+	}
+
+	if scn.CollectParticles {
+		for si, st := range stores {
+			ps := st.All()
+			sortParticles(ps)
+			res.FinalParticles[si] = ps
+		}
+	}
+	res.Time = clock.Now()
+	res.PerProcTime = []float64{clock.Now()}
+	res.Events = events
+	return res, nil
+}
+
+// defaultCamera frames the scenario's space (or the central portion of
+// an infinite one) for the rasterizer.
+func defaultCamera(scn *Scenario) render.Camera {
+	region := scn.Space
+	if scn.Mode == InfiniteSpace || region.Size().Len2() == 0 {
+		region = geom.Box(geom.V(-120, -120, -120), geom.V(120, 120, 120))
+	}
+	return render.OrthoCamera{Region: region, W: scn.Render.Width, H: scn.Render.Height}
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pscluster/internal/actions"
+	"pscluster/internal/cluster"
+	"pscluster/internal/geom"
+	"pscluster/internal/particle"
+	"pscluster/internal/transport"
+)
+
+// This file implements the baseline the paper's related-work section
+// opens with: Karl Sims's data-parallel particle animation on the
+// Connection Machine CM-2 [13]. "Each one of the processors receives a
+// set of particles, independently of their localization in space" —
+// round-robin dealing, no domains, no exchange, no load balancing.
+//
+// For independent particles this layout is perfectly balanced by
+// construction. Its deficiency — the one the model's domain
+// decomposition exists to fix (§3.1.4) — appears the moment particles
+// interact: with no locality, collision detection needs every process
+// to see every other process's particles, so each frame broadcasts the
+// entire population as ghosts.
+//
+// The baseline is NOT bit-equivalent to the model: cross-process
+// collision pairs are resolved by each owner independently, so
+// multi-collision ordering within a frame can differ. Property and
+// position actions remain exact.
+
+// RunSimsBaseline executes the scenario with the Sims CM-2 strategy on
+// the simulated cluster: a manager dealing particles round-robin, nCalc
+// calculators with no domain structure, and the usual image generator.
+func RunSimsBaseline(scn Scenario, cl *cluster.Cluster, nCalc int) (*Result, error) {
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	if nCalc < 1 {
+		return nil, fmt.Errorf("core: need at least one calculator")
+	}
+	for si := range scn.Systems {
+		for _, a := range scn.Systems[si].Actions {
+			if _, ok := a.(*actions.MatchVelocity); ok {
+				return nil, fmt.Errorf("core: the Sims baseline does not support %q", a.Name())
+			}
+		}
+	}
+	place, err := cl.Place(nCalc)
+	if err != nil {
+		return nil, err
+	}
+	router := transport.NewRouter(place, cl.Net)
+
+	calcRanks := make([]int, nCalc)
+	for i := range calcRanks {
+		calcRanks[i] = rankCalc0 + i
+	}
+
+	mgr := &simsManager{
+		scn: &scn, ep: router.Endpoint(rankManager), rate: place.Rate(rankManager), nCalc: nCalc,
+	}
+	img := &imageGenProc{
+		scn: &scn, ep: router.Endpoint(rankImageGen), rate: place.Rate(rankImageGen),
+		calcRanks: calcRanks,
+	}
+	calcs := make([]*simsCalc, nCalc)
+	for i := range calcs {
+		calcs[i] = &simsCalc{
+			scn: &scn, idx: i, ep: router.Endpoint(rankCalc0 + i),
+			rate: place.Rate(rankCalc0 + i), nCalc: nCalc,
+			sets: make([][]particle.Particle, len(scn.Systems)),
+		}
+	}
+
+	errs := make([]error, 2+nCalc)
+	var wg sync.WaitGroup
+	launch := func(slot int, fn func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if e, ok := p.(error); ok && errors.Is(e, transport.ErrAborted) {
+						errs[slot] = e
+					} else {
+						errs[slot] = fmt.Errorf("core: sims process %d panicked: %v", slot, p)
+					}
+					router.Abort()
+				}
+			}()
+			if err := fn(); err != nil {
+				errs[slot] = err
+				router.Abort()
+			}
+		}()
+	}
+	launch(rankManager, mgr.run)
+	launch(rankImageGen, img.run)
+	for i := range calcs {
+		launch(rankCalc0+i, calcs[i].run)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+
+	res := &Result{Frames: scn.Frames, FrameChecksums: img.checksums, FrameTimes: img.frameTimes}
+	res.PerProcTime = append(res.PerProcTime, mgr.ep.Clock.Now(), img.ep.Clock.Now())
+	res.MsgsSent = mgr.ep.Stats.MsgsSent + img.ep.Stats.MsgsSent
+	res.BytesSent = mgr.ep.Stats.BytesSent + img.ep.Stats.BytesSent
+	ghosts := 0
+	for _, c := range calcs {
+		res.PerProcTime = append(res.PerProcTime, c.ep.Clock.Now())
+		res.MsgsSent += c.ep.Stats.MsgsSent
+		res.BytesSent += c.ep.Stats.BytesSent
+		ghosts += c.ghostsSent
+		load := 0
+		for _, set := range c.sets {
+			load += len(set)
+		}
+		res.CalcLoads = append(res.CalcLoads, load)
+	}
+	// For the baseline, "exchanged" is the ghost broadcast volume — the
+	// traffic the model's locality avoids.
+	res.ExchangedParticles = int(float64(ghosts) * scn.Ratio)
+	res.ExchangedBytes = int(float64(ghosts*particle.WireSize) * scn.Ratio)
+	for _, t := range res.PerProcTime {
+		if t > res.Time {
+			res.Time = t
+		}
+	}
+	if scn.CollectParticles {
+		res.FinalParticles = make([][]particle.Particle, len(scn.Systems))
+		for si := range scn.Systems {
+			var all []particle.Particle
+			for _, c := range calcs {
+				all = append(all, c.sets[si]...)
+			}
+			sortParticles(all)
+			res.FinalParticles[si] = all
+		}
+	}
+	return res, nil
+}
+
+// simsManager creates particles and deals them round-robin.
+type simsManager struct {
+	scn   *Scenario
+	ep    *transport.Endpoint
+	rate  float64
+	nCalc int
+}
+
+func (m *simsManager) run() error {
+	scn := m.scn
+	ctxs := make([]*actions.Context, len(scn.Systems))
+	for i := range ctxs {
+		ctxs[i] = &actions.Context{RNG: geom.NewRNG(scn.Systems[i].Seed), DT: scn.DT}
+	}
+	for frame := 0; frame < scn.Frames; frame++ {
+		for si := range scn.Systems {
+			for _, a := range scn.Systems[si].Actions {
+				ca, ok := a.(actions.CreateAction)
+				if !ok {
+					continue
+				}
+				ps := ca.Generate(ctxs[si])
+				m.ep.Clock.AdvanceWork(a.Cost()*float64(len(ps))*scn.Ratio, m.rate)
+				groups := make([][]particle.Particle, m.nCalc)
+				for i := range ps {
+					groups[i%m.nCalc] = append(groups[i%m.nCalc], ps[i])
+				}
+				for c := 0; c < m.nCalc; c++ {
+					payload := particle.EncodeBatch(groups[c])
+					m.ep.SendSized(rankCalc0+c, transport.TagParticles, payload,
+						billed(len(payload), scn.Ratio))
+				}
+			}
+		}
+		if !scn.PipelineFrames {
+			m.ep.Recv(rankImageGen, transport.TagFrameDone)
+		}
+	}
+	return nil
+}
+
+// simsCalc holds plain per-system particle slices — no domains, no
+// sub-domain bins.
+type simsCalc struct {
+	scn   *Scenario
+	idx   int
+	ep    *transport.Endpoint
+	rate  float64
+	nCalc int
+	sets  [][]particle.Particle
+
+	ghostsSent int
+}
+
+func (c *simsCalc) run() error {
+	scn := c.scn
+	ctxs := make([]*actions.Context, len(scn.Systems))
+	for i := range ctxs {
+		ctxs[i] = &actions.Context{
+			RNG: geom.NewRNG(scn.Systems[i].Seed ^ uint64(rankCalc0+c.idx)<<32),
+			DT:  scn.DT,
+		}
+	}
+	// A throwaway store over all space backs the store actions.
+	lo, hi := scn.SpaceInterval()
+
+	for frame := 0; frame < scn.Frames; frame++ {
+		for si := range scn.Systems {
+			sys := &scn.Systems[si]
+			for _, a := range sys.Actions {
+				switch act := a.(type) {
+				case actions.CreateAction:
+					msg := c.ep.Recv(rankManager, transport.TagParticles)
+					ps, err := particle.DecodeBatch(msg.Payload)
+					if err != nil {
+						return err
+					}
+					c.sets[si] = append(c.sets[si], ps...)
+				case *actions.CollideParticles:
+					ghosts, err := c.broadcastGhosts(si)
+					if err != nil {
+						return err
+					}
+					st := particle.NewStore(scn.Axis, lo, hi, 1)
+					st.AddSlice(c.sets[si])
+					w := act.ApplyWithGhosts(ctxs[si], st, ghosts) * scn.Ratio
+					c.ep.Clock.AdvanceWork(w, c.rate)
+					c.sets[si] = st.All()
+				case actions.ParticleAction:
+					for i := range c.sets[si] {
+						act.Apply(ctxs[si], &c.sets[si][i])
+					}
+					c.ep.Clock.AdvanceWork(a.Cost()*float64(len(c.sets[si]))*scn.Ratio, c.rate)
+				default:
+					return fmt.Errorf("core: sims baseline cannot run action %q", a.Name())
+				}
+			}
+			for _, pa := range scn.scriptedFor(frame, si) {
+				for i := range c.sets[si] {
+					pa.Apply(ctxs[si], &c.sets[si][i])
+				}
+				c.ep.Clock.AdvanceWork(pa.Cost()*float64(len(c.sets[si]))*scn.Ratio, c.rate)
+			}
+			// Compact the dead.
+			kept := c.sets[si][:0]
+			for _, p := range c.sets[si] {
+				if !p.Dead {
+					kept = append(kept, p)
+				}
+			}
+			c.sets[si] = kept
+
+			// Render send, exactly as the model's calculators do.
+			payload := encodeRenderBatch(c.sets[si])
+			bill := 4 + int(float64(len(c.sets[si])*scn.Render.BytesPerParticle)*scn.Ratio)
+			if bill < len(payload) {
+				bill = len(payload)
+			}
+			c.ep.SendSized(rankImageGen, transport.TagRenderBatch, payload, bill)
+		}
+		if !scn.PipelineFrames {
+			c.ep.Recv(rankImageGen, transport.TagFrameDone)
+		}
+	}
+	return nil
+}
+
+// broadcastGhosts performs the all-to-all replication the Sims layout
+// needs before any inter-particle test: every calculator ships its full
+// set to every other.
+func (c *simsCalc) broadcastGhosts(si int) ([]particle.Particle, error) {
+	payload := particle.EncodeBatch(c.sets[si])
+	for p := 0; p < c.nCalc; p++ {
+		if p == c.idx {
+			continue
+		}
+		c.ghostsSent += len(c.sets[si])
+		c.ep.SendSized(rankCalc0+p, transport.TagParticles, payload,
+			billed(len(payload), c.scn.Ratio))
+	}
+	var ghosts []particle.Particle
+	for p := 0; p < c.nCalc; p++ {
+		if p == c.idx {
+			continue
+		}
+		msg := c.ep.Recv(rankCalc0+p, transport.TagParticles)
+		ps, err := particle.DecodeBatch(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		ghosts = append(ghosts, ps...)
+	}
+	return ghosts, nil
+}

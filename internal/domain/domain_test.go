@@ -1,0 +1,194 @@
+package domain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pscluster/internal/geom"
+)
+
+func TestFigure1InitialDomains(t *testing.T) {
+	// Figure 1 of the paper: space [-10, 10], four calculators, equal
+	// slices with edges -10, -5, 0, 5, 10.
+	tab, err := NewEqual(geom.AxisX, -10, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-10, -5, 0, 5, 10}
+	got := tab.Edges()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("edges = %v, want %v", got, want)
+		}
+	}
+	// P1..P4 own the slices left to right.
+	cases := []struct {
+		x    float64
+		want int
+	}{{-7, 0}, {-5, 1}, {-2, 1}, {0, 2}, {3, 2}, {5, 3}, {9, 3}}
+	for _, c := range cases {
+		if got := tab.Owner(c.x); got != c.want {
+			t.Errorf("Owner(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNewEqualErrors(t *testing.T) {
+	if _, err := NewEqual(geom.AxisX, 0, 10, 0); err == nil {
+		t.Error("zero domains accepted")
+	}
+	if _, err := NewEqual(geom.AxisX, 5, 5, 2); err == nil {
+		t.Error("empty space accepted")
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	tab, err := FromEdges(geom.AxisY, []float64{0, 1, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.N() != 3 {
+		t.Errorf("N = %d", tab.N())
+	}
+	if _, err := FromEdges(geom.AxisY, []float64{0, 2, 1}); err == nil {
+		t.Error("non-monotonic edges accepted")
+	}
+	if _, err := FromEdges(geom.AxisY, []float64{0}); err == nil {
+		t.Error("single edge accepted")
+	}
+}
+
+func TestOwnerClampsOutside(t *testing.T) {
+	tab, _ := NewEqual(geom.AxisX, 0, 100, 5)
+	if tab.Owner(-50) != 0 {
+		t.Error("left exterior should belong to domain 0")
+	}
+	if tab.Owner(1e9) != 4 {
+		t.Error("right exterior should belong to last domain")
+	}
+	if tab.Owner(100) != 4 { // exactly the top edge
+		t.Error("top edge should belong to last domain")
+	}
+}
+
+func TestOwnerSkipsZeroWidthDomains(t *testing.T) {
+	// Domain 1 fully donated: edges 0,10,10,30.
+	tab, err := FromEdges(geom.AxisX, []float64{0, 10, 10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Owner(10); got != 2 {
+		t.Errorf("Owner(10) = %d, want 2 (zero-width domain 1 owns nothing)", got)
+	}
+	if got := tab.Owner(5); got != 0 {
+		t.Errorf("Owner(5) = %d, want 0", got)
+	}
+}
+
+func TestOwnerHalfOpenIntervals(t *testing.T) {
+	tab, _ := NewEqual(geom.AxisX, 0, 10, 2)
+	if got := tab.Owner(5); got != 1 {
+		t.Errorf("Owner(5) = %d; boundary coordinate belongs to the right domain", got)
+	}
+	if got := tab.Owner(4.999999); got != 0 {
+		t.Errorf("Owner(4.999999) = %d", got)
+	}
+}
+
+// Property: every in-space coordinate is owned by a domain whose bounds
+// contain it (or by the adjacent domain at a collapsed edge).
+func TestOwnerConsistentWithBounds(t *testing.T) {
+	tab, _ := NewEqual(geom.AxisX, -40, 40, 7)
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		c := math.Mod(raw, 40)
+		o := tab.Owner(c)
+		lo, hi := tab.Bounds(o)
+		return c >= lo && (c < hi || (o == tab.N()-1 && c <= hi))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetBoundary(t *testing.T) {
+	tab, _ := NewEqual(geom.AxisX, 0, 100, 4) // edges 0,25,50,75,100
+	if err := tab.SetBoundary(2, 60); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := tab.Bounds(1)
+	if lo != 25 || hi != 60 {
+		t.Errorf("domain 1 = [%g, %g)", lo, hi)
+	}
+	lo, hi = tab.Bounds(2)
+	if lo != 60 || hi != 75 {
+		t.Errorf("domain 2 = [%g, %g)", lo, hi)
+	}
+}
+
+func TestSetBoundaryClamps(t *testing.T) {
+	tab, _ := NewEqual(geom.AxisX, 0, 100, 4)
+	if err := tab.SetBoundary(2, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, hi := tab.Bounds(1); hi != 75 { // clamped to edges[3]
+		t.Errorf("boundary clamped to %g, want 75", hi)
+	}
+	if err := tab.SetBoundary(2, -1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, hi := tab.Bounds(1); hi != 25 { // clamped to edges[1]
+		t.Errorf("boundary clamped to %g, want 25", hi)
+	}
+}
+
+func TestSetBoundaryRangeErrors(t *testing.T) {
+	tab, _ := NewEqual(geom.AxisX, 0, 100, 4)
+	if err := tab.SetBoundary(0, 5); err == nil {
+		t.Error("moving the outer edge accepted")
+	}
+	if err := tab.SetBoundary(4, 5); err == nil {
+		t.Error("moving the outer edge accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tab, _ := NewEqual(geom.AxisX, 0, 100, 4)
+	c := tab.Clone()
+	if err := c.SetBoundary(1, 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, hi := tab.Bounds(0); hi != 25 {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestOwnerOfUsesAxis(t *testing.T) {
+	tab, _ := NewEqual(geom.AxisY, 0, 10, 2)
+	if got := tab.OwnerOf(geom.V(100, 2, -100)); got != 0 {
+		t.Errorf("OwnerOf = %d, want 0 (y=2 in lower half)", got)
+	}
+	if got := tab.OwnerOf(geom.V(-100, 8, 100)); got != 1 {
+		t.Errorf("OwnerOf = %d, want 1", got)
+	}
+}
+
+func TestStringRendersEdges(t *testing.T) {
+	tab, _ := NewEqual(geom.AxisX, -10, 10, 4)
+	want := "[-10 | -5 | 0 | 5 | 10] along X"
+	if got := tab.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestWidth(t *testing.T) {
+	tab, _ := NewEqual(geom.AxisX, 0, 100, 4)
+	for i := 0; i < 4; i++ {
+		if tab.Width(i) != 25 {
+			t.Errorf("Width(%d) = %g", i, tab.Width(i))
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package effects provides ready-made particle systems in the spirit of
+// the demo effects that shipped with the McAllister Particle System API
+// the paper's library was rebuilt from: smoke, fire, sparks, a
+// waterfall, snowfall and a fountain. Each constructor returns a
+// core.System whose action list follows Algorithm 1's shape (create →
+// forces → collisions → kill → move); callers compose them into
+// scenarios and tune the returned actions if needed.
+package effects
+
+import (
+	"pscluster/internal/actions"
+	"pscluster/internal/core"
+	"pscluster/internal/geom"
+)
+
+// Config scales an effect.
+type Config struct {
+	// Rate is the particles created per frame.
+	Rate int
+	// Seed feeds the system's deterministic stream.
+	Seed uint64
+	// DT is the frame time step the lifetime constants assume.
+	DT float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rate == 0 {
+		c.Rate = 500
+	}
+	if c.DT == 0 {
+		c.DT = 1.0 / 30
+	}
+	return c
+}
+
+// Smoke rises from origin, spreads by random acceleration, fades out.
+func Smoke(origin geom.Vec3, cfg Config) core.System {
+	cfg = cfg.withDefaults()
+	return core.System{
+		Name: "smoke",
+		Seed: cfg.Seed,
+		Actions: []actions.Action{
+			&actions.Source{
+				Rate: cfg.Rate,
+				Pos: geom.DiscDomain{Center: origin,
+					Normal: geom.V(0, 1, 0), OuterR: 1.5},
+				Vel: geom.ConeDomain{Apex: origin, Base: origin.Add(geom.V(0, 6, 0)),
+					Radius: 1.5},
+				Color: geom.PointDomain{P: geom.V(0.45, 0.45, 0.5)},
+				Size:  0.8, Alpha: 0.35, AgeJitter: 0.4,
+			},
+			&actions.RandomAccel{Domain: geom.SphereDomain{OuterR: 2.5}},
+			&actions.Gravity{G: geom.V(0, 1.2, 0)}, // buoyancy
+			&actions.Damping{Coeff: 0.4},
+			&actions.Grow{Rate: 0.5},
+			&actions.Fade{Rate: 0.12},
+			&actions.KillOld{MaxAge: 8},
+			&actions.Move{},
+		},
+	}
+}
+
+// Fire licks upward from a basin, turns from yellow to red as it cools,
+// and dies quickly.
+func Fire(origin geom.Vec3, cfg Config) core.System {
+	cfg = cfg.withDefaults()
+	return core.System{
+		Name: "fire",
+		Seed: cfg.Seed,
+		Actions: []actions.Action{
+			&actions.Source{
+				Rate: cfg.Rate,
+				Pos: geom.DiscDomain{Center: origin,
+					Normal: geom.V(0, 1, 0), OuterR: 1.2},
+				Vel: geom.ConeDomain{Apex: origin, Base: origin.Add(geom.V(0, 8, 0)),
+					Radius: 0.8},
+				Color: geom.PointDomain{P: geom.V(1, 0.9, 0.3)},
+				Size:  0.5, Alpha: 0.9, AgeJitter: 0.2,
+			},
+			&actions.TargetColor{Color: geom.V(0.9, 0.15, 0.05), Rate: 2.5},
+			&actions.RandomAccel{Domain: geom.SphereDomain{OuterR: 4}},
+			&actions.Grow{Rate: -0.25},
+			&actions.Fade{Rate: 0.9},
+			&actions.KillOld{MaxAge: 1.2},
+			&actions.Move{},
+		},
+	}
+}
+
+// Sparks burst from a point, arc under gravity, bounce once or twice on
+// the ground and burn out.
+func Sparks(origin geom.Vec3, cfg Config) core.System {
+	cfg = cfg.withDefaults()
+	return core.System{
+		Name: "sparks",
+		Seed: cfg.Seed,
+		Actions: []actions.Action{
+			&actions.Source{
+				Rate:  cfg.Rate,
+				Pos:   geom.PointDomain{P: origin},
+				Vel:   geom.SphereDomain{InnerR: 8, OuterR: 14},
+				Color: geom.PointDomain{P: geom.V(1, 0.8, 0.4)},
+				Size:  0.15, Alpha: 1,
+			},
+			&actions.Gravity{G: geom.V(0, -9.8, 0)},
+			&actions.Bounce{Plane: geom.NewPlane(geom.V(0, 0, 0), geom.V(0, 1, 0)),
+				Elasticity: 0.45, Friction: 0.3},
+			&actions.Fade{Rate: 0.55},
+			&actions.KillOld{MaxAge: 2},
+			&actions.Move{},
+		},
+	}
+}
+
+// Waterfall pours over an edge, falls, splashes off a rock shelf and
+// drains below the pool level.
+func Waterfall(edge geom.Vec3, width float64, cfg Config) core.System {
+	cfg = cfg.withDefaults()
+	half := width / 2
+	return core.System{
+		Name: "waterfall",
+		Seed: cfg.Seed,
+		Actions: []actions.Action{
+			&actions.Source{
+				Rate: cfg.Rate,
+				Pos: geom.LineDomain{A: edge.Add(geom.V(-half, 0, 0)),
+					B: edge.Add(geom.V(half, 0, 0))},
+				Vel: geom.BoxDomain{B: geom.Box(
+					geom.V(-0.4, -1, 2.0), geom.V(0.4, 0, 3.5))},
+				Color: geom.PointDomain{P: geom.V(0.55, 0.75, 0.95)},
+				Size:  0.25, Alpha: 0.5,
+			},
+			&actions.Gravity{G: geom.V(0, -9.8, 0)},
+			&actions.BounceDisc{
+				Disc: geom.DiscDomain{Center: geom.V(edge.X, 2, edge.Z+4),
+					Normal: geom.V(0, 1, 0), OuterR: 3},
+				Elasticity: 0.3, Friction: 0.4,
+			},
+			&actions.SinkBelow{Axis: geom.AxisY, Threshold: -0.5},
+			&actions.KillOld{MaxAge: 6},
+			&actions.Move{},
+		},
+	}
+}
+
+// Snowfall drifts down over a rectangular region — the paper's first
+// experiment as a reusable effect.
+func Snowfall(region geom.AABB, cfg Config) core.System {
+	cfg = cfg.withDefaults()
+	top := region.Max.Y
+	return core.System{
+		Name: "snowfall",
+		Seed: cfg.Seed,
+		Actions: []actions.Action{
+			&actions.Source{
+				Rate: cfg.Rate,
+				Pos: geom.BoxDomain{B: geom.Box(
+					geom.V(region.Min.X, top-1, region.Min.Z),
+					geom.V(region.Max.X, top, region.Max.Z))},
+				Vel: geom.BoxDomain{B: geom.Box(
+					geom.V(-0.6, -2.5, -0.6), geom.V(0.6, -1.2, 0.6))},
+				Color: geom.PointDomain{P: geom.V(0.95, 0.95, 1)},
+				Size:  0.2, Alpha: 0.8,
+			},
+			&actions.RandomAccel{Domain: geom.SphereDomain{OuterR: 0.8}},
+			&actions.SinkBelow{Axis: geom.AxisY, Threshold: region.Min.Y},
+			&actions.KillOld{MaxAge: 30},
+			&actions.Move{},
+		},
+	}
+}
+
+// FountainJet sprays upward and outward from a nozzle — the paper's
+// second experiment as a reusable effect.
+func FountainJet(nozzle geom.Vec3, cfg Config) core.System {
+	cfg = cfg.withDefaults()
+	return core.System{
+		Name: "fountain-jet",
+		Seed: cfg.Seed,
+		Actions: []actions.Action{
+			&actions.Source{
+				Rate: cfg.Rate,
+				Pos: geom.DiscDomain{Center: nozzle,
+					Normal: geom.V(0, 1, 0), OuterR: 0.4},
+				Vel: geom.BoxDomain{B: geom.Box(
+					geom.V(-2.5, 9, -2.5), geom.V(2.5, 13, 2.5))},
+				Color: geom.PointDomain{P: geom.V(0.5, 0.7, 1)},
+				Size:  0.2, Alpha: 0.6,
+			},
+			&actions.Gravity{G: geom.V(0, -9.8, 0)},
+			&actions.Bounce{Plane: geom.NewPlane(geom.V(nozzle.X, 0, nozzle.Z), geom.V(0, 1, 0)),
+				Elasticity: 0.2, Friction: 0.5},
+			&actions.SinkBelow{Axis: geom.AxisY, Threshold: -0.5},
+			&actions.KillOld{MaxAge: 3},
+			&actions.Move{},
+		},
+	}
+}

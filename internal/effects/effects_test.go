@@ -1,0 +1,219 @@
+package effects
+
+import (
+	"reflect"
+	"testing"
+
+	"pscluster/internal/cluster"
+	"pscluster/internal/core"
+	"pscluster/internal/geom"
+	"pscluster/internal/particle"
+	"pscluster/internal/scenario"
+)
+
+// runEffect animates one effect sequentially and returns the survivors.
+func runEffect(t *testing.T, sys core.System, frames int) []particle.Particle {
+	t.Helper()
+	scn := core.Scenario{
+		Name:             "effect-" + sys.Name,
+		Systems:          []core.System{sys},
+		Axis:             geom.AxisX,
+		Mode:             core.InfiniteSpace,
+		Frames:           frames,
+		DT:               1.0 / 30,
+		ExchangeScanWork: 0.5,
+		CollectParticles: true,
+	}
+	res, err := core.RunSequential(scn, cluster.TypeB, cluster.GCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.FinalParticles[0]
+}
+
+func meanY(ps []particle.Particle) float64 {
+	var sum float64
+	for _, p := range ps {
+		sum += p.Pos.Y
+	}
+	return sum / float64(len(ps))
+}
+
+func TestSmokeRises(t *testing.T) {
+	ps := runEffect(t, Smoke(geom.V(0, 0, 0), Config{Rate: 200, Seed: 1}), 45)
+	if len(ps) == 0 {
+		t.Fatal("no smoke")
+	}
+	if m := meanY(ps); m < 1 {
+		t.Errorf("smoke mean height %.2f, should rise", m)
+	}
+	// Smoke fades: older particles must be more transparent.
+	var youngA, oldA, youngN, oldN float64
+	for _, p := range ps {
+		if p.Age < 0.3 {
+			youngA += p.Alpha
+			youngN++
+		}
+		if p.Age > 1.0 {
+			oldA += p.Alpha
+			oldN++
+		}
+	}
+	if youngN > 0 && oldN > 0 && oldA/oldN >= youngA/youngN {
+		t.Error("old smoke should be more transparent than fresh smoke")
+	}
+}
+
+func TestFireBurnsOutQuickly(t *testing.T) {
+	ps := runEffect(t, Fire(geom.V(0, 0, 0), Config{Rate: 200, Seed: 2}), 60)
+	for _, p := range ps {
+		if p.Age > 1.3 {
+			t.Fatalf("fire particle survived to age %.2f", p.Age)
+		}
+	}
+	// Older flames must be redder (green channel decays toward 0.15).
+	for _, p := range ps {
+		if p.Age > 0.8 && p.Color.Y > 0.6 {
+			t.Fatalf("old flame still yellow: %v at age %.2f", p.Color, p.Age)
+		}
+	}
+}
+
+func TestSparksFallAndStayAboveGround(t *testing.T) {
+	ps := runEffect(t, Sparks(geom.V(0, 5, 0), Config{Rate: 150, Seed: 3}), 40)
+	if len(ps) == 0 {
+		t.Fatal("no sparks")
+	}
+	below := 0
+	for _, p := range ps {
+		if p.Pos.Y < -1.5 {
+			below++
+		}
+	}
+	// The ground bounce keeps almost everything above the floor (a few
+	// fast particles may tunnel in one frame).
+	if float64(below) > 0.05*float64(len(ps)) {
+		t.Errorf("%d of %d sparks fell through the floor", below, len(ps))
+	}
+}
+
+func TestWaterfallDrains(t *testing.T) {
+	ps := runEffect(t, Waterfall(geom.V(0, 12, 0), 6, Config{Rate: 200, Seed: 4}), 60)
+	// The sink marks particles dead before Move runs, so a survivor can
+	// be at most one frame's fall below the threshold.
+	const oneFrameFall = 16.0 / 30
+	for _, p := range ps {
+		if p.Pos.Y < -0.5-oneFrameFall {
+			t.Fatalf("water below the drain threshold: %v", p.Pos)
+		}
+	}
+}
+
+func TestSnowfallStaysInRegionColumn(t *testing.T) {
+	region := geom.Box(geom.V(-20, 0, -20), geom.V(20, 30, 20))
+	ps := runEffect(t, Snowfall(region, Config{Rate: 200, Seed: 5}), 40)
+	if len(ps) == 0 {
+		t.Fatal("no snow")
+	}
+	for _, p := range ps {
+		if p.Pos.X < -25 || p.Pos.X > 25 {
+			t.Fatalf("snow drifted far out of its column: %v", p.Pos)
+		}
+		if p.Pos.Y < -0.5 {
+			t.Fatalf("snow below the ground sink: %v", p.Pos)
+		}
+	}
+}
+
+func TestFountainJetArcs(t *testing.T) {
+	ps := runEffect(t, FountainJet(geom.V(0, 0, 0), Config{Rate: 200, Seed: 6}), 40)
+	if len(ps) == 0 {
+		t.Fatal("no water")
+	}
+	// In a steady jet some particles rise while others fall.
+	up, down := 0, 0
+	for _, p := range ps {
+		if p.Vel.Y > 0 {
+			up++
+		} else {
+			down++
+		}
+	}
+	if up == 0 || down == 0 {
+		t.Errorf("jet not arcing: %d rising, %d falling", up, down)
+	}
+}
+
+func TestEffectsCompose(t *testing.T) {
+	// A scene mixing four effects runs in parallel and matches the
+	// sequential engine.
+	scn := core.Scenario{
+		Name: "composed",
+		Systems: []core.System{
+			Smoke(geom.V(-30, 0, 0), Config{Rate: 100, Seed: 10}),
+			Fire(geom.V(-30, 0, 0), Config{Rate: 100, Seed: 11}),
+			Sparks(geom.V(30, 3, 0), Config{Rate: 100, Seed: 12}),
+			FountainJet(geom.V(0, 0, 0), Config{Rate: 100, Seed: 13}),
+		},
+		Axis:             geom.AxisX,
+		Space:            geom.Box(geom.V(-40, -2, -20), geom.V(40, 40, 20)),
+		Mode:             core.FiniteSpace,
+		Frames:           10,
+		DT:               1.0 / 30,
+		LB:               core.DynamicLB,
+		ExchangeScanWork: 0.5,
+		CollectParticles: true,
+	}
+	seq, err := core.RunSequential(scn, cluster.TypeB, cluster.GCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.New(cluster.Myrinet, cluster.GCC, cluster.NodeSpec{Type: cluster.TypeB, Count: 4})
+	par, err := core.RunParallel(scn, cl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range seq.FrameChecksums {
+		if seq.FrameChecksums[f] != par.FrameChecksums[f] {
+			t.Fatalf("frame %d differs", f)
+		}
+	}
+}
+
+func TestEffectsSerializeToJSON(t *testing.T) {
+	// Every effect must round-trip through the scenario codec.
+	scn := core.Scenario{
+		Name: "all-effects",
+		Systems: []core.System{
+			Smoke(geom.V(0, 0, 0), Config{}),
+			Fire(geom.V(0, 0, 0), Config{}),
+			Sparks(geom.V(0, 0, 0), Config{}),
+			Waterfall(geom.V(0, 10, 0), 4, Config{}),
+			Snowfall(geom.Box(geom.V(-5, 0, -5), geom.V(5, 10, 5)), Config{}),
+			FountainJet(geom.V(0, 0, 0), Config{}),
+		},
+		Axis: geom.AxisX, Mode: core.InfiniteSpace, Frames: 1, DT: 1.0 / 30,
+	}
+	data, err := scenario.Encode(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scenario.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scn, got) {
+		t.Error("effects scenario did not round-trip")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Rate == 0 || c.DT == 0 {
+		t.Error("defaults not applied")
+	}
+	c2 := Config{Rate: 7, DT: 0.5}.withDefaults()
+	if c2.Rate != 7 || c2.DT != 0.5 {
+		t.Error("explicit values overridden")
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"pscluster/internal/actions"
+	"pscluster/internal/cluster"
+	"pscluster/internal/core"
+	"pscluster/internal/stats"
+)
+
+// Ablations regenerates the design-choice comparisons of DESIGN.md §5
+// as one table: for each mechanism, the design as built vs the ablated
+// variant. Speed-up rows are measured against the relevant sequential
+// baseline; the schedule and baseline rows report virtual seconds
+// (lower is better) because they change communication structure, not
+// load balance.
+func Ablations(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		ID:      "A1",
+		Title:   "Design ablations (paper mechanisms vs ablated variants)",
+		Columns: []string{"as designed", "ablated"},
+		Notes: []string{
+			"rows 1-3: speed-up (higher is better); rows 4-5: virtual seconds (lower is better)",
+			"row 4 ablation = batched multi-system schedule (§3.3); row 5 = Karl Sims CM-2 baseline (§2)",
+		},
+	}
+
+	clB8 := homogeneousB(cluster.Myrinet, cluster.GCC, 8)
+	seqB, err := core.RunSequential(Snow(cfg, core.FiniteSpace, core.StaticLB),
+		cluster.TypeB, cluster.GCC)
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. Parity alternation vs fixed-order pairing (IS snow, where
+	// balancing runs constantly).
+	isDLB := func(mutate func(*core.Scenario)) (float64, error) {
+		scn := Snow(cfg, core.InfiniteSpace, core.DynamicLB)
+		if mutate != nil {
+			mutate(&scn)
+		}
+		return runSpeedup(scn, clB8, 8, seqB)
+	}
+	alt, err := isDLB(nil)
+	if err != nil {
+		return nil, err
+	}
+	fixed, err := isDLB(func(s *core.Scenario) { s.NaivePairing = true })
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("parity alternation vs fixed-order pairing", alt, fixed)
+
+	// 2. Proportional-to-power vs equal split (heterogeneous cluster).
+	clAB := cluster.New(cluster.Myrinet, cluster.GCC,
+		cluster.NodeSpec{Type: cluster.TypeB, Count: 4},
+		cluster.NodeSpec{Type: cluster.TypeA, Count: 4})
+	prop, err := runSpeedup(Snow(cfg, core.FiniteSpace, core.DynamicLB), clAB, 8, seqB)
+	if err != nil {
+		return nil, err
+	}
+	eqScn := Snow(cfg, core.FiniteSpace, core.DynamicLB)
+	eqScn.IgnorePower = true
+	equal, err := runSpeedup(eqScn, clAB, 8, seqB)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("proportional-to-power vs equal split", prop, equal)
+
+	// 3. Centralized manager vs decentralized diffusion (IS snow).
+	central := alt
+	deScn := Snow(cfg, core.InfiniteSpace, core.DecentralizedLB)
+	decentral, err := runSpeedup(deScn, clB8, 8, seqB)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("centralized manager vs decentralized LB", central, decentral)
+
+	// 4. Per-system vs batched schedule: virtual time over Fast-Ethernet.
+	clFE := homogeneousB(cluster.FastEthernet, cluster.GCC, 8)
+	perSys, err := core.RunParallel(Snow(cfg, core.FiniteSpace, core.DynamicLB), clFE, 8)
+	if err != nil {
+		return nil, err
+	}
+	batchedScn := Snow(cfg, core.FiniteSpace, core.DynamicLB)
+	batchedScn.Schedule = core.BatchedSchedule
+	batched, err := core.RunParallel(batchedScn, clFE, 8)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("per-system vs batched schedule (vtime, s)", perSys.Time, batched.Time)
+
+	// 5. The model vs the Sims baseline under collisions (Fast-Ethernet).
+	collide := func() core.Scenario {
+		scn := Snow(cfg, core.FiniteSpace, core.StaticLB)
+		for i := range scn.Systems {
+			acts := scn.Systems[i].Actions
+			withCollide := append([]actions.Action{}, acts[:len(acts)-1]...)
+			withCollide = append(withCollide,
+				&actions.CollideParticles{Radius: 1.5, Elasticity: 0.8},
+				acts[len(acts)-1])
+			scn.Systems[i].Actions = withCollide
+		}
+		return scn
+	}
+	model, err := core.RunParallel(collide(), clFE, 8)
+	if err != nil {
+		return nil, err
+	}
+	sims, err := core.RunSimsBaseline(collide(), clFE, 8)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("domain model vs Sims baseline (vtime, s)", model.Time, sims.Time)
+
+	return t, nil
+}

@@ -1,0 +1,57 @@
+// Package experiments defines the paper's two workloads (snow and
+// fountain), the cluster configurations of its evaluation, and the
+// harness that regenerates every table and text-reported result.
+package experiments
+
+// Config scales an experiment run. The paper simulates 8 systems of
+// 400 000 particles each; we run a reduced stored population with the
+// representation ratio R = PaperParticlesPerSystem / ParticlesPerSystem
+// inflating virtual compute and communication costs back to full scale
+// (see DESIGN.md, "Scale substitution").
+type Config struct {
+	// ParticlesPerSystem is the stored steady-state population of one
+	// particle system.
+	ParticlesPerSystem int
+	// Systems is the number of particle systems (the paper uses 8).
+	Systems int
+	// Frames is the number of animation frames per run.
+	Frames int
+	// DT is the frame time step in seconds.
+	DT float64
+}
+
+// PaperParticlesPerSystem is the population the paper simulates per
+// system (§5.1, §5.2).
+const PaperParticlesPerSystem = 400000
+
+// LifetimeFrames is how many frames a particle lives before KillOld
+// claims it; the source rate is population/LifetimeFrames so the system
+// holds its steady-state population.
+const LifetimeFrames = 10
+
+// Small is the configuration the test-suite runs: fast, but large
+// enough for the load balancer to act.
+var Small = Config{ParticlesPerSystem: 1500, Systems: 8, Frames: 12, DT: 0.1}
+
+// PaperScale is the configuration psbench uses by default: enough
+// particles and frames for steady-state behaviour of every mechanism.
+var PaperScale = Config{ParticlesPerSystem: 8000, Systems: 8, Frames: 20, DT: 0.1}
+
+// Ratio returns the representation ratio R for this configuration.
+func (c Config) Ratio() float64 {
+	return float64(PaperParticlesPerSystem) / float64(c.ParticlesPerSystem)
+}
+
+// sourceRate returns the per-frame creation rate that sustains the
+// steady-state population.
+func (c Config) sourceRate() int { return c.ParticlesPerSystem / LifetimeFrames }
+
+// lbMinBatch scales the balancer's minimum transfer with the stored
+// population so reduced runs behave like full-scale ones.
+func (c Config) lbMinBatch() int {
+	b := c.ParticlesPerSystem / 250
+	if b < 4 {
+		b = 4
+	}
+	return b
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pscluster/internal/core"
+)
+
+// tiny is the cheapest configuration that still exercises balancing —
+// used to keep the shape tests fast.
+var tiny = Config{ParticlesPerSystem: 900, Systems: 4, Frames: 10, DT: 0.1}
+
+func TestConfigRatio(t *testing.T) {
+	if r := Small.Ratio(); r != float64(PaperParticlesPerSystem)/float64(Small.ParticlesPerSystem) {
+		t.Errorf("ratio = %v", r)
+	}
+	if Small.sourceRate() != Small.ParticlesPerSystem/LifetimeFrames {
+		t.Error("source rate wrong")
+	}
+	if Small.lbMinBatch() < 4 {
+		t.Error("min batch below floor")
+	}
+}
+
+func TestWorkloadsValidate(t *testing.T) {
+	for _, name := range []string{"snow", "fountain"} {
+		for _, mode := range []core.SpaceMode{core.FiniteSpace, core.InfiniteSpace} {
+			scn := workload(name, tiny, mode, core.DynamicLB)
+			if err := scn.Validate(); err != nil {
+				t.Errorf("%s/%v: %v", name, mode, err)
+			}
+			if len(scn.Systems) != tiny.Systems {
+				t.Errorf("%s: %d systems", name, len(scn.Systems))
+			}
+		}
+	}
+}
+
+func TestSnowEmittersAreCentered(t *testing.T) {
+	// The IS pathology depends on the snowfall spanning the finite space
+	// symmetrically around x = 0.
+	scn := Snow(tiny, core.FiniteSpace, core.StaticLB)
+	lo, hi := scn.SpaceInterval()
+	if lo != -hi {
+		t.Errorf("snow space [%g, %g] not symmetric", lo, hi)
+	}
+}
+
+func TestFountainNozzlesInsideCentralDomain(t *testing.T) {
+	// Every nozzle must fall inside (0, 125) so a single infinite-space
+	// domain owns all fountains for each paper process count.
+	scn := Fountain(tiny, core.InfiniteSpace, core.StaticLB)
+	space := scn.Space
+	if space.Min.X < 0 || space.Max.X > 125 {
+		t.Errorf("fountain finite space [%g, %g] escapes the IS central domain",
+			space.Min.X, space.Max.X)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tab, err := Table1(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 || len(tab.Columns) != 4 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	// Columns: 0 IS-SLB, 1 FS-SLB, 2 IS-DLB, 3 FS-DLB.
+	if !tab.ColumnIncreasing(1, 0.05) {
+		t.Error("FS-SLB should grow with process count")
+	}
+	if !tab.ColumnDominates(1, 0, 0) {
+		t.Error("FS-SLB should dominate IS-SLB")
+	}
+	if !tab.ColumnDominates(2, 0, 0.02) {
+		t.Error("IS-DLB should dominate IS-SLB")
+	}
+	// The infinite-space pathology: odd process counts collapse to one
+	// worker (rows 1, 3 are the 5 and 7 process rows).
+	for _, row := range []int{1, 3} {
+		if tab.Cell(row, 0) >= 1.2 {
+			t.Errorf("IS-SLB with odd procs = %.2f, expected the one-worker collapse",
+				tab.Cell(row, 0))
+		}
+	}
+	// Even counts use exactly two workers: roughly flat across rows 0, 2, 4.
+	base := tab.Cell(0, 0)
+	for _, row := range []int{2, 4} {
+		v := tab.Cell(row, 0)
+		if v < base*0.8 || v > base*1.25 {
+			t.Errorf("IS-SLB even rows not flat: %.2f vs %.2f", v, base)
+		}
+	}
+	// Best configuration is 16 processes under FS.
+	if tab.Cell(5, 1) < tab.Cell(4, 1) {
+		t.Error("16 processes should beat 8 under FS-SLB")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tab, err := Table3(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fountain's headline: dynamic balancing wins everywhere.
+	if !tab.ColumnDominates(2, 0, 0) {
+		t.Error("IS-DLB should dominate IS-SLB")
+	}
+	if !tab.ColumnDominates(3, 1, 0) {
+		t.Error("FS-DLB should dominate FS-SLB")
+	}
+	// IS-SLB is flat near 1 (single central domain owns the fountains).
+	for r := 0; r < len(tab.Rows); r++ {
+		if tab.Cell(r, 0) > 1.3 {
+			t.Errorf("fountain IS-SLB row %d = %.2f, expected ~1 worker", r, tab.Cell(r, 0))
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tab, err := Table2(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for r, row := range tab.Rows {
+		if row.Values[0] <= 0 {
+			t.Errorf("row %d speedup %.2f", r, row.Values[0])
+		}
+	}
+	// Doubling the node count at 16 processes (row 1 -> row 2) helps.
+	if tab.Cell(2, 0) <= tab.Cell(1, 0) {
+		t.Error("8B+8A/16P should beat 4B+4A/16P")
+	}
+	// Adding B processes to the B+C mix helps (row 4 -> row 5).
+	if tab.Cell(5, 0) <= tab.Cell(4, 0)*0.95 {
+		t.Error("2B(4P)+2C should beat 2B(2P)+2C")
+	}
+}
+
+func TestTextTablesRun(t *testing.T) {
+	x1, err := TextX1(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x1.Cell(0, 0) <= 0 || x1.Cell(0, 1) <= 0 {
+		t.Error("X1 has non-positive speedups")
+	}
+	x2, err := TextX2(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x2.Cell(1, 0) <= x2.Cell(0, 0)*0.9 {
+		t.Error("X2: 16 processes should be at least as good as 8")
+	}
+	x3, err := TextX3(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x3.Cell(0, 0) <= 1 {
+		t.Error("X3: sixteen nodes should beat sequential")
+	}
+	x4, err := TextX4(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's point: Fast-Ethernet fountain is barely profitable.
+	if x4.Cell(0, 0) > 2.5 {
+		t.Errorf("X4 = %.2f; Fast-Ethernet fountain should be barely profitable", x4.Cell(0, 0))
+	}
+}
+
+func TestExchangeVolumes(t *testing.T) {
+	tab, err := TextX5(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snowRate, fountainRate := tab.Cell(0, 0), tab.Cell(1, 0)
+	if snowRate <= 0 {
+		t.Fatal("snow exchanges nothing")
+	}
+	if fountainRate < 4*snowRate {
+		t.Errorf("fountain exchange (%.0f) should far exceed snow's (%.0f)",
+			fountainRate, snowRate)
+	}
+	// KB columns consistent with the 140-byte record.
+	kb := tab.Cell(0, 1)
+	expect := snowRate * 8 * 140 / 1024 // procs hard-coded to 8 in X5
+	if kb < expect*0.9 || kb > expect*1.1 {
+		t.Errorf("snow KB/frame = %.1f, want ~%.1f", kb, expect)
+	}
+}
+
+func TestTimeReductions(t *testing.T) {
+	tab, err := TextX6(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		v := tab.Cell(r, 0)
+		if v <= 0 || v >= 100 {
+			t.Errorf("row %d reduction %.1f%% out of range", r, v)
+		}
+	}
+	// Myrinet snow must cut more time than Fast-Ethernet snow.
+	if tab.Cell(0, 0) <= tab.Cell(1, 0) {
+		t.Error("Myrinet should beat Fast-Ethernet on snow")
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	tab, err := Ablations(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("%d ablation rows", len(tab.Rows))
+	}
+	// Proportional split must beat equal split on the heterogeneous mix.
+	if tab.Cell(1, 0) <= tab.Cell(1, 1)*0.98 {
+		t.Errorf("proportional %v should beat equal %v", tab.Cell(1, 0), tab.Cell(1, 1))
+	}
+	// Centralized balancing must beat the decentralized prototype on a
+	// concentrated load.
+	if tab.Cell(2, 0) <= tab.Cell(2, 1) {
+		t.Errorf("centralized %v should beat decentralized %v", tab.Cell(2, 0), tab.Cell(2, 1))
+	}
+	// The model must beat the Sims baseline under collisions on
+	// Fast-Ethernet (virtual time: lower is better).
+	if tab.Cell(4, 0) >= tab.Cell(4, 1) {
+		t.Errorf("model %vs should beat sims %vs", tab.Cell(4, 0), tab.Cell(4, 1))
+	}
+}
+
+func TestTablesCarryPaperValues(t *testing.T) {
+	tab, err := Table1(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Paper) != len(tab.Rows) {
+		t.Errorf("paper rows %d vs measured %d", len(tab.Paper), len(tab.Rows))
+	}
+	var b strings.Builder
+	if err := tab.Format(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "(6.47)") {
+		t.Error("formatted table missing the paper's 6.47 headline value")
+	}
+}

@@ -1,0 +1,357 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pscluster/internal/cluster"
+	"pscluster/internal/core"
+	"pscluster/internal/stats"
+)
+
+// nan marks cells the paper does not report.
+var nan = stats.NaN
+
+// homogeneousB returns the paper's 8×E800 sub-cluster on the given
+// network/compiler, sized to hold procs calculators.
+func homogeneousB(net cluster.Network, comp cluster.Compiler, procs int) *cluster.Cluster {
+	nodes := procs
+	if nodes > 8 {
+		nodes = 8
+	}
+	return cluster.New(net, comp, cluster.NodeSpec{Type: cluster.TypeB, Count: nodes})
+}
+
+// runSpeedup runs the scenario on the cluster and divides the baseline
+// time by the parallel time.
+func runSpeedup(scn core.Scenario, cl *cluster.Cluster, nCalc int, seq *core.Result) (float64, error) {
+	par, err := core.RunParallel(scn, cl, nCalc)
+	if err != nil {
+		return 0, err
+	}
+	return par.Speedup(seq), nil
+}
+
+// workload builds snow or fountain by name.
+func workload(name string, cfg Config, mode core.SpaceMode, lb core.LBMode) core.Scenario {
+	if name == "fountain" {
+		return Fountain(cfg, mode, lb)
+	}
+	return Snow(cfg, mode, lb)
+}
+
+// modeGridTable produces the Table 1 / Table 3 grid: rows of process
+// counts on the 8×B Myrinet/GCC cluster, columns IS-SLB, FS-SLB,
+// IS-DLB, FS-DLB. The baseline is the sequential run on one B node with
+// GCC, as in the paper.
+func modeGridTable(name string, cfg Config, id, title string, paper []stats.Row) (*stats.Table, error) {
+	seq, err := core.RunSequential(workload(name, cfg, core.FiniteSpace, core.StaticLB),
+		cluster.TypeB, cluster.GCC)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		ID: id, Title: title,
+		Columns: []string{"IS-SLB", "FS-SLB", "IS-DLB", "FS-DLB"},
+		Paper:   paper,
+	}
+	combos := []struct {
+		mode core.SpaceMode
+		lb   core.LBMode
+	}{
+		{core.InfiniteSpace, core.StaticLB},
+		{core.FiniteSpace, core.StaticLB},
+		{core.InfiniteSpace, core.DynamicLB},
+		{core.FiniteSpace, core.DynamicLB},
+	}
+	for _, procs := range []int{4, 5, 6, 7, 8, 16} {
+		cl := homogeneousB(cluster.Myrinet, cluster.GCC, procs)
+		vals := make([]float64, len(combos))
+		for ci, cb := range combos {
+			s, err := runSpeedup(workload(name, cfg, cb.mode, cb.lb), cl, procs, seq)
+			if err != nil {
+				return nil, err
+			}
+			vals[ci] = s
+		}
+		nodes := procs
+		if nodes > 8 {
+			nodes = 8
+		}
+		t.AddRow(fmt.Sprintf("%d*B / %d P.", nodes, procs), vals...)
+	}
+	return t, nil
+}
+
+// Table1 regenerates the paper's Table 1: snow on Myrinet + GCC.
+func Table1(cfg Config) (*stats.Table, error) {
+	paper := []stats.Row{
+		{Label: "4*B / 4 P.", Values: []float64{1.74, 1.74, 1.73, 1.75}},
+		{Label: "5*B / 5 P.", Values: []float64{0.82, 2.49, 2.9, 2.5}},
+		{Label: "6*B / 6 P.", Values: []float64{1.74, 3.12, 2.99, 3.11}},
+		{Label: "7*B / 7 P.", Values: []float64{0.92, 3.63, 3.15, 3.65}},
+		{Label: "8*B / 8 P.", Values: []float64{1.74, 4.14, 3.37, 4.14}},
+		{Label: "8*B / 16 P.", Values: []float64{1.73, 6.47, 3.75, 6.37}},
+	}
+	return modeGridTable("snow", cfg, "T1",
+		"Snow Simulation using Myrinet and GNU/GCC Compiler (speed-up vs 1*B seq)", paper)
+}
+
+// Table3 regenerates the paper's Table 3: fountain on Myrinet + GCC.
+func Table3(cfg Config) (*stats.Table, error) {
+	paper := []stats.Row{
+		{Label: "4*B / 4 P.", Values: []float64{0.98, 1.09, 1.49, 1.49}},
+		{Label: "5*B / 5 P.", Values: []float64{0.92, 1.19, 1.76, 1.76}},
+		{Label: "6*B / 6 P.", Values: []float64{0.98, 1.31, 2.02, 2.05}},
+		{Label: "7*B / 7 P.", Values: []float64{0.92, 1.54, 2.34, 2.36}},
+		{Label: "8*B / 8 P.", Values: []float64{0.98, 1.86, 2.66, 2.67}},
+		{Label: "8*B / 16 P.", Values: []float64{0.98, 2.66, 3.74, 3.82}},
+	}
+	return modeGridTable("fountain", cfg, "T3",
+		"Fountain Simulation using Myrinet and GNU/GCC Compiler (speed-up vs 1*B seq)", paper)
+}
+
+// hetRow describes one heterogeneous configuration of Table 2.
+type hetRow struct {
+	label string
+	spec  []cluster.NodeSpec
+	procs int
+	paper float64
+}
+
+// Table2 regenerates the paper's Table 2: snow on Fast-Ethernet + ICC
+// over heterogeneous node mixes, DLB + finite space, measured against
+// the sequential Itanium/ICC baseline.
+func Table2(cfg Config) (*stats.Table, error) {
+	seq, err := core.RunSequential(Snow(cfg, core.FiniteSpace, core.StaticLB),
+		cluster.TypeC, cluster.ICC)
+	if err != nil {
+		return nil, err
+	}
+	rows := []hetRow{
+		{"4*B (4 P.) + 4*A (4 P.) = 8 P.",
+			[]cluster.NodeSpec{{Type: cluster.TypeB, Count: 4}, {Type: cluster.TypeA, Count: 4}}, 8, 1.36},
+		{"4*B (8 P.) + 4*A (8 P.) = 16 P.",
+			[]cluster.NodeSpec{{Type: cluster.TypeB, Count: 4}, {Type: cluster.TypeA, Count: 4}}, 16, 1.5},
+		{"8*B (8 P.) + 8*A (8 P.) = 16 P.",
+			[]cluster.NodeSpec{{Type: cluster.TypeB, Count: 8}, {Type: cluster.TypeA, Count: 8}}, 16, 2.4},
+		{"8*B (16 P.) + 8*A (16 P.) = 32 P.",
+			[]cluster.NodeSpec{{Type: cluster.TypeB, Count: 8}, {Type: cluster.TypeA, Count: 8}}, 32, 2.02},
+		{"2*B (2 P.) + 2*C (2 P.) = 4 P.",
+			[]cluster.NodeSpec{{Type: cluster.TypeB, Count: 2}, {Type: cluster.TypeC, Count: 2}}, 4, 2.67},
+		{"2*B (4 P.) + 2*C (2 P.) = 6 P.",
+			[]cluster.NodeSpec{{Type: cluster.TypeB, Count: 2}, {Type: cluster.TypeC, Count: 2}}, 6, 3.15},
+		{"4*B (4 P.) + 2*C (2 P.) = 6 P.",
+			[]cluster.NodeSpec{{Type: cluster.TypeB, Count: 4}, {Type: cluster.TypeC, Count: 2}}, 6, 2.84},
+		{"4*B (8 P.) + 2*C (2 P.) = 10 P.",
+			[]cluster.NodeSpec{{Type: cluster.TypeB, Count: 4}, {Type: cluster.TypeC, Count: 2}}, 10, 2.61},
+	}
+	t := &stats.Table{
+		ID:      "T2",
+		Title:   "Snow Simulation using Fast-Ethernet and ICC Compiler (speed-up vs 1*C seq, DLB+FS)",
+		Columns: []string{"Speed-Up"},
+	}
+	for _, r := range rows {
+		cl := cluster.New(cluster.FastEthernet, cluster.ICC, r.spec...)
+		s, err := runSpeedup(Snow(cfg, core.FiniteSpace, core.DynamicLB), cl, r.procs, seq)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(r.label, s)
+		t.Paper = append(t.Paper, stats.Row{Label: r.label, Values: []float64{r.paper}})
+	}
+	return t, nil
+}
+
+// TextX1 regenerates §5.1's Fast-Ethernet results: snow on 8×B with 16
+// processes under ICC, vs the Itanium/ICC baseline.
+func TextX1(cfg Config) (*stats.Table, error) {
+	seq, err := core.RunSequential(Snow(cfg, core.FiniteSpace, core.StaticLB),
+		cluster.TypeC, cluster.ICC)
+	if err != nil {
+		return nil, err
+	}
+	cl := cluster.New(cluster.FastEthernet, cluster.ICC, cluster.NodeSpec{Type: cluster.TypeB, Count: 8})
+	slb, err := runSpeedup(Snow(cfg, core.FiniteSpace, core.StaticLB), cl, 16, seq)
+	if err != nil {
+		return nil, err
+	}
+	dlb, err := runSpeedup(Snow(cfg, core.FiniteSpace, core.DynamicLB), cl, 16, seq)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		ID:      "X1",
+		Title:   "Snow, Fast-Ethernet + ICC, 8*B / 16 P. (speed-up vs 1*C seq)",
+		Columns: []string{"FS-SLB", "FS-DLB"},
+		Paper:   []stats.Row{{Values: []float64{2.65, 2.56}}},
+		Notes:   []string{"paper §5.1 reports 2.56 (DLB) and 2.65 (FS-SLB) for this configuration"},
+	}
+	t.AddRow("8*B / 16 P.", slb, dlb)
+	return t, nil
+}
+
+// TextX2 regenerates §5.1's mixed 4*A + 4*B Myrinet results (speed-ups
+// 2.76 and 2.93 for 8 and 16 processes).
+func TextX2(cfg Config) (*stats.Table, error) {
+	seq, err := core.RunSequential(Snow(cfg, core.FiniteSpace, core.StaticLB),
+		cluster.TypeB, cluster.GCC)
+	if err != nil {
+		return nil, err
+	}
+	cl := cluster.New(cluster.Myrinet, cluster.GCC,
+		cluster.NodeSpec{Type: cluster.TypeB, Count: 4}, cluster.NodeSpec{Type: cluster.TypeA, Count: 4})
+	t := &stats.Table{
+		ID:      "X2",
+		Title:   "Snow, Myrinet + GCC, 4*B + 4*A mixed nodes (speed-up vs 1*B seq, FS-DLB)",
+		Columns: []string{"Speed-Up"},
+		Paper: []stats.Row{
+			{Values: []float64{2.76}},
+			{Values: []float64{2.93}},
+		},
+	}
+	for _, procs := range []int{8, 16} {
+		s, err := runSpeedup(Snow(cfg, core.FiniteSpace, core.DynamicLB), cl, procs, seq)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("4*B + 4*A / %d P.", procs), s)
+	}
+	return t, nil
+}
+
+// TextX3 regenerates §5.2's sixteen-node fountain result: 8*B + 8*A on
+// Myrinet, 16 processes, speed-up 4.28.
+func TextX3(cfg Config) (*stats.Table, error) {
+	seq, err := core.RunSequential(Fountain(cfg, core.FiniteSpace, core.StaticLB),
+		cluster.TypeB, cluster.GCC)
+	if err != nil {
+		return nil, err
+	}
+	cl := cluster.New(cluster.Myrinet, cluster.GCC,
+		cluster.NodeSpec{Type: cluster.TypeB, Count: 8}, cluster.NodeSpec{Type: cluster.TypeA, Count: 8})
+	s, err := runSpeedup(Fountain(cfg, core.FiniteSpace, core.DynamicLB), cl, 16, seq)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		ID:      "X3",
+		Title:   "Fountain, Myrinet + GCC, 8*B + 8*A / 16 P. (speed-up vs 1*B seq, FS-DLB)",
+		Columns: []string{"Speed-Up"},
+		Paper:   []stats.Row{{Values: []float64{4.28}}},
+	}
+	t.AddRow("8*B + 8*A / 16 P.", s)
+	return t, nil
+}
+
+// TextX4 regenerates §5.2's Fast-Ethernet fountain result: the best
+// configuration (2*B + 2*C, DLB + FS) reached only 1.26.
+func TextX4(cfg Config) (*stats.Table, error) {
+	seq, err := core.RunSequential(Fountain(cfg, core.FiniteSpace, core.StaticLB),
+		cluster.TypeC, cluster.ICC)
+	if err != nil {
+		return nil, err
+	}
+	cl := cluster.New(cluster.FastEthernet, cluster.ICC,
+		cluster.NodeSpec{Type: cluster.TypeB, Count: 2}, cluster.NodeSpec{Type: cluster.TypeC, Count: 2})
+	s, err := runSpeedup(Fountain(cfg, core.FiniteSpace, core.DynamicLB), cl, 6, seq)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		ID:      "X4",
+		Title:   "Fountain, Fast-Ethernet + ICC, 2*B + 2*C / 6 P. (speed-up vs 1*C seq, FS-DLB)",
+		Columns: []string{"Speed-Up"},
+		Paper:   []stats.Row{{Values: []float64{1.26}}},
+		Notes:   []string{"the paper's point: dynamic balancing over Fast-Ethernet is barely profitable"},
+	}
+	t.AddRow("2*B + 2*C / 6 P.", s)
+	return t, nil
+}
+
+// TextX5 regenerates the exchange-volume figures of §5.1 and §5.2: the
+// average number of particles per process per frame that belong to
+// another calculator, and the total data volume per frame.
+func TextX5(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		ID:      "X5",
+		Title:   "End-of-frame particle exchange, 8*B / 8 P., Myrinet + GCC, FS-DLB",
+		Columns: []string{"particles/proc/frame", "KB/frame total"},
+		Paper: []stats.Row{
+			{Values: []float64{560, 613}},
+			{Values: []float64{4000, 4375}},
+		},
+	}
+	cl := homogeneousB(cluster.Myrinet, cluster.GCC, 8)
+	for _, name := range []string{"snow", "fountain"} {
+		res, err := core.RunParallel(workload(name, cfg, core.FiniteSpace, core.DynamicLB), cl, 8)
+		if err != nil {
+			return nil, err
+		}
+		perProcFrame := float64(res.ExchangedParticles) / float64(8*cfg.Frames)
+		kbFrame := float64(res.ExchangedBytes) / float64(cfg.Frames) / 1024
+		t.AddRow(name, perProcFrame, kbFrame)
+	}
+	return t, nil
+}
+
+// TextX6 regenerates §5.3's time-reduction summary: the percentage by
+// which the best parallel configuration cut the simulation time.
+func TextX6(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		ID:      "X6",
+		Title:   "Best-configuration time reduction (1 - 1/speed-up), percent",
+		Columns: []string{"reduction %"},
+		Paper: []stats.Row{
+			{Values: []float64{84}},
+			{Values: []float64{68}},
+			{Values: []float64{66}},
+		},
+	}
+	// Snow, Myrinet: best of Table 1's 16-process row.
+	seqB, err := core.RunSequential(Snow(cfg, core.FiniteSpace, core.StaticLB),
+		cluster.TypeB, cluster.GCC)
+	if err != nil {
+		return nil, err
+	}
+	s, err := runSpeedup(Snow(cfg, core.FiniteSpace, core.StaticLB),
+		homogeneousB(cluster.Myrinet, cluster.GCC, 16), 16, seqB)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("snow, Myrinet", reduction(s))
+
+	// Snow, Fast-Ethernet: best of Table 2 (2*B + 2*C, 6 P.).
+	seqC, err := core.RunSequential(Snow(cfg, core.FiniteSpace, core.StaticLB),
+		cluster.TypeC, cluster.ICC)
+	if err != nil {
+		return nil, err
+	}
+	clBC := cluster.New(cluster.FastEthernet, cluster.ICC,
+		cluster.NodeSpec{Type: cluster.TypeB, Count: 2}, cluster.NodeSpec{Type: cluster.TypeC, Count: 2})
+	s, err = runSpeedup(Snow(cfg, core.FiniteSpace, core.DynamicLB), clBC, 6, seqC)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("snow, Fast-Ethernet", reduction(s))
+
+	// Fountain, Myrinet: best of Table 3 (16 P., FS-DLB).
+	seqF, err := core.RunSequential(Fountain(cfg, core.FiniteSpace, core.StaticLB),
+		cluster.TypeB, cluster.GCC)
+	if err != nil {
+		return nil, err
+	}
+	s, err = runSpeedup(Fountain(cfg, core.FiniteSpace, core.DynamicLB),
+		homogeneousB(cluster.Myrinet, cluster.GCC, 16), 16, seqF)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("fountain, Myrinet", reduction(s))
+	return t, nil
+}
+
+func reduction(speedup float64) float64 {
+	if speedup <= 0 {
+		return 0
+	}
+	return 100 * (1 - 1/speedup)
+}

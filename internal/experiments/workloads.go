@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pscluster/internal/actions"
+	"pscluster/internal/core"
+	"pscluster/internal/geom"
+)
+
+// Snow builds the paper's first experiment (§5.1): eight systems of
+// snow falling over the whole simulated space. "For each frame of this
+// simulation, we create new particles, apply a random acceleration on
+// the particles, simulate collision, eliminate old particles and
+// finally move the particles through the space. The particles tend to
+// remain in their original domain since their movement is mainly
+// vertical."
+//
+// The emitters span the finite space symmetrically around x = 0, so
+// under InfiniteSpace only the one or two central domains are ever
+// populated — the IS pathology of Table 1.
+func Snow(cfg Config, mode core.SpaceMode, lb core.LBMode) core.Scenario {
+	const halfSpan = 100.0
+	systems := make([]core.System, cfg.Systems)
+	for i := range systems {
+		systems[i] = core.System{
+			Name: fmt.Sprintf("snow-%d", i),
+			Seed: uint64(1000 + 7*i),
+			Actions: []actions.Action{
+				&actions.Source{
+					Rate: cfg.sourceRate(),
+					Pos: geom.BoxDomain{B: geom.Box(
+						geom.V(-halfSpan, 8, -20), geom.V(halfSpan, 24, 20))},
+					// Mainly vertical motion with a gentle horizontal
+					// drift — calibrated so roughly 0.1-0.2% of a
+					// process's particles change domain per frame, the
+					// paper's ~560 of 400 000.
+					Vel: geom.BoxDomain{B: geom.Box(
+						geom.V(-1.0, -18, -0.8), geom.V(1.0, -10, 0.8))},
+					Color: geom.PointDomain{P: geom.V(0.95, 0.95, 1.0)},
+					Size:  0.3, Alpha: 0.7,
+				},
+				&actions.RandomAccel{Domain: geom.SphereDomain{OuterR: 1.2}},
+				&actions.Bounce{
+					Plane:      geom.NewPlane(geom.V(0, 0, 0), geom.V(0, 1, 0)),
+					Elasticity: 0.25, Friction: 0.4,
+				},
+				&actions.KillOld{MaxAge: float64(LifetimeFrames) * cfg.DT},
+				&actions.Move{},
+			},
+		}
+	}
+	return core.Scenario{
+		Name:        "snow",
+		Systems:     systems,
+		Axis:        geom.AxisX,
+		Space:       geom.Box(geom.V(-halfSpan, -5, -25), geom.V(halfSpan, 30, 25)),
+		Mode:        mode,
+		Frames:      cfg.Frames,
+		DT:          cfg.DT,
+		Ratio:       cfg.Ratio(),
+		LB:          lb,
+		LBMinBatch:  cfg.lbMinBatch(),
+		LBThreshold: 0.15,
+		Render:      renderConfig(),
+	}
+}
+
+// Fountain builds the paper's second experiment (§5.2): eight water
+// fountains. "Differently to the previous experiment, the particles
+// tend to change domains during the simulation since their movement is
+// both horizontal and vertical. The particle systems were distributed
+// through the simulated space, so it becomes harder to restrict the
+// space."
+//
+// All nozzles fall inside (0, 125): under InfiniteSpace a single domain
+// owns essentially every fountain for any calculator count used in the
+// paper, giving the flat ~1.0 IS-SLB column of Table 3.
+func Fountain(cfg Config, mode core.SpaceMode, lb core.LBMode) core.Scenario {
+	// One fountain basin per system, spread through the space. Every
+	// system has its own domain table, so what limits static balancing
+	// is each fountain's cloud covering only a few of its domains —
+	// while the exchange phase synchronizes all calculators per system,
+	// leaving the rest idle. Dynamic balancing reshapes each system's
+	// domains around its own cloud.
+	nozzleX := []float64{8, 21, 34, 47, 60, 73, 86, 99}
+	// The fountain integrates at half the snow's time step (fast ballistic
+	// motion); gravity is scaled so a jet's flight still spans the
+	// particle lifetime.
+	dt := cfg.DT / 2
+	systems := make([]core.System, cfg.Systems)
+	for i := range systems {
+		x := nozzleX[i%len(nozzleX)]
+		systems[i] = core.System{
+			Name: fmt.Sprintf("fountain-%d", i),
+			Seed: uint64(2000 + 13*i),
+			Actions: []actions.Action{
+				&actions.Source{
+					Rate: cfg.sourceRate(),
+					Pos: geom.BoxDomain{B: geom.Box(
+						geom.V(x-12, 0, -2), geom.V(x+12, 1, 2))},
+					// Strong horizontal spread: the fountain's defining
+					// property is cross-domain traffic (around 1% of a
+					// process's particles per frame, the paper's ~4000
+					// of 400 000, an order of magnitude above snow).
+					Vel: geom.BoxDomain{B: geom.Box(
+						geom.V(-4, 14, -1.5), geom.V(4, 22, 1.5))},
+					Color: geom.PointDomain{P: geom.V(0.5, 0.7, 1.0)},
+					Size:  0.25, Alpha: 0.6,
+				},
+				&actions.Gravity{G: geom.V(0, -80, 0)},
+				&actions.RandomAccel{Domain: geom.SphereDomain{OuterR: 0.8}},
+				&actions.Bounce{
+					Plane:      geom.NewPlane(geom.V(0, 0, 0), geom.V(0, 1, 0)),
+					Elasticity: 0.15, Friction: 0.5,
+				},
+				&actions.KillOld{MaxAge: float64(LifetimeFrames) * dt},
+				&actions.SinkBelow{Axis: geom.AxisY, Threshold: -2},
+				&actions.Move{},
+			},
+		}
+	}
+	return core.Scenario{
+		Name:        "fountain",
+		Systems:     systems,
+		Axis:        geom.AxisX,
+		Space:       geom.Box(geom.V(0, -3, -12), geom.V(122, 12, 12)),
+		Mode:        mode,
+		Frames:      cfg.Frames,
+		DT:          dt,
+		Ratio:       cfg.Ratio(),
+		LB:          lb,
+		LBMinBatch:  cfg.lbMinBatch(),
+		LBThreshold: 0.15,
+		Render:      renderConfig(),
+	}
+}
+
+// renderConfig is the shared image-generator calibration: a compact
+// 16-byte render record (quantized position + color) and a splat cost
+// that makes the image generator the pipeline's saturation point at
+// high calculator counts, as in the paper's 16-process rows.
+func renderConfig() core.RenderConfig {
+	return core.RenderConfig{
+		Width: 96, Height: 96,
+		CostPerParticle:  0.3,
+		FrameOverhead:    2000,
+		BytesPerParticle: 12,
+	}
+}

@@ -1,0 +1,193 @@
+// Package geom provides the small geometric vocabulary the particle model
+// is built on: 3-component vectors, axis-aligned boxes, planes, and the
+// stochastic emission domains of the McAllister Particle System API.
+//
+// Everything in this package is deterministic given a seed; the parallel
+// engine depends on that to make sequential and distributed runs produce
+// identical particle sets.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Axis selects one of the three coordinate axes. The model slices the
+// simulated space into domains along a single axis (paper §3.1.4).
+type Axis int
+
+// The three coordinate axes.
+const (
+	AxisX Axis = iota
+	AxisY
+	AxisZ
+)
+
+// String returns "X", "Y" or "Z".
+func (a Axis) String() string {
+	switch a {
+	case AxisX:
+		return "X"
+	case AxisY:
+		return "Y"
+	case AxisZ:
+		return "Z"
+	}
+	return fmt.Sprintf("Axis(%d)", int(a))
+}
+
+// Vec3 is a 3-component vector of float64. Particle positions,
+// orientations and velocities are Vec3s (paper §3.1.2).
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for Vec3{x, y, z}.
+func V(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Mul returns the component-wise product of v and w.
+func (v Vec3) Mul(w Vec3) Vec3 { return Vec3{v.X * w.X, v.Y * w.Y, v.Z * w.Z} }
+
+// Dot returns the dot product of v and w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Len returns the Euclidean length of v.
+func (v Vec3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Len2 returns the squared length of v.
+func (v Vec3) Len2() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Len() }
+
+// Norm returns v scaled to unit length. The zero vector is returned
+// unchanged rather than producing NaNs.
+func (v Vec3) Norm() Vec3 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Lerp returns v + t*(w-v).
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 { return v.Add(w.Sub(v).Scale(t)) }
+
+// Component returns the coordinate of v along axis a.
+func (v Vec3) Component(a Axis) float64 {
+	switch a {
+	case AxisX:
+		return v.X
+	case AxisY:
+		return v.Y
+	default:
+		return v.Z
+	}
+}
+
+// WithComponent returns a copy of v with the coordinate along axis a
+// replaced by c.
+func (v Vec3) WithComponent(a Axis, c float64) Vec3 {
+	switch a {
+	case AxisX:
+		v.X = c
+	case AxisY:
+		v.Y = c
+	default:
+		v.Z = c
+	}
+	return v
+}
+
+// IsFinite reports whether all components are finite numbers.
+func (v Vec3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string { return fmt.Sprintf("(%g, %g, %g)", v.X, v.Y, v.Z) }
+
+// AABB is an axis-aligned bounding box. The finite simulated space of the
+// model (paper §5.1, "FS") is an AABB; emission boxes are AABBs too.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// Box returns the AABB spanning the two corner points, normalizing the
+// corner ordering.
+func Box(a, b Vec3) AABB {
+	return AABB{
+		Min: Vec3{math.Min(a.X, b.X), math.Min(a.Y, b.Y), math.Min(a.Z, b.Z)},
+		Max: Vec3{math.Max(a.X, b.X), math.Max(a.Y, b.Y), math.Max(a.Z, b.Z)},
+	}
+}
+
+// Contains reports whether p lies inside the box (inclusive bounds).
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Size returns the extent of the box along each axis.
+func (b AABB) Size() Vec3 { return b.Max.Sub(b.Min) }
+
+// Center returns the center point of the box.
+func (b AABB) Center() Vec3 { return b.Min.Add(b.Max).Scale(0.5) }
+
+// Extent returns the length of the box along axis a.
+func (b AABB) Extent(a Axis) float64 { return b.Max.Component(a) - b.Min.Component(a) }
+
+// Clamp returns p clamped into the box.
+func (b AABB) Clamp(p Vec3) Vec3 {
+	return Vec3{
+		math.Max(b.Min.X, math.Min(b.Max.X, p.X)),
+		math.Max(b.Min.Y, math.Min(b.Max.Y, p.Y)),
+		math.Max(b.Min.Z, math.Min(b.Max.Z, p.Z)),
+	}
+}
+
+// Union returns the smallest AABB containing both boxes.
+func (b AABB) Union(o AABB) AABB {
+	return AABB{
+		Min: Vec3{math.Min(b.Min.X, o.Min.X), math.Min(b.Min.Y, o.Min.Y), math.Min(b.Min.Z, o.Min.Z)},
+		Max: Vec3{math.Max(b.Max.X, o.Max.X), math.Max(b.Max.Y, o.Max.Y), math.Max(b.Max.Z, o.Max.Z)},
+	}
+}
+
+// Plane is an infinite plane given by a point and a normal. Bounce and
+// sink actions test particles against planes.
+type Plane struct {
+	Point  Vec3
+	Normal Vec3
+}
+
+// NewPlane returns a plane through p with normal n (normalized).
+func NewPlane(p, n Vec3) Plane { return Plane{Point: p, Normal: n.Norm()} }
+
+// SignedDist returns the signed distance from q to the plane; positive on
+// the side the normal points to.
+func (pl Plane) SignedDist(q Vec3) float64 { return q.Sub(pl.Point).Dot(pl.Normal) }
+
+// Above reports whether q is strictly on the positive side of the plane.
+func (pl Plane) Above(q Vec3) bool { return pl.SignedDist(q) > 0 }

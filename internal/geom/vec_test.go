@@ -1,0 +1,167 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestVecArithmetic(t *testing.T) {
+	a, b := V(1, 2, 3), V(4, -5, 6)
+	if got := a.Add(b); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Mul(b); got != V(4, -10, 18) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := a.Dot(b); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	clamp := func(x float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0
+		}
+		return math.Mod(x, 1e3)
+	}
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := V(clamp(ax), clamp(ay), clamp(az))
+		b := V(clamp(bx), clamp(by), clamp(bz))
+		c := a.Cross(b)
+		tol := 1e-6 * (1 + a.Len2()) * (1 + b.Len2())
+		return math.Abs(c.Dot(a)) < tol && math.Abs(c.Dot(b)) < tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormLength(t *testing.T) {
+	if got := V(3, 4, 0).Norm(); !almostEq(got.Len(), 1) {
+		t.Errorf("Norm length = %v", got.Len())
+	}
+	if got := V(0, 0, 0).Norm(); got != V(0, 0, 0) {
+		t.Errorf("Norm of zero = %v", got)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a, b := V(1, 1, 1), V(3, 5, 7)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp 0 = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp 1 = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != V(2, 3, 4) {
+		t.Errorf("Lerp 0.5 = %v", got)
+	}
+}
+
+func TestComponentRoundTrip(t *testing.T) {
+	v := V(1, 2, 3)
+	for _, a := range []Axis{AxisX, AxisY, AxisZ} {
+		w := v.WithComponent(a, 9)
+		if w.Component(a) != 9 {
+			t.Errorf("axis %v: component = %v", a, w.Component(a))
+		}
+		// Other components unchanged.
+		for _, o := range []Axis{AxisX, AxisY, AxisZ} {
+			if o != a && w.Component(o) != v.Component(o) {
+				t.Errorf("axis %v modified axis %v", a, o)
+			}
+		}
+	}
+}
+
+func TestAxisString(t *testing.T) {
+	if AxisX.String() != "X" || AxisY.String() != "Y" || AxisZ.String() != "Z" {
+		t.Error("axis names wrong")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V(math.NaN(), 0, 0).IsFinite() || V(0, math.Inf(1), 0).IsFinite() {
+		t.Error("non-finite vector reported finite")
+	}
+}
+
+func TestBoxNormalization(t *testing.T) {
+	b := Box(V(5, -1, 3), V(-2, 4, 0))
+	if b.Min != V(-2, -1, 0) || b.Max != V(5, 4, 3) {
+		t.Errorf("Box = %+v", b)
+	}
+}
+
+func TestAABBContainsClamp(t *testing.T) {
+	b := Box(V(0, 0, 0), V(10, 10, 10))
+	if !b.Contains(V(5, 5, 5)) || !b.Contains(V(0, 0, 0)) || !b.Contains(V(10, 10, 10)) {
+		t.Error("Contains boundary failure")
+	}
+	if b.Contains(V(-0.1, 5, 5)) || b.Contains(V(5, 10.1, 5)) {
+		t.Error("Contains exterior failure")
+	}
+	if got := b.Clamp(V(-5, 20, 5)); got != V(0, 10, 5) {
+		t.Errorf("Clamp = %v", got)
+	}
+}
+
+func TestAABBClampedPointIsContained(t *testing.T) {
+	b := Box(V(-3, -3, -3), V(7, 2, 9))
+	f := func(x, y, z float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(z) {
+			return true
+		}
+		return b.Contains(b.Clamp(V(x, y, z)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAABBUnionContainsBoth(t *testing.T) {
+	a := Box(V(0, 0, 0), V(1, 1, 1))
+	b := Box(V(5, -2, 3), V(6, 0, 4))
+	u := a.Union(b)
+	for _, p := range []Vec3{a.Min, a.Max, b.Min, b.Max} {
+		if !u.Contains(p) {
+			t.Errorf("union misses %v", p)
+		}
+	}
+}
+
+func TestAABBSizeCenterExtent(t *testing.T) {
+	b := Box(V(0, 2, 4), V(10, 6, 8))
+	if b.Size() != V(10, 4, 4) {
+		t.Errorf("Size = %v", b.Size())
+	}
+	if b.Center() != V(5, 4, 6) {
+		t.Errorf("Center = %v", b.Center())
+	}
+	if b.Extent(AxisX) != 10 || b.Extent(AxisY) != 4 {
+		t.Error("Extent wrong")
+	}
+}
+
+func TestPlaneSignedDist(t *testing.T) {
+	pl := NewPlane(V(0, 0, 0), V(0, 2, 0)) // normal normalized to +Y
+	if !almostEq(pl.SignedDist(V(5, 3, -2)), 3) {
+		t.Errorf("SignedDist = %v", pl.SignedDist(V(5, 3, -2)))
+	}
+	if !pl.Above(V(0, 1, 0)) || pl.Above(V(0, -1, 0)) {
+		t.Error("Above wrong")
+	}
+}

@@ -1,0 +1,82 @@
+package loadbalance
+
+import (
+	"testing"
+
+	"pscluster/internal/geom"
+)
+
+func benchReports(n int) ([]Report, []float64) {
+	r := geom.NewRNG(1)
+	reports := make([]Report, n)
+	power := make([]float64, n)
+	for i := range reports {
+		load := 500 + r.Intn(1000)
+		reports[i] = Report{Load: load, Time: float64(load) / 1e6}
+		power[i] = 1
+	}
+	return reports, power
+}
+
+func BenchmarkEvaluate8(b *testing.B) {
+	bal := New(0.15, 16)
+	reports, power := benchReports(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bal.Evaluate(reports, power)
+	}
+}
+
+func BenchmarkEvaluate32(b *testing.B) {
+	bal := New(0.15, 16)
+	reports, power := benchReports(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bal.Evaluate(reports, power)
+	}
+}
+
+func BenchmarkEvaluateAllPairs32(b *testing.B) {
+	bal := New(0.15, 16)
+	reports, power := benchReports(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bal.EvaluateAllPairs(reports, power)
+	}
+}
+
+// BenchmarkDiffusionConvergence measures how many evaluation rounds the
+// paper's pairwise rules take to drain a fully concentrated load — the
+// convergence behaviour behind Table 1's IS-DLB column.
+func BenchmarkDiffusionConvergence(b *testing.B) {
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		bal := New(0.1, 1)
+		loads := make([]int, 8)
+		loads[0] = 80000
+		power := make([]float64, 8)
+		for j := range power {
+			power[j] = 1
+		}
+		rounds = 0
+		for r := 0; r < 200; r++ {
+			reports := make([]Report, len(loads))
+			for j := range loads {
+				reports[j] = Report{Load: loads[j], Time: float64(loads[j])}
+			}
+			orders := bal.Evaluate(reports, power)
+			if len(orders) == 0 {
+				break
+			}
+			rounds++
+			for _, o := range orders {
+				if o.Op == Send {
+					loads[o.Proc] -= o.Count
+				} else {
+					loads[o.Proc] += o.Count
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(rounds), "rounds-to-converge")
+}

@@ -1,0 +1,193 @@
+// Package loadbalance implements the dynamic load balancing evaluation
+// of the model (paper §3.2.5): a centralized manager compares the
+// measured processing times of neighboring calculator pairs and orders
+// particle transfers that are proportional to the processes' measured
+// processing power, subject to the paper's pairing rules:
+//
+//   - balancing happens only between domain neighbors;
+//   - a process either sends or receives in one round, never both
+//     (avoids "alignment" of processes);
+//   - after balancing pair (x, x+1), the overlapping pair (x+1, x+2) is
+//     skipped; evaluation resumes at (x+2, x+3);
+//   - the starting pair alternates between rounds so the same pair is
+//     not always favoured;
+//   - transfers smaller than a minimum batch are suppressed (moving a
+//     handful of particles costs more than the imbalance).
+package loadbalance
+
+import "fmt"
+
+// Report is one calculator's end-of-frame load information: how many
+// particles it holds after the exchange and the processing time of the
+// frame, already rescaled to the new particle count as §3.2.4 requires
+// ("the new time must be proportional to the new amount of particles").
+type Report struct {
+	Load int     // particles held
+	Time float64 // rescaled processing time of the last frame, seconds
+}
+
+// Op is the operation a calculator is ordered to perform.
+type Op int
+
+// Send and Receive are the two balancing operations; a process is never
+// ordered to do both in one round.
+const (
+	Send Op = iota
+	Receive
+)
+
+// String returns "send" or "receive".
+func (o Op) String() string {
+	if o == Send {
+		return "send"
+	}
+	return "receive"
+}
+
+// Order tells calculator Proc to move Count particles to/from neighbor
+// Peer.
+type Order struct {
+	Proc  int
+	Peer  int
+	Count int
+	Op    Op
+}
+
+// String formats the order for traces.
+func (o Order) String() string {
+	return fmt.Sprintf("calc %d: %s %d particles (peer %d)", o.Proc, o.Op, o.Count, o.Peer)
+}
+
+// Balancer holds the manager's balancing policy.
+type Balancer struct {
+	// Threshold is the relative processing-time difference
+	// |t_x - t_y| / max(t_x, t_y) above which a pair is rebalanced.
+	Threshold float64
+	// MinBatch suppresses transfers below this particle count.
+	MinBatch int
+	// Alternate enables the paper's parity rule ("at every execution of
+	// the load balancing evaluation, the manager alternate the
+	// identifier of the first process to be evaluated"). Disabled only
+	// by the ablation benchmarks.
+	Alternate bool
+
+	round int // internal round counter driving the parity alternation
+}
+
+// New returns a balancer with the given policy and the paper's
+// alternation rule enabled. Threshold must be positive; MinBatch may be
+// zero.
+func New(threshold float64, minBatch int) *Balancer {
+	if threshold <= 0 {
+		panic("loadbalance: threshold must be positive")
+	}
+	return &Balancer{Threshold: threshold, MinBatch: minBatch, Alternate: true}
+}
+
+// Evaluate runs one balancing round over the calculators' reports.
+// power[i] is the measured processing power of calculator i (the paper
+// calibrates it with sequential execution times, §4; our substrate uses
+// the node work rates). It returns the transfer orders, at most one per
+// calculator, in ascending calculator order.
+func (b *Balancer) Evaluate(reports []Report, power []float64) []Order {
+	if len(reports) != len(power) {
+		panic(fmt.Sprintf("loadbalance: %d reports vs %d power entries", len(reports), len(power)))
+	}
+	start := 0
+	if b.Alternate {
+		start = b.round % 2
+	}
+	b.round++
+	return b.evaluateFrom(reports, power, start, true)
+}
+
+// EvaluateAllPairs is the naive variant used by the ablation benchmarks:
+// every neighbor pair is evaluated left to right with no skip rule and
+// no parity alternation, so a process may be ordered to both send and
+// receive in the same round (the "alignment" the paper's rules exist to
+// prevent).
+func (b *Balancer) EvaluateAllPairs(reports []Report, power []float64) []Order {
+	if len(reports) != len(power) {
+		panic(fmt.Sprintf("loadbalance: %d reports vs %d power entries", len(reports), len(power)))
+	}
+	return b.evaluateFrom(reports, power, 0, false)
+}
+
+func (b *Balancer) evaluateFrom(reports []Report, power []float64, start int, skipOverlap bool) []Order {
+	n := len(reports)
+	var orders []Order
+	busy := make([]bool, n)
+	for x := start; x+1 < n; x++ {
+		if skipOverlap && (busy[x] || busy[x+1]) {
+			continue
+		}
+		o, ok := b.balancePair(x, reports[x], reports[x+1], power[x], power[x+1])
+		if !ok {
+			continue
+		}
+		busy[x], busy[x+1] = true, true
+		orders = append(orders, o...)
+	}
+	return orders
+}
+
+// balancePair decides whether the (x, x+1) pair needs balancing and, if
+// so, returns the matched send/receive order pair.
+func (b *Balancer) balancePair(x int, rx, ry Report, px, py float64) ([]Order, bool) {
+	move := DecidePair(rx, ry, px, py, b.Threshold, b.MinBatch)
+	if move == 0 {
+		return nil, false
+	}
+	if move > 0 {
+		return []Order{
+			{Proc: x, Peer: x + 1, Count: move, Op: Send},
+			{Proc: x + 1, Peer: x, Count: move, Op: Receive},
+		}, true
+	}
+	return []Order{
+		{Proc: x, Peer: x + 1, Count: -move, Op: Receive},
+		{Proc: x + 1, Peer: x, Count: -move, Op: Send},
+	}, true
+}
+
+// DecidePair is the core pairwise balancing rule, shared by the
+// centralized manager and the decentralized (future-work) variant
+// where both members of a pair evaluate it symmetrically. It returns
+// how many particles the left process x should send to the right one y
+// (negative: x receives), or 0 when the pair is balanced, empty, or
+// the transfer is below minBatch.
+func DecidePair(rx, ry Report, px, py float64, threshold float64, minBatch int) int {
+	tmax := rx.Time
+	if ry.Time > tmax {
+		tmax = ry.Time
+	}
+	if tmax <= 0 {
+		return 0
+	}
+	diff := rx.Time - ry.Time
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff/tmax <= threshold {
+		return 0
+	}
+	total := rx.Load + ry.Load
+	if total == 0 {
+		return 0
+	}
+	// New load proportional to processing power (§3.2.5).
+	targetX := int(float64(total) * px / (px + py))
+	move := rx.Load - targetX
+	count := move
+	if count < 0 {
+		count = -count
+	}
+	if count < minBatch || count == 0 {
+		return 0
+	}
+	return move
+}
+
+// Round returns how many evaluation rounds have run (drives tests of the
+// parity alternation).
+func (b *Balancer) Round() int { return b.round }

@@ -1,0 +1,70 @@
+package particle
+
+import (
+	"testing"
+
+	"pscluster/internal/geom"
+)
+
+func benchParticles(n int) []Particle {
+	r := geom.NewRNG(1)
+	ps := make([]Particle, n)
+	for i := range ps {
+		ps[i] = Particle{
+			Pos: geom.V(r.Range(0, 100), r.Range(-5, 5), r.Range(-5, 5)),
+			Vel: r.UnitVec(), Age: r.Float64(), Alpha: 0.5, Size: 0.3,
+		}
+	}
+	return ps
+}
+
+func BenchmarkEncodeBatch(b *testing.B) {
+	ps := benchParticles(1000)
+	b.SetBytes(int64(BatchBytes(len(ps))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeBatch(ps)
+	}
+}
+
+func BenchmarkDecodeBatch(b *testing.B) {
+	buf := EncodeBatch(benchParticles(1000))
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBatch(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreAdd(b *testing.B) {
+	ps := benchParticles(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewStore(geom.AxisX, 0, 100, 16)
+		s.AddSlice(ps)
+	}
+}
+
+func BenchmarkStorePartition(b *testing.B) {
+	s := NewStore(geom.AxisX, 0, 100, 16)
+	s.AddSlice(benchParticles(10000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(p *Particle) { p.Pos.X += 0.05 })
+		out := s.Partition()
+		s.AddSlice(out) // keep the population stable
+	}
+}
+
+func BenchmarkSelectDonation(b *testing.B) {
+	s := NewStore(geom.AxisX, 0, 100, 16)
+	s.AddSlice(benchParticles(10000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		donated, _ := s.SelectDonation(500, LowSide)
+		s.Resize(0, 100)
+		s.AddSlice(donated)
+	}
+}

@@ -1,0 +1,124 @@
+package particle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pscluster/internal/geom"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := Particle{
+		Pos:   geom.V(1, -2, 3.5),
+		Up:    geom.V(0, 1, 0),
+		Vel:   geom.V(-4, 5.25, 6),
+		Color: geom.V(0.1, 0.2, 0.3),
+		Age:   7.125,
+		Alpha: 0.5,
+		Size:  0.25,
+		Dead:  true,
+	}
+	buf := p.Encode(nil)
+	if len(buf) != WireSize {
+		t.Fatalf("encoded size = %d, want %d", len(buf), WireSize)
+	}
+	var q Particle
+	rest, err := q.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("rest = %d bytes", len(rest))
+	}
+	if q != p {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", q, p)
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	f := func(px, py, pz, vx, vy, vz, age, alpha, size float64, dead bool) bool {
+		clean := func(x float64) float64 {
+			if math.IsNaN(x) {
+				return 0
+			}
+			return x
+		}
+		p := Particle{
+			Pos:   geom.V(clean(px), clean(py), clean(pz)),
+			Vel:   geom.V(clean(vx), clean(vy), clean(vz)),
+			Age:   clean(age),
+			Alpha: clean(alpha),
+			Size:  clean(size),
+			Dead:  dead,
+		}
+		var q Particle
+		_, err := q.Decode(p.Encode(nil))
+		return err == nil && q == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	var p Particle
+	if _, err := p.Decode(make([]byte, WireSize-1)); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	ps := make([]Particle, 17)
+	r := geom.NewRNG(4)
+	for i := range ps {
+		ps[i].Pos = r.UnitVec().Scale(10)
+		ps[i].Vel = r.UnitVec()
+		ps[i].Age = r.Float64()
+	}
+	buf := EncodeBatch(ps)
+	if len(buf) != BatchBytes(len(ps)) {
+		t.Fatalf("batch size = %d, want %d", len(buf), BatchBytes(len(ps)))
+	}
+	got, err := DecodeBatch(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ps) {
+		t.Fatalf("decoded %d particles, want %d", len(got), len(ps))
+	}
+	for i := range ps {
+		if got[i] != ps[i] {
+			t.Fatalf("particle %d mismatch", i)
+		}
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	got, err := DecodeBatch(EncodeBatch(nil))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty batch: got %v, err %v", got, err)
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	if _, err := DecodeBatch([]byte{1, 2}); err == nil {
+		t.Error("short header accepted")
+	}
+	buf := EncodeBatch(make([]Particle, 2))
+	if _, err := DecodeBatch(buf[:len(buf)-3]); err == nil {
+		t.Error("truncated batch accepted")
+	}
+}
+
+func TestWireSizeMatchesPaperCalibration(t *testing.T) {
+	// Snow: 8 procs × ~560 particles, 613 KB total (paper §5.1).
+	snow := float64(613*1024) / (8 * 560)
+	// Fountain: 8 procs × ~4000 particles, 4375 KB total (paper §5.2).
+	fountain := float64(4375*1024) / (8 * 4000)
+	for _, v := range []float64{snow, fountain} {
+		if math.Abs(v-WireSize) > 5 {
+			t.Errorf("paper-derived particle size %.1f B too far from WireSize %d", v, WireSize)
+		}
+	}
+}

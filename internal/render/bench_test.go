@@ -1,0 +1,67 @@
+package render
+
+import (
+	"io"
+	"testing"
+
+	"pscluster/internal/geom"
+	"pscluster/internal/particle"
+)
+
+func benchBatch(n int) []particle.Particle {
+	r := geom.NewRNG(1)
+	ps := make([]particle.Particle, n)
+	for i := range ps {
+		ps[i] = particle.Particle{
+			Pos:   geom.V(r.Range(-10, 10), r.Range(-10, 10), r.Range(-10, 10)),
+			Color: geom.V(r.Float64(), r.Float64(), r.Float64()),
+			Alpha: 0.5, Size: 0.5,
+		}
+	}
+	return ps
+}
+
+func BenchmarkSplatBatch(b *testing.B) {
+	fb := NewFramebuffer(256, 256)
+	cam := OrthoCamera{Region: geom.Box(geom.V(-10, -10, -10), geom.V(10, 10, 10)), W: 256, H: 256}
+	ps := benchBatch(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb.Clear()
+		fb.SplatBatch(cam, ps)
+	}
+}
+
+func BenchmarkPerspectiveSplat(b *testing.B) {
+	fb := NewFramebuffer(256, 256)
+	cam := PerspectiveCamera{Eye: geom.V(0, 0, 30), Look: geom.V(0, 0, 0),
+		Up: geom.V(0, 1, 0), FOV: 1, W: 256, H: 256}
+	ps := benchBatch(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb.Clear()
+		fb.SplatBatch(cam, ps)
+	}
+}
+
+func BenchmarkChecksum(b *testing.B) {
+	fb := NewFramebuffer(256, 256)
+	cam := OrthoCamera{Region: geom.Box(geom.V(-10, -10, -10), geom.V(10, 10, 10)), W: 256, H: 256}
+	fb.SplatBatch(cam, benchBatch(1000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb.Checksum()
+	}
+}
+
+func BenchmarkWritePPM(b *testing.B) {
+	fb := NewFramebuffer(256, 256)
+	cam := OrthoCamera{Region: geom.Box(geom.V(-10, -10, -10), geom.V(10, 10, 10)), W: 256, H: 256}
+	fb.SplatBatch(cam, benchBatch(1000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fb.WritePPM(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

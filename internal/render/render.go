@@ -1,0 +1,180 @@
+// Package render is the image generator's renderer: a software point
+// splatter that turns particle batches into frames. The paper's image
+// generator "collects the particles sent by the calculators and renders
+// each one of the frames of the animation" (§3.1.1); this package is
+// that renderer, producing PPM images and deterministic frame checksums
+// the test-suite uses to compare sequential and parallel runs.
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"pscluster/internal/geom"
+	"pscluster/internal/particle"
+)
+
+// Camera projects world-space points to continuous pixel coordinates.
+type Camera interface {
+	// Project returns the pixel position, the world-to-pixel size scale
+	// at the point, and whether the point is in front of the camera.
+	Project(p geom.Vec3) (x, y, scale float64, ok bool)
+}
+
+// OrthoCamera views the box region straight down the Z axis: world X
+// maps to image X, world Y to image Y (flipped so +Y is up).
+type OrthoCamera struct {
+	Region geom.AABB
+	W, H   int
+}
+
+// Project implements Camera.
+func (c OrthoCamera) Project(p geom.Vec3) (float64, float64, float64, bool) {
+	size := c.Region.Size()
+	if size.X <= 0 || size.Y <= 0 {
+		return 0, 0, 0, false
+	}
+	x := (p.X - c.Region.Min.X) / size.X * float64(c.W)
+	y := (1 - (p.Y-c.Region.Min.Y)/size.Y) * float64(c.H)
+	return x, y, float64(c.W) / size.X, true
+}
+
+// PerspectiveCamera is a simple pinhole camera looking from Eye toward
+// Look with the +Y-ish Up direction and a vertical field of view in
+// radians.
+type PerspectiveCamera struct {
+	Eye, Look, Up geom.Vec3
+	FOV           float64
+	W, H          int
+}
+
+// Project implements Camera.
+func (c PerspectiveCamera) Project(p geom.Vec3) (float64, float64, float64, bool) {
+	fwd := c.Look.Sub(c.Eye).Norm()
+	right := fwd.Cross(c.Up).Norm()
+	up := right.Cross(fwd)
+	rel := p.Sub(c.Eye)
+	z := rel.Dot(fwd)
+	if z <= 1e-6 {
+		return 0, 0, 0, false
+	}
+	f := float64(c.H) / (2 * math.Tan(c.FOV/2))
+	x := rel.Dot(right) / z * f
+	y := rel.Dot(up) / z * f
+	return float64(c.W)/2 + x, float64(c.H)/2 - y, f / z, true
+}
+
+// Framebuffer accumulates additive splats in linear RGB.
+type Framebuffer struct {
+	W, H int
+	pix  []geom.Vec3
+}
+
+// NewFramebuffer returns a cleared framebuffer.
+func NewFramebuffer(w, h int) *Framebuffer {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("render: invalid framebuffer %dx%d", w, h))
+	}
+	return &Framebuffer{W: w, H: h, pix: make([]geom.Vec3, w*h)}
+}
+
+// Clear zeroes every pixel.
+func (f *Framebuffer) Clear() {
+	for i := range f.pix {
+		f.pix[i] = geom.Vec3{}
+	}
+}
+
+// At returns the accumulated RGB at (x, y).
+func (f *Framebuffer) At(x, y int) geom.Vec3 { return f.pix[y*f.W+x] }
+
+// add blends color into (x, y) with weight w, clipping to the image.
+func (f *Framebuffer) add(x, y int, color geom.Vec3, w float64) {
+	if x < 0 || x >= f.W || y < 0 || y >= f.H || w <= 0 {
+		return
+	}
+	f.pix[y*f.W+x] = f.pix[y*f.W+x].Add(color.Scale(w))
+}
+
+// Splat renders one particle as a Gaussian-ish additive disc.
+func (f *Framebuffer) Splat(cam Camera, p *particle.Particle) {
+	x, y, scale, ok := cam.Project(p.Pos)
+	if !ok {
+		return
+	}
+	r := p.Size * scale
+	if r < 0.5 {
+		r = 0.5
+	}
+	if r > 64 {
+		r = 64 // clamp pathological splats
+	}
+	cx, cy := int(x), int(y)
+	ir := int(r) + 1
+	inv := 1 / (r * r)
+	for dy := -ir; dy <= ir; dy++ {
+		for dx := -ir; dx <= ir; dx++ {
+			d2 := float64(dx*dx + dy*dy)
+			w := (1 - d2*inv) * p.Alpha
+			if w > 0 {
+				f.add(cx+dx, cy+dy, p.Color, w)
+			}
+		}
+	}
+}
+
+// SplatBatch renders a batch of particles.
+func (f *Framebuffer) SplatBatch(cam Camera, ps []particle.Particle) {
+	for i := range ps {
+		f.Splat(cam, &ps[i])
+	}
+}
+
+// Checksum returns a deterministic hash of the frame contents,
+// quantized to 12 bits per channel so that the different floating-point
+// accumulation orders of sequential and parallel runs agree.
+func (f *Framebuffer) Checksum() uint64 {
+	h := fnv.New64a()
+	var buf [6]byte
+	for _, p := range f.pix {
+		q := func(v float64) uint16 {
+			if v < 0 {
+				v = 0
+			}
+			if v > 8 {
+				v = 8
+			}
+			return uint16(v * 512)
+		}
+		r, g, b := q(p.X), q(p.Y), q(p.Z)
+		buf[0], buf[1] = byte(r>>8), byte(r)
+		buf[2], buf[3] = byte(g>>8), byte(g)
+		buf[4], buf[5] = byte(b>>8), byte(b)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// WritePPM writes the frame as a binary PPM (P6), tone-mapping the
+// accumulated energy with a simple x/(1+x) curve.
+func (f *Framebuffer) WritePPM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", f.W, f.H); err != nil {
+		return err
+	}
+	tone := func(v float64) byte {
+		if v < 0 {
+			v = 0
+		}
+		return byte(255 * v / (1 + v))
+	}
+	for _, p := range f.pix {
+		if _, err := bw.Write([]byte{tone(p.X), tone(p.Y), tone(p.Z)}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

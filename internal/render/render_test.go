@@ -1,0 +1,154 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pscluster/internal/geom"
+	"pscluster/internal/particle"
+)
+
+func testCam() OrthoCamera {
+	return OrthoCamera{Region: geom.Box(geom.V(-10, -10, -10), geom.V(10, 10, 10)), W: 64, H: 64}
+}
+
+func TestOrthoProjectCenterAndCorners(t *testing.T) {
+	c := testCam()
+	x, y, _, ok := c.Project(geom.V(0, 0, 0))
+	if !ok || x != 32 || y != 32 {
+		t.Errorf("center -> (%v, %v, %v)", x, y, ok)
+	}
+	x, y, _, _ = c.Project(geom.V(-10, 10, 0))
+	if x != 0 || y != 0 {
+		t.Errorf("top-left -> (%v, %v)", x, y)
+	}
+	x, y, _, _ = c.Project(geom.V(10, -10, 0))
+	if x != 64 || y != 64 {
+		t.Errorf("bottom-right -> (%v, %v)", x, y)
+	}
+}
+
+func TestPerspectiveProject(t *testing.T) {
+	c := PerspectiveCamera{
+		Eye: geom.V(0, 0, 10), Look: geom.V(0, 0, 0), Up: geom.V(0, 1, 0),
+		FOV: 1.0, W: 100, H: 100,
+	}
+	x, y, _, ok := c.Project(geom.V(0, 0, 0))
+	if !ok || x != 50 || y != 50 {
+		t.Errorf("center -> (%v, %v, %v)", x, y, ok)
+	}
+	// A point above the look axis projects above the image center.
+	_, y2, _, ok := c.Project(geom.V(0, 2, 0))
+	if !ok || y2 >= 50 {
+		t.Errorf("raised point projects at y=%v, want < 50", y2)
+	}
+	// Behind the camera: rejected.
+	if _, _, _, ok := c.Project(geom.V(0, 0, 20)); ok {
+		t.Error("point behind camera accepted")
+	}
+	// Nearer points get larger scale (bigger splats).
+	_, _, sNear, _ := c.Project(geom.V(0, 0, 5))
+	_, _, sFar, _ := c.Project(geom.V(0, 0, -5))
+	if sNear <= sFar {
+		t.Errorf("scale near %v <= far %v", sNear, sFar)
+	}
+}
+
+func TestSplatDepositsEnergy(t *testing.T) {
+	f := NewFramebuffer(64, 64)
+	p := particle.Particle{Pos: geom.V(0, 0, 0), Color: geom.V(1, 0.5, 0.25), Alpha: 1, Size: 1}
+	f.Splat(testCam(), &p)
+	c := f.At(32, 32)
+	if c.X <= 0 || c.Y <= 0 || c.Z <= 0 {
+		t.Errorf("center pixel = %v, want positive energy", c)
+	}
+	if c.Y/c.X < 0.4 || c.Y/c.X > 0.6 {
+		t.Errorf("color ratio off: %v", c)
+	}
+	// Distant pixel untouched.
+	if got := f.At(0, 0); got != (geom.Vec3{}) {
+		t.Errorf("far pixel = %v", got)
+	}
+}
+
+func TestSplatOffscreenIsSafe(t *testing.T) {
+	f := NewFramebuffer(16, 16)
+	for _, pos := range []geom.Vec3{geom.V(-1000, 0, 0), geom.V(9.99, 9.99, 0)} {
+		p := particle.Particle{Pos: pos, Color: geom.V(1, 1, 1), Alpha: 1, Size: 5}
+		f.Splat(testCam(), &p) // must not panic at image edges
+	}
+}
+
+func TestZeroAlphaInvisible(t *testing.T) {
+	f := NewFramebuffer(32, 32)
+	p := particle.Particle{Pos: geom.V(0, 0, 0), Color: geom.V(1, 1, 1), Alpha: 0, Size: 2}
+	f.Splat(testCam(), &p)
+	if f.Checksum() != NewFramebuffer(32, 32).Checksum() {
+		t.Error("zero-alpha particle left a mark")
+	}
+}
+
+func TestChecksumOrderIndependent(t *testing.T) {
+	ps := []particle.Particle{
+		{Pos: geom.V(1, 2, 0), Color: geom.V(1, 0, 0), Alpha: 0.7, Size: 1},
+		{Pos: geom.V(-3, 4, 0), Color: geom.V(0, 1, 0), Alpha: 0.5, Size: 2},
+		{Pos: geom.V(5, -6, 0), Color: geom.V(0, 0, 1), Alpha: 0.9, Size: 1.5},
+	}
+	f1 := NewFramebuffer(64, 64)
+	f1.SplatBatch(testCam(), ps)
+	f2 := NewFramebuffer(64, 64)
+	for i := len(ps) - 1; i >= 0; i-- {
+		f2.Splat(testCam(), &ps[i])
+	}
+	if f1.Checksum() != f2.Checksum() {
+		t.Error("checksum depends on splat order")
+	}
+}
+
+func TestChecksumDetectsDifference(t *testing.T) {
+	f1 := NewFramebuffer(32, 32)
+	f2 := NewFramebuffer(32, 32)
+	p := particle.Particle{Pos: geom.V(0, 0, 0), Color: geom.V(1, 1, 1), Alpha: 1, Size: 1}
+	f1.Splat(testCam(), &p)
+	if f1.Checksum() == f2.Checksum() {
+		t.Error("checksum blind to content")
+	}
+}
+
+func TestClear(t *testing.T) {
+	f := NewFramebuffer(32, 32)
+	empty := f.Checksum()
+	p := particle.Particle{Pos: geom.V(0, 0, 0), Color: geom.V(1, 1, 1), Alpha: 1, Size: 1}
+	f.Splat(testCam(), &p)
+	f.Clear()
+	if f.Checksum() != empty {
+		t.Error("Clear did not reset the frame")
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	f := NewFramebuffer(8, 4)
+	p := particle.Particle{Pos: geom.V(0, 0, 0), Color: geom.V(4, 4, 4), Alpha: 1, Size: 3}
+	f.Splat(OrthoCamera{Region: geom.Box(geom.V(-1, -1, -1), geom.V(1, 1, 1)), W: 8, H: 4}, &p)
+	var buf bytes.Buffer
+	if err := f.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "P6\n8 4\n255\n") {
+		t.Errorf("PPM header = %q", s[:min(20, len(s))])
+	}
+	if buf.Len() != len("P6\n8 4\n255\n")+8*4*3 {
+		t.Errorf("PPM size = %d", buf.Len())
+	}
+}
+
+func TestNewFramebufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid size accepted")
+		}
+	}()
+	NewFramebuffer(0, 10)
+}

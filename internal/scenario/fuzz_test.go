@@ -1,0 +1,32 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// FuzzDecode drives the scenario decoder with arbitrary JSON: it must
+// never panic, and anything it accepts must re-encode and decode to an
+// equivalent scenario.
+func FuzzDecode(f *testing.F) {
+	if data, err := Encode(fullScenario()); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"mode":"infinite","systems":[{"actions":[{"type":"move"}]}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"mode":"finite","space":{"min":[0,0,0],"max":[1,1,1]},"systems":[]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scn, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(scn)
+		if err != nil {
+			t.Fatalf("accepted scenario failed to re-encode: %v", err)
+		}
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("re-encoded scenario failed to decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteCSV writes the table as CSV: a header row, then one row per
+// configuration with measured values followed by the paper's values
+// (suffixed "(paper)") when present.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"configuration"}, t.Columns...)
+	if len(t.Paper) > 0 {
+		for _, c := range t.Columns {
+			header = append(header, c+" (paper)")
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for ri, r := range t.Rows {
+		rec := []string{r.Label}
+		for ci := range t.Columns {
+			v := math.NaN()
+			if ci < len(r.Values) {
+				v = r.Values[ci]
+			}
+			rec = append(rec, csvFloat(v))
+		}
+		if len(t.Paper) > 0 {
+			for ci := range t.Columns {
+				v := math.NaN()
+				if ri < len(t.Paper) && ci < len(t.Paper[ri].Values) {
+					v = t.Paper[ri].Values[ci]
+				}
+				rec = append(rec, csvFloat(v))
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func csvFloat(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// jsonTable is the JSON shape of a table; NaNs become nulls.
+type jsonTable struct {
+	ID      string    `json:"id"`
+	Title   string    `json:"title"`
+	Columns []string  `json:"columns"`
+	Rows    []jsonRow `json:"rows"`
+	Paper   []jsonRow `json:"paper,omitempty"`
+	Notes   []string  `json:"notes,omitempty"`
+}
+
+type jsonRow struct {
+	Label  string     `json:"label"`
+	Values []*float64 `json:"values"`
+}
+
+func toJSONRows(rows []Row) []jsonRow {
+	out := make([]jsonRow, len(rows))
+	for i, r := range rows {
+		jr := jsonRow{Label: r.Label, Values: make([]*float64, len(r.Values))}
+		for j, v := range r.Values {
+			if !math.IsNaN(v) {
+				vv := v
+				jr.Values[j] = &vv
+			}
+		}
+		out[i] = jr
+	}
+	return out
+}
+
+// WriteJSON writes the table as indented JSON, mapping absent paper
+// values to null.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonTable{
+		ID:      t.ID,
+		Title:   t.Title,
+		Columns: t.Columns,
+		Rows:    toJSONRows(t.Rows),
+		Paper:   toJSONRows(t.Paper),
+		Notes:   t.Notes,
+	})
+}

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 { // header + 2 rows
+		t.Fatalf("%d records", len(records))
+	}
+	header := records[0]
+	want := []string{"configuration", "A", "B", "A (paper)", "B (paper)"}
+	for i := range want {
+		if header[i] != want[i] {
+			t.Errorf("header[%d] = %q, want %q", i, header[i], want[i])
+		}
+	}
+	if records[1][1] != "1.1" || records[1][3] != "1" {
+		t.Errorf("row 1 = %v", records[1])
+	}
+	// NaN paper cell is empty.
+	if records[2][3] != "" {
+		t.Errorf("NaN cell = %q", records[2][3])
+	}
+}
+
+func TestWriteCSVNoPaper(t *testing.T) {
+	tab := &Table{ID: "X", Columns: []string{"V"}}
+	tab.AddRow("r", 5)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "paper") {
+		t.Error("paper columns emitted without paper data")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded["id"] != "T9" {
+		t.Errorf("id = %v", decoded["id"])
+	}
+	rows := decoded["rows"].([]any)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// The NaN paper value must decode as null.
+	paper := decoded["paper"].([]any)
+	vals := paper[1].(map[string]any)["values"].([]any)
+	if vals[0] != nil {
+		t.Errorf("NaN did not become null: %v", vals[0])
+	}
+	if vals[1].(float64) != 4.0 {
+		t.Errorf("paper value = %v", vals[1])
+	}
+}

@@ -1,0 +1,160 @@
+// Package stats holds the result-table machinery of the evaluation
+// harness: speedup tables in the paper's layout, with the published
+// values carried alongside the measured ones so every run prints a
+// paper-vs-measured comparison.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is one experiment's result grid: rows of labelled value lists,
+// e.g. the "Nodes vs. Processes × {IS-SLB, FS-SLB, IS-DLB, FS-DLB}" grid
+// of the paper's Table 1.
+type Table struct {
+	ID      string // "T1", "X5", ...
+	Title   string
+	Columns []string
+	Rows    []Row
+	// Paper holds the published values in the same shape (NaN for cells
+	// the paper does not report). Optional.
+	Paper []Row
+	// Notes are printed under the table.
+	Notes []string
+}
+
+// Row is one labelled table line.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// AddRow appends a measured row.
+func (t *Table) AddRow(label string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// Format renders the table as aligned text. When paper values are
+// present each cell shows "measured (paper)".
+func (t *Table) Format(w io.Writer) error {
+	cell := func(ri, ci int) string {
+		v := t.Rows[ri].Values[ci]
+		s := trimFloat(v)
+		if ri < len(t.Paper) && ci < len(t.Paper[ri].Values) {
+			if p := t.Paper[ri].Values[ci]; !math.IsNaN(p) {
+				s += fmt.Sprintf(" (%s)", trimFloat(p))
+			}
+		}
+		return s
+	}
+
+	// Column widths.
+	labelW := len("Configuration")
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	for ci, c := range t.Columns {
+		colW[ci] = len(c)
+		for ri := range t.Rows {
+			if ci < len(t.Rows[ri].Values) {
+				if l := len(cell(ri, ci)); l > colW[ci] {
+					colW[ci] = l
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if len(t.Paper) > 0 {
+		b.WriteString("(measured, paper value in parentheses)\n")
+	}
+	fmt.Fprintf(&b, "%-*s", labelW, "Configuration")
+	for ci, c := range t.Columns {
+		fmt.Fprintf(&b, "  %*s", colW[ci], c)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", lineWidth(labelW, colW)))
+	for ri, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", labelW, r.Label)
+		for ci := range t.Columns {
+			s := ""
+			if ci < len(r.Values) {
+				s = cell(ri, ci)
+			}
+			fmt.Fprintf(&b, "  %*s", colW[ci], s)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func lineWidth(labelW int, colW []int) int {
+	w := labelW
+	for _, c := range colW {
+		w += 2 + c
+	}
+	return w
+}
+
+// trimFloat formats a value compactly: two decimals for small numbers,
+// thousands separators are not needed at our magnitudes.
+func trimFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// NaN is a shorthand for "the paper has no value here".
+var NaN = math.NaN()
+
+// Shape helpers — the assertions EXPERIMENTS.md and the test-suite make
+// about a table. They verify orderings ("who wins"), not magnitudes.
+
+// ColumnDominates reports whether column a >= column b on every row
+// (within slack, a multiplicative tolerance: a >= b*(1-slack)).
+func (t *Table) ColumnDominates(a, b int, slack float64) bool {
+	for _, r := range t.Rows {
+		if a >= len(r.Values) || b >= len(r.Values) {
+			return false
+		}
+		if r.Values[a] < r.Values[b]*(1-slack) {
+			return false
+		}
+	}
+	return true
+}
+
+// ColumnIncreasing reports whether a column grows (weakly, within slack)
+// down the rows.
+func (t *Table) ColumnIncreasing(c int, slack float64) bool {
+	for i := 1; i < len(t.Rows); i++ {
+		if c >= len(t.Rows[i].Values) || c >= len(t.Rows[i-1].Values) {
+			return false
+		}
+		if t.Rows[i].Values[c] < t.Rows[i-1].Values[c]*(1-slack) {
+			return false
+		}
+	}
+	return true
+}
+
+// Cell returns the measured value at (row, col).
+func (t *Table) Cell(row, col int) float64 { return t.Rows[row].Values[col] }

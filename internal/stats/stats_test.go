@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		ID: "T9", Title: "Sample",
+		Columns: []string{"A", "B"},
+		Paper: []Row{
+			{Values: []float64{1.0, 2.0}},
+			{Values: []float64{NaN, 4.0}},
+		},
+		Notes: []string{"a note"},
+	}
+	t.AddRow("row one", 1.1, 2.2)
+	t.AddRow("row two", 3.3, 4.4)
+	return t
+}
+
+func TestFormatContainsEverything(t *testing.T) {
+	var b strings.Builder
+	if err := sample().Format(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"T9 — Sample", "row one", "row two", "A", "B",
+		"1.10 (1.00)", "2.20 (2.00)", "4.40 (4.00)", "note: a note",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// NaN paper cell: measured value printed without parentheses.
+	if strings.Contains(out, "3.30 (") {
+		t.Errorf("NaN paper cell rendered a parenthesis:\n%s", out)
+	}
+}
+
+func TestFormatWithoutPaper(t *testing.T) {
+	tab := &Table{ID: "X", Title: "No paper", Columns: []string{"V"}}
+	tab.AddRow("r", 5)
+	var b strings.Builder
+	if err := tab.Format(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "parentheses") {
+		t.Error("paper legend printed without paper values")
+	}
+}
+
+func TestColumnDominates(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	tab.AddRow("1", 2.0, 1.0)
+	tab.AddRow("2", 3.0, 2.9)
+	if !tab.ColumnDominates(0, 1, 0) {
+		t.Error("column 0 should dominate")
+	}
+	if tab.ColumnDominates(1, 0, 0) {
+		t.Error("column 1 should not dominate")
+	}
+	// With slack, near-ties pass.
+	if !tab.ColumnDominates(1, 0, 0.5) {
+		t.Error("slack should forgive the near-tie")
+	}
+	if tab.ColumnDominates(0, 5, 0) {
+		t.Error("out-of-range column should fail")
+	}
+}
+
+func TestColumnIncreasing(t *testing.T) {
+	tab := &Table{Columns: []string{"v"}}
+	tab.AddRow("1", 1.0)
+	tab.AddRow("2", 2.0)
+	tab.AddRow("3", 1.95)
+	if tab.ColumnIncreasing(0, 0) {
+		t.Error("strict increase should fail on the dip")
+	}
+	if !tab.ColumnIncreasing(0, 0.05) {
+		t.Error("5% slack should forgive the dip")
+	}
+}
+
+func TestCell(t *testing.T) {
+	tab := sample()
+	if tab.Cell(1, 0) != 3.3 {
+		t.Errorf("Cell = %v", tab.Cell(1, 0))
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.234:      "1.23",
+		100:        "100",
+		123.456:    "123.5",
+		math.NaN(): "-",
+	}
+	for v, want := range cases {
+		if got := trimFloat(v); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

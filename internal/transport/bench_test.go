@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+
+	"pscluster/internal/cluster"
+)
+
+func benchRouter(b *testing.B, nCalc int) *Router {
+	b.Helper()
+	c := cluster.New(cluster.Myrinet, cluster.GCC,
+		cluster.NodeSpec{Type: cluster.TypeB, Count: 8})
+	p, err := c.Place(nCalc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewRouter(p, c.Net)
+}
+
+func BenchmarkSendRecvSmall(b *testing.B) {
+	r := benchRouter(b, 2)
+	a, c := r.Endpoint(2), r.Endpoint(3)
+	payload := make([]byte, 64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Send(3, TagParticles, payload)
+		c.Recv(2, TagParticles)
+	}
+}
+
+func BenchmarkSendRecvLarge(b *testing.B) {
+	r := benchRouter(b, 2)
+	a, c := r.Endpoint(2), r.Endpoint(3)
+	payload := make([]byte, 1<<16)
+	b.SetBytes(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Send(3, TagParticles, payload)
+		c.Recv(2, TagParticles)
+	}
+}
+
+func BenchmarkAllToAllExchange(b *testing.B) {
+	const n = 8
+	r := benchRouter(b, n)
+	eps := make([]*Endpoint, n)
+	for i := range eps {
+		eps[i] = r.Endpoint(2 + i)
+	}
+	payload := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for j := range eps {
+			wg.Add(1)
+			go func(e *Endpoint) {
+				defer wg.Done()
+				for k := range eps {
+					if eps[k].Rank() != e.Rank() {
+						e.Send(eps[k].Rank(), TagParticles, payload)
+					}
+				}
+				for k := range eps {
+					if eps[k].Rank() != e.Rank() {
+						e.Recv(eps[k].Rank(), TagParticles)
+					}
+				}
+			}(eps[j])
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,250 @@
+// Package transport is the message-passing substrate of the model — the
+// stand-in for the MPI layer the paper's library used. Processes are
+// goroutines; each owns an Endpoint with a private virtual clock.
+//
+// The cost model is LogGP-flavoured with receiver occupancy:
+//
+//   - the sender pays a small per-byte packing cost and stamps the
+//     message with its "ready" time (sender clock + network latency);
+//   - the receiver, on a blocking Recv, first fuses its clock to the
+//     ready time and then pays the serialization cost bytes/bandwidth.
+//
+// Charging serialization at the receiver makes n senders into one
+// process (the image generator collecting every particle of a frame)
+// contend for that process's link, exactly the bottleneck the paper's
+// Fast-Ethernet results exhibit.
+//
+// Messages can be billed for more bytes than they physically carry:
+// experiments run at a reduced particle count with a representation
+// ratio R, and bill R× the encoded size so virtual times match the
+// paper's full-scale runs.
+//
+// Because every phase of the model has a deterministic communication
+// pattern and gathers are processed in sender-rank order, runs are
+// bit-reproducible regardless of goroutine scheduling.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pscluster/internal/cluster"
+)
+
+// ErrAborted is the panic value raised out of blocked Send/Recv calls
+// when the run is torn down by Router.Abort. Process wrappers recover
+// it and exit quietly.
+var ErrAborted = errors.New("transport: run aborted")
+
+// Tag classifies messages by the model phase they belong to (Figure 2).
+type Tag uint8
+
+// Message tags, one per arrow kind in the paper's Figure 2.
+const (
+	TagParticles   Tag = iota // manager→calc creation scatter, calc→calc exchange
+	TagEndOfStream            // end-of-transmission notification (§3.2.1)
+	TagLoadReport             // calc→manager load + time information
+	TagLBOrder                // manager→calc load balancing orders
+	TagNewDims                // calc→manager and manager→calc new domain dimensions
+	TagRenderBatch            // calc→image generator particles for the frame
+	TagFrameDone              // image generator frame completion marker
+	TagLBParticles            // calc→calc balancing donation
+	TagGhosts                 // calc→calc boundary-band ghosts for collision detection
+)
+
+// String names the tag.
+func (t Tag) String() string {
+	names := [...]string{
+		"particles", "end-of-stream", "load-report", "lb-order",
+		"new-dims", "render-batch", "frame-done", "lb-particles", "ghosts",
+	}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("tag(%d)", int(t))
+}
+
+// Message is one virtual-time-stamped datagram.
+type Message struct {
+	From, To int
+	Tag      Tag
+	Payload  []byte
+	Ready    float64 // earliest arrival time at the receiver
+	Bytes    int     // billed size (>= len(Payload) under scaling)
+}
+
+// Stats counts traffic an endpoint has sent, in billed bytes.
+type Stats struct {
+	MsgsSent  int
+	BytesSent int
+	ByTag     map[Tag]int
+}
+
+// Router connects the processes of one run. Inboxes are buffered
+// channels; capacity is sized so that the model's phase-structured
+// communication can never fill one.
+type Router struct {
+	place   *cluster.Placement
+	net     cluster.Network
+	inboxes []chan Message
+
+	abort     chan struct{}
+	abortOnce sync.Once
+
+	// SendCPU is the sender-side per-byte packing cost in seconds.
+	SendCPU float64
+	// LocalLatency and LocalBandwidth apply between processes on the
+	// same node (shared memory instead of the network).
+	LocalLatency   float64
+	LocalBandwidth float64
+}
+
+// NewRouter builds a router for every process of the placement.
+func NewRouter(place *cluster.Placement, net cluster.Network) *Router {
+	r := &Router{
+		place:          place,
+		net:            net,
+		inboxes:        make([]chan Message, place.NumProcs()),
+		abort:          make(chan struct{}),
+		SendCPU:        2e-10, // ~0.2 ns/byte of packing work
+		LocalLatency:   1e-6,
+		LocalBandwidth: 2e9, // on-node memory copy
+	}
+	for i := range r.inboxes {
+		r.inboxes[i] = make(chan Message, 1<<14)
+	}
+	return r
+}
+
+// Endpoint returns the endpoint for process rank.
+func (r *Router) Endpoint(rank int) *Endpoint {
+	return &Endpoint{
+		rank:   rank,
+		router: r,
+		Stats:  Stats{ByTag: map[Tag]int{}},
+	}
+}
+
+// Endpoint is one process's handle on the router. It is owned by a
+// single goroutine; Clock and Stats are not synchronized.
+type Endpoint struct {
+	rank   int
+	router *Router
+	Clock  cluster.Clock
+	Stats  Stats
+
+	// pending holds received-but-unmatched messages, keyed by (from, tag).
+	pending map[pendKey][]Message
+}
+
+type pendKey struct {
+	from int
+	tag  Tag
+}
+
+// Rank returns this endpoint's process rank.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Send transmits payload to process to, billed at its physical size.
+func (e *Endpoint) Send(to int, tag Tag, payload []byte) {
+	e.SendSized(to, tag, payload, len(payload))
+}
+
+// SendSized transmits payload billed as bytes (bytes >= len(payload)
+// when a representation ratio inflates the virtual traffic). The
+// sender's clock advances by the packing cost; Send never blocks.
+func (e *Endpoint) SendSized(to int, tag Tag, payload []byte, bytes int) {
+	if to == e.rank {
+		panic("transport: send to self")
+	}
+	if bytes < len(payload) {
+		panic("transport: billed bytes smaller than payload")
+	}
+	r := e.router
+	e.Clock.Advance(r.SendCPU * float64(bytes))
+	lat := r.net.Latency
+	if r.place.SameNode(e.rank, to) {
+		lat = r.LocalLatency
+	}
+	e.Stats.MsgsSent++
+	e.Stats.BytesSent += bytes
+	e.Stats.ByTag[tag] += bytes
+	select {
+	case r.inboxes[to] <- Message{
+		From: e.rank, To: to, Tag: tag, Payload: payload,
+		Ready: e.Clock.Now() + lat, Bytes: bytes,
+	}:
+	case <-r.abort:
+		panic(ErrAborted)
+	}
+}
+
+// Abort tears the run down: every blocked or future Send/Recv on this
+// router panics with ErrAborted, which process wrappers recover. Abort
+// is idempotent.
+func (r *Router) Abort() { r.abortOnce.Do(func() { close(r.abort) }) }
+
+// Recv blocks until a message with the given tag from the given sender
+// is available, fuses the clock with its ready time, pays the ingest
+// serialization cost, and returns it. Messages for other (sender, tag)
+// pairs received meanwhile are buffered.
+func (e *Endpoint) Recv(from int, tag Tag) Message {
+	key := pendKey{from, tag}
+	for {
+		if q := e.pending[key]; len(q) > 0 {
+			m := q[0]
+			e.pending[key] = q[1:]
+			e.ingest(m)
+			return m
+		}
+		e.stashOne()
+	}
+}
+
+// ingest applies the receive-side cost model to a consumed message.
+func (e *Endpoint) ingest(m Message) {
+	e.Clock.Fuse(m.Ready)
+	bw := e.router.net.Bandwidth
+	if e.router.place.SameNode(m.From, e.rank) {
+		bw = e.router.LocalBandwidth
+	}
+	e.Clock.Advance(float64(m.Bytes) / bw)
+}
+
+// RecvFromEach receives exactly one message with the given tag from
+// every rank in froms and returns them ordered as froms is — the
+// deterministic gather used at phase boundaries.
+func (e *Endpoint) RecvFromEach(froms []int, tag Tag) []Message {
+	out := make([]Message, len(froms))
+	for i, f := range froms {
+		out[i] = e.Recv(f, tag)
+	}
+	return out
+}
+
+// stashOne blocks for the next inbound message and files it under its
+// (from, tag) key.
+func (e *Endpoint) stashOne() {
+	var m Message
+	select {
+	case m = <-e.router.inboxes[e.rank]:
+	case <-e.router.abort:
+		panic(ErrAborted)
+	}
+	if e.pending == nil {
+		e.pending = map[pendKey][]Message{}
+	}
+	key := pendKey{m.From, m.Tag}
+	e.pending[key] = append(e.pending[key], m)
+}
+
+// PendingCount returns how many messages are buffered but unconsumed —
+// zero at the end of a well-formed run.
+func (e *Endpoint) PendingCount() int {
+	n := 0
+	for _, q := range e.pending {
+		n += len(q)
+	}
+	return n
+}

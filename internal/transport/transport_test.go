@@ -1,0 +1,225 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+
+	"pscluster/internal/cluster"
+)
+
+func twoProcRouter(t *testing.T) (*Router, *Endpoint, *Endpoint) {
+	t.Helper()
+	c := cluster.New(cluster.Myrinet, cluster.GCC, cluster.NodeSpec{Type: cluster.TypeB, Count: 4})
+	p, err := c.Place(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(p, c.Net)
+	return r, r.Endpoint(2), r.Endpoint(3)
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	_, a, b := twoProcRouter(t)
+	a.Send(3, TagParticles, []byte("hello"))
+	m := b.Recv(2, TagParticles)
+	if string(m.Payload) != "hello" || m.From != 2 || m.Tag != TagParticles {
+		t.Errorf("got %+v", m)
+	}
+}
+
+func TestRecvFusesClockAndPaysIngest(t *testing.T) {
+	_, a, b := twoProcRouter(t)
+	a.Clock.Advance(5)
+	a.Send(3, TagParticles, make([]byte, 1000))
+	m := b.Recv(2, TagParticles)
+	// Receiver ends at ready time + serialization.
+	want := m.Ready + 1000/cluster.Myrinet.Bandwidth
+	if got := b.Clock.Now(); got != want {
+		t.Errorf("clock %v, want %v", got, want)
+	}
+	// Ready must include send time and latency.
+	if m.Ready < 5+cluster.Myrinet.Latency {
+		t.Errorf("ready %v too early", m.Ready)
+	}
+}
+
+func TestRecvDoesNotLowerClock(t *testing.T) {
+	_, a, b := twoProcRouter(t)
+	a.Send(3, TagParticles, nil)
+	b.Clock.Advance(100)
+	b.Recv(2, TagParticles)
+	if b.Clock.Now() != 100 {
+		t.Errorf("receive lowered clock to %v", b.Clock.Now())
+	}
+}
+
+func TestReceiverSerializesConcurrentSenders(t *testing.T) {
+	// Two senders each ship 1 MB at t=0 to one receiver: the receiver
+	// must pay both serializations back to back, not in parallel.
+	c := cluster.New(cluster.FastEthernet, cluster.GCC, cluster.NodeSpec{Type: cluster.TypeB, Count: 4})
+	p, _ := c.Place(3)
+	r := NewRouter(p, c.Net)
+	recv, s1, s2 := r.Endpoint(2), r.Endpoint(3), r.Endpoint(4)
+	const mb = 1 << 20
+	s1.Send(2, TagRenderBatch, make([]byte, mb))
+	s2.Send(2, TagRenderBatch, make([]byte, mb))
+	recv.Recv(3, TagRenderBatch)
+	recv.Recv(4, TagRenderBatch)
+	minTotal := 2 * mb / cluster.FastEthernet.Bandwidth
+	if got := recv.Clock.Now(); got < minTotal {
+		t.Errorf("receiver clock %v < serialized minimum %v", got, minTotal)
+	}
+}
+
+func TestSendSizedBillsInflatedBytes(t *testing.T) {
+	_, a, b := twoProcRouter(t)
+	a.SendSized(3, TagParticles, make([]byte, 100), 100*32)
+	if a.Stats.BytesSent != 3200 {
+		t.Errorf("billed %d bytes, want 3200", a.Stats.BytesSent)
+	}
+	m := b.Recv(2, TagParticles)
+	if m.Bytes != 3200 || len(m.Payload) != 100 {
+		t.Errorf("message billing = %d / payload %d", m.Bytes, len(m.Payload))
+	}
+	// Ingest must be charged at the billed size.
+	want := m.Ready + 3200/cluster.Myrinet.Bandwidth
+	if got := b.Clock.Now(); got != want {
+		t.Errorf("clock %v, want %v", got, want)
+	}
+}
+
+func TestSendSizedRejectsUnderBilling(t *testing.T) {
+	_, a, _ := twoProcRouter(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("under-billing did not panic")
+		}
+	}()
+	a.SendSized(3, TagParticles, make([]byte, 100), 50)
+}
+
+func TestSameNodeSkipsNetwork(t *testing.T) {
+	c := cluster.New(cluster.FastEthernet, cluster.GCC, cluster.NodeSpec{Type: cluster.TypeB, Count: 1})
+	p, _ := c.Place(2) // both calculators on one node
+	r := NewRouter(p, c.Net)
+	a, b := r.Endpoint(2), r.Endpoint(3)
+	payload := make([]byte, 1<<20)
+	a.Send(3, TagParticles, payload)
+	b.Recv(2, TagParticles)
+	// 1 MB over Fast-Ethernet would be ~0.1 s; on-node it must be far less.
+	if got := b.Clock.Now(); got > 0.01 {
+		t.Errorf("same-node delivery took %v, looks like it crossed the network", got)
+	}
+}
+
+func TestTagDemux(t *testing.T) {
+	_, a, b := twoProcRouter(t)
+	a.Send(3, TagParticles, []byte("p"))
+	a.Send(3, TagLoadReport, []byte("l"))
+	a.Send(3, TagParticles, []byte("q"))
+	// Receive out of order by tag.
+	if m := b.Recv(2, TagLoadReport); string(m.Payload) != "l" {
+		t.Errorf("load report = %q", m.Payload)
+	}
+	if m := b.Recv(2, TagParticles); string(m.Payload) != "p" {
+		t.Errorf("first particles = %q", m.Payload)
+	}
+	if m := b.Recv(2, TagParticles); string(m.Payload) != "q" {
+		t.Errorf("second particles = %q", m.Payload)
+	}
+	if b.PendingCount() != 0 {
+		t.Errorf("pending = %d", b.PendingCount())
+	}
+}
+
+func TestRecvFromEachOrdersBySender(t *testing.T) {
+	c := cluster.New(cluster.Myrinet, cluster.GCC, cluster.NodeSpec{Type: cluster.TypeB, Count: 4})
+	p, _ := c.Place(4)
+	r := NewRouter(p, c.Net)
+	recv := r.Endpoint(0)
+	var wg sync.WaitGroup
+	for i := 2; i <= 5; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			e := r.Endpoint(rank)
+			e.Send(0, TagLoadReport, []byte{byte(rank)})
+		}(i)
+	}
+	wg.Wait()
+	msgs := recv.RecvFromEach([]int{2, 3, 4, 5}, TagLoadReport)
+	for i, m := range msgs {
+		if m.From != i+2 || m.Payload[0] != byte(i+2) {
+			t.Errorf("msg %d from %d payload %v", i, m.From, m.Payload)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, a, b := twoProcRouter(t)
+	a.Send(3, TagParticles, make([]byte, 100))
+	a.Send(3, TagRenderBatch, make([]byte, 50))
+	if a.Stats.MsgsSent != 2 || a.Stats.BytesSent != 150 {
+		t.Errorf("stats = %+v", a.Stats)
+	}
+	if a.Stats.ByTag[TagParticles] != 100 || a.Stats.ByTag[TagRenderBatch] != 50 {
+		t.Errorf("by-tag = %v", a.Stats.ByTag)
+	}
+	b.Recv(2, TagParticles)
+	b.Recv(2, TagRenderBatch)
+}
+
+func TestSendToSelfPanics(t *testing.T) {
+	_, a, _ := twoProcRouter(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("send-to-self did not panic")
+		}
+	}()
+	a.Send(2, TagParticles, nil)
+}
+
+func TestConcurrentPingPongDeterministicClocks(t *testing.T) {
+	// Run the same ping-pong twice; final virtual clocks must be equal
+	// regardless of goroutine scheduling.
+	run := func() (float64, float64) {
+		_, a, b := twoProcRouter(t)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				a.Clock.Advance(0.001)
+				a.Send(3, TagParticles, make([]byte, 64))
+				a.Recv(3, TagParticles)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Recv(2, TagParticles)
+				b.Clock.Advance(0.002)
+				b.Send(2, TagParticles, make([]byte, 64))
+			}
+		}()
+		wg.Wait()
+		return a.Clock.Now(), b.Clock.Now()
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if a1 != a2 || b1 != b2 {
+		t.Errorf("non-deterministic clocks: (%v,%v) vs (%v,%v)", a1, b1, a2, b2)
+	}
+	if a1 <= 0.3 { // 100 × (0.001 + 0.002) plus transfers
+		t.Errorf("clock %v too small", a1)
+	}
+}
+
+func TestTagString(t *testing.T) {
+	if TagParticles.String() != "particles" || TagLBOrder.String() != "lb-order" {
+		t.Error("tag names wrong")
+	}
+	if Tag(200).String() == "" {
+		t.Error("unknown tag should still format")
+	}
+}
