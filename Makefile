@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race race-obs bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector. The profiled-run tests double as
+# the proof that the zero-sync recorder design is race-free.
+race:
+	$(GO) test -race ./...
+
+# Focused race check over traced/profiled parallel runs only.
+race-obs:
+	$(GO) test -race ./internal/core/ -run 'Profile|Profiled|Figure2'
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+ci: build vet test race

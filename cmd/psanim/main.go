@@ -7,10 +7,18 @@
 //	psanim [-scenario snow|fountain] [-procs N] [-nodes N] [-net myrinet|fast-ethernet]
 //	       [-lb static|dynamic] [-space finite|infinite] [-frames N]
 //	       [-out DIR] [-seq] [-config scenario.json] [-dump scenario.json]
+//	       [-trace trace.json] [-metrics out.prom] [-timeline]
 //
 // Scenarios can also be described declaratively: -dump writes the
 // selected built-in scenario as JSON, -config runs one from a file (see
 // examples/scenarios/).
+//
+// Observability: -trace writes a Chrome trace-event JSON of every
+// Figure-2 phase span (open it in Perfetto or chrome://tracing),
+// -metrics writes run counters in the Prometheus text format, and
+// -timeline prints the per-calculator compute/comm/idle breakdown.
+// Recording never perturbs the model: a traced run produces exactly the
+// frames and virtual times of an untraced one.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"pscluster/internal/cluster"
 	"pscluster/internal/core"
 	"pscluster/internal/experiments"
+	"pscluster/internal/obs"
 	scenariojson "pscluster/internal/scenario"
 )
 
@@ -36,6 +45,9 @@ func main() {
 	seq := flag.Bool("seq", false, "also run the sequential baseline and report speed-up")
 	config := flag.String("config", "", "JSON scenario file (overrides -scenario)")
 	dump := flag.String("dump", "", "write the selected scenario as JSON to this file and exit")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
+	metricsOut := flag.String("metrics", "", "write run metrics in Prometheus text exposition format")
+	timeline := flag.Bool("timeline", false, "print the per-calculator compute/comm/idle timeline")
 	flag.Parse()
 
 	lb := core.DynamicLB
@@ -105,7 +117,15 @@ func main() {
 		scn.Name, len(scn.Systems), scn.Frames, scn.Mode, scn.LB)
 	fmt.Printf("cluster: %s, %d calculator processes\n", cl, *procs)
 
-	par, err := core.RunParallel(scn, cl, *procs)
+	observing := *traceOut != "" || *metricsOut != "" || *timeline
+	var par *core.Result
+	var prof *obs.Profile
+	var err error
+	if observing {
+		par, prof, err = core.RunParallelProfiled(scn, cl, *procs)
+	} else {
+		par, err = core.RunParallel(scn, cl, *procs)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "psanim: %v\n", err)
 		os.Exit(1)
@@ -115,8 +135,14 @@ func main() {
 	if n := len(par.FrameTimes); n > 1 {
 		first := par.FrameTimes[0]
 		steady := (par.FrameTimes[n-1] - first) / float64(n-1)
-		fmt.Printf("frame cadence: first at %.3fs, then every %.3fs (%.1f fps virtual)\n",
-			first, steady, 1/steady)
+		// A degenerate run can deliver every remaining frame at one
+		// virtual instant; skip the fps clause instead of printing +Inf.
+		if steady > 0 {
+			fmt.Printf("frame cadence: first at %.3fs, then every %.3fs (%.1f fps virtual)\n",
+				first, steady, 1/steady)
+		} else {
+			fmt.Printf("frame cadence: first at %.3fs, remaining frames delivered immediately\n", first)
+		}
 	}
 	fmt.Printf("exchanged particles: %d (%.1f KB total)\n",
 		par.ExchangedParticles, float64(par.ExchangedBytes)/1024)
@@ -125,6 +151,12 @@ func main() {
 	}
 	if *out != "" {
 		fmt.Printf("frames written to %s\n", *out)
+	}
+	if prof != nil {
+		if err := writeObservability(prof, *traceOut, *metricsOut, *timeline); err != nil {
+			fmt.Fprintf(os.Stderr, "psanim: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if *seq {
@@ -136,4 +168,41 @@ func main() {
 		fmt.Printf("sequential virtual time: %.2fs — speed-up %.2f\n",
 			seqRes.Time, par.Speedup(seqRes))
 	}
+}
+
+// writeObservability emits the requested views of the run profile.
+func writeObservability(prof *obs.Profile, traceOut, metricsOut string, timeline bool) error {
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := prof.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("phase trace written to %s (%d spans; open in Perfetto)\n",
+			traceOut, len(prof.Spans))
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := prof.Registry.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics written to %s\n", metricsOut)
+	}
+	if timeline {
+		return prof.WriteTimeline(os.Stdout, 8)
+	}
+	return nil
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"pscluster/internal/domain"
 	"pscluster/internal/experiments"
 	"pscluster/internal/geom"
+	"pscluster/internal/obs"
 	"pscluster/internal/stats"
 )
 
@@ -81,7 +83,7 @@ func main() {
 	}
 	if want == "ALL" || want == "F2" {
 		ran = true
-		if err := printFigure2(cfg); err != nil {
+		if err := printFigure2(cfg, *format); err != nil {
 			fmt.Fprintf(os.Stderr, "psbench: figure 2: %v\n", err)
 			os.Exit(1)
 		}
@@ -110,14 +112,16 @@ func printFigure1() {
 }
 
 // printFigure2 reproduces the paper's Figure 2: the phase sequence of
-// one frame of one system, traced from a live parallel run.
-func printFigure2(cfg experiments.Config) error {
-	fmt.Println("F2 — Figure 2: simulation phases of one frame (traced from a live run)")
+// one frame of one system, traced from a live parallel run. In JSON
+// format the document embeds the run's full metrics snapshot, so the
+// machine-readable output carries the observability data alongside the
+// phase events.
+func printFigure2(cfg experiments.Config, format string) error {
 	scn := experiments.Snow(cfg, core.FiniteSpace, core.DynamicLB)
 	scn.Frames = 1
 	scn.Trace = true
 	cl := cluster.New(cluster.Myrinet, cluster.GCC, cluster.NodeSpec{Type: cluster.TypeB, Count: 4})
-	res, err := core.RunParallel(scn, cl, 4)
+	res, prof, err := core.RunParallelProfiled(scn, cl, 4)
 	if err != nil {
 		return err
 	}
@@ -131,6 +135,36 @@ func printFigure2(cfg experiments.Config) error {
 			return fmt.Sprintf("calculator %d", p-2)
 		}
 	}
+	if format == "json" {
+		type jsonEvent struct {
+			Frame  int     `json:"frame"`
+			System int     `json:"system"`
+			Proc   int     `json:"proc"`
+			Role   string  `json:"role"`
+			Phase  string  `json:"phase"`
+			T      float64 `json:"t"`
+		}
+		doc := struct {
+			ID      string       `json:"id"`
+			Title   string       `json:"title"`
+			Events  []jsonEvent  `json:"events"`
+			Metrics obs.Snapshot `json:"metrics"`
+		}{
+			ID:      "F2",
+			Title:   "Figure 2: simulation phases of one frame (traced from a live run)",
+			Metrics: prof.Registry.Snapshot(),
+		}
+		for _, ev := range res.Events {
+			doc.Events = append(doc.Events, jsonEvent{
+				Frame: ev.Frame, System: ev.System, Proc: ev.Proc,
+				Role: role(ev.Proc), Phase: ev.Phase, T: ev.T,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	fmt.Println("F2 — Figure 2: simulation phases of one frame (traced from a live run)")
 	for _, ev := range res.Events {
 		if ev.System > 0 { // one system is enough to show the structure
 			continue

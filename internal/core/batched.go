@@ -48,6 +48,7 @@ func (m *managerProc) runBatchedFrame(frame int, ctxs []*actions.Context) error 
 			m.ep.SendSized(rankCalc0+c, transport.TagParticles, payload,
 				billed(len(payload), scn.Ratio))
 		}
+		m.rec.Phase(-1, "particle-creation", m.ep.Clock.Now())
 	}
 
 	if scn.LB != DynamicLB {
@@ -91,6 +92,7 @@ func (m *managerProc) runBatchedFrame(frame int, ctxs []*actions.Context) error 
 	for c := 0; c < m.nCalc; c++ {
 		m.ep.Send(rankCalc0+c, transport.TagLBOrder, encodeMultiOrders(perCalcOrders[c]))
 	}
+	m.rec.Phase(-1, "lb-evaluation", m.ep.Clock.Now())
 
 	// Donor boundaries, in (system, order) sequence — donors emit them
 	// in the same order, so the matching is deterministic.
@@ -124,6 +126,7 @@ func (m *managerProc) runBatchedFrame(frame int, ctxs []*actions.Context) error 
 	for c := 0; c < m.nCalc; c++ {
 		m.ep.Send(rankCalc0+c, transport.TagNewDims, dims)
 	}
+	m.rec.Phase(-1, "dims-broadcast", m.ep.Clock.Now())
 	return nil
 }
 
@@ -196,6 +199,7 @@ func (c *calcProc) runBatchedFrame(frame int, ctxs []*actions.Context, others []
 		c.ep.Clock.AdvanceWork(scanWork, c.rate)
 		workFrame[si] += scanWork
 	}
+	c.rec.Phase(-1, "calculus", c.ep.Clock.Now())
 
 	// One combined exchange: per peer, a multi-batch with one slot per
 	// system.
@@ -237,6 +241,7 @@ func (c *calcProc) runBatchedFrame(frame int, ctxs []*actions.Context, others []
 			c.stores[si].AddSlice(ps)
 		}
 	}
+	c.rec.Phase(-1, "exchange", c.ep.Clock.Now())
 
 	// One combined load report.
 	if scn.LB == DynamicLB {
@@ -254,6 +259,7 @@ func (c *calcProc) runBatchedFrame(frame int, ctxs []*actions.Context, others []
 			reports[si] = loadbalance.Report{Load: newLoad, Time: rescaled}
 		}
 		c.ep.Send(rankManager, transport.TagLoadReport, encodeMultiReports(reports))
+		c.rec.Phase(-1, "load-information", c.ep.Clock.Now())
 	}
 
 	// One combined render send.
@@ -268,6 +274,7 @@ func (c *calcProc) runBatchedFrame(frame int, ctxs []*actions.Context, others []
 		bill = len(payload)
 	}
 	c.ep.SendSized(rankImageGen, transport.TagRenderBatch, payload, bill)
+	c.rec.Phase(-1, "render-send", c.ep.Clock.Now())
 
 	// Balancing execution, interleaved across systems.
 	if scn.LB == DynamicLB {
@@ -320,6 +327,7 @@ func (c *calcProc) executeBatchedBalancing() error {
 		lo, hi := table.Bounds(c.idx)
 		c.stores[si].Resize(lo, hi)
 	}
+	c.rec.Phase(-1, "new-dims", c.ep.Clock.Now())
 
 	for si, o := range orders {
 		if o == nil {
@@ -339,5 +347,6 @@ func (c *calcProc) executeBatchedBalancing() error {
 		}
 		c.stores[si].AddSlice(ps)
 	}
+	c.rec.Phase(-1, "load-balance", c.ep.Clock.Now())
 	return nil
 }

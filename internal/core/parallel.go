@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"pscluster/internal/actions"
@@ -10,6 +11,7 @@ import (
 	"pscluster/internal/domain"
 	"pscluster/internal/geom"
 	"pscluster/internal/loadbalance"
+	"pscluster/internal/obs"
 	"pscluster/internal/particle"
 	"pscluster/internal/render"
 	"pscluster/internal/transport"
@@ -31,15 +33,29 @@ const evalWorkPerCalc = 20.0
 // structure of the paper's Figure 2. Physics is computed for real by
 // goroutines; timing is virtual (see package transport).
 func RunParallel(scn Scenario, cl *cluster.Cluster, nCalc int) (*Result, error) {
+	res, _, err := runParallel(scn, cl, nCalc, false)
+	return res, err
+}
+
+// RunParallelProfiled runs like RunParallel with the observability layer
+// on: every process records Figure-2 phase spans, per-frame blocked-wait
+// and communication time, and traffic metrics. Recording reads virtual
+// clocks but never advances them, so the Result — frame checksums,
+// virtual times, traffic totals — is bit-identical to RunParallel's.
+func RunParallelProfiled(scn Scenario, cl *cluster.Cluster, nCalc int) (*Result, *obs.Profile, error) {
+	return runParallel(scn, cl, nCalc, true)
+}
+
+func runParallel(scn Scenario, cl *cluster.Cluster, nCalc int, profiled bool) (*Result, *obs.Profile, error) {
 	if err := scn.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if nCalc < 1 {
-		return nil, fmt.Errorf("core: need at least one calculator")
+		return nil, nil, fmt.Errorf("core: need at least one calculator")
 	}
 	place, err := cl.Place(nCalc)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	router := transport.NewRouter(place, cl.Net)
 	lo, hi := scn.SpaceInterval()
@@ -69,7 +85,7 @@ func RunParallel(scn Scenario, cl *cluster.Cluster, nCalc int) (*Result, error) 
 
 	mgrTables, err := newTables()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	mgr := &managerProc{
 		scn: &scn, ep: router.Endpoint(rankManager), rate: place.Rate(rankManager),
@@ -83,7 +99,7 @@ func RunParallel(scn Scenario, cl *cluster.Cluster, nCalc int) (*Result, error) 
 	for i := range calcs {
 		tables, err := newTables()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		c := &calcProc{
 			scn: &scn, idx: i, ep: router.Endpoint(rankCalc0 + i),
@@ -96,6 +112,20 @@ func RunParallel(scn Scenario, cl *cluster.Cluster, nCalc int) (*Result, error) 
 			c.stores[si] = particle.NewStore(scn.Axis, slo, shi, scn.Bins)
 		}
 		calcs[i] = c
+	}
+
+	// Observability: one recorder per process goroutine, attached to its
+	// endpoint; zero synchronization while running, merged after the
+	// WaitGroup barrier below.
+	if profiled {
+		mgr.rec = obs.NewRecorder(rankManager, "manager")
+		mgr.ep.Obs = mgr.rec
+		img.rec = obs.NewRecorder(rankImageGen, "image generator")
+		img.ep.Obs = img.rec
+		for i, c := range calcs {
+			c.rec = obs.NewRecorder(rankCalc0+i, fmt.Sprintf("calculator %d", i))
+			c.ep.Obs = c.rec
+		}
 	}
 
 	// Launch every process; any error or panic aborts the router so no
@@ -130,16 +160,64 @@ func RunParallel(scn Scenario, cl *cluster.Cluster, nCalc int) (*Result, error) 
 	wg.Wait()
 	for _, e := range errs {
 		if e != nil && !errors.Is(e, transport.ErrAborted) {
-			return nil, e
+			return nil, nil, e
 		}
 	}
 	for _, e := range errs {
 		if e != nil {
-			return nil, e
+			return nil, nil, e
 		}
 	}
 
-	return assembleResult(&scn, mgr, img, calcs), nil
+	res := assembleResult(&scn, mgr, img, calcs)
+	var prof *obs.Profile
+	if profiled {
+		prof = assembleProfile(res, mgr, img, calcs)
+	}
+	return res, prof, nil
+}
+
+// assembleProfile merges the per-process recorders and adds the
+// run-level metrics the recorders cannot see on their own.
+func assembleProfile(res *Result, mgr *managerProc, img *imageGenProc, calcs []*calcProc) *obs.Profile {
+	recs := []*obs.Recorder{mgr.rec, img.rec}
+	for _, c := range calcs {
+		recs = append(recs, c.rec)
+	}
+	p := obs.NewProfile(recs...)
+	reg := p.Registry
+
+	var orders, evals int
+	for _, b := range mgr.balancers {
+		orders += b.Stat.Orders
+		evals += b.Stat.Evaluations
+	}
+	reg.Counter("pscluster_lb_evaluations_total",
+		"load-balancing evaluation rounds run by the manager").Add(float64(evals))
+	reg.Counter("pscluster_lb_orders_total",
+		"load-balancing orders issued by the manager").Add(float64(orders))
+	reg.Counter("pscluster_lb_rounds_total",
+		"balancing rounds that produced at least one order").Add(float64(res.LBRounds))
+	reg.Counter("pscluster_lb_moved_particles_total",
+		"particles moved by balancing orders (represented scale)").Add(float64(res.LBMoved))
+	reg.Counter("pscluster_exchanged_particles_total",
+		"calculator-to-calculator end-of-frame exchanges (represented scale)").Add(float64(res.ExchangedParticles))
+	reg.Counter("pscluster_exchanged_bytes_total",
+		"billed bytes of end-of-frame exchanges").Add(float64(res.ExchangedBytes))
+	reg.Counter("pscluster_frames_total",
+		"frames delivered by the image generator").Add(float64(len(res.FrameChecksums)))
+
+	for i, load := range res.CalcLoads {
+		reg.Gauge("pscluster_calc_particles",
+			"final stored particles per calculator",
+			"rank", strconv.Itoa(rankCalc0+i)).Set(float64(load))
+	}
+	for rank, t := range res.PerProcTime {
+		reg.Gauge("pscluster_proc_time_seconds",
+			"final virtual clock per process",
+			"rank", strconv.Itoa(rank)).Set(t)
+	}
+	return p
 }
 
 // assembleResult merges per-process state into one Result.
@@ -161,12 +239,16 @@ func assembleResult(scn *Scenario, mgr *managerProc, img *imageGenProc, calcs []
 	}
 	res.MsgsSent = mgr.ep.Stats.MsgsSent + img.ep.Stats.MsgsSent
 	res.BytesSent = mgr.ep.Stats.BytesSent + img.ep.Stats.BytesSent
+	res.MsgsRecv = mgr.ep.Stats.MsgsRecv + img.ep.Stats.MsgsRecv
+	res.BytesRecv = mgr.ep.Stats.BytesRecv + img.ep.Stats.BytesRecv
 	exchanged, calcMoved := 0, 0
 	for _, c := range calcs {
 		exchanged += c.exchangedStored
 		calcMoved += c.lbMovedStored
 		res.MsgsSent += c.ep.Stats.MsgsSent
 		res.BytesSent += c.ep.Stats.BytesSent
+		res.MsgsRecv += c.ep.Stats.MsgsRecv
+		res.BytesRecv += c.ep.Stats.BytesRecv
 		load := 0
 		for _, st := range c.stores {
 			load += st.Len()
@@ -233,6 +315,7 @@ type managerProc struct {
 	lbRounds      int
 	lbMovedStored int
 	events        []Event
+	rec           *obs.Recorder // nil unless the run is profiled
 }
 
 func (m *managerProc) emit(frame, si int, phase string) {
@@ -240,6 +323,7 @@ func (m *managerProc) emit(frame, si int, phase string) {
 		m.events = append(m.events, Event{Frame: frame, System: si, Proc: rankManager,
 			Phase: phase, T: m.ep.Clock.Now()})
 	}
+	m.rec.Phase(si, phase, m.ep.Clock.Now())
 }
 
 func (m *managerProc) run() error {
@@ -255,13 +339,16 @@ func (m *managerProc) run() error {
 	}
 
 	for frame := 0; frame < scn.Frames; frame++ {
+		m.rec.BeginFrame(frame, m.ep.Clock.Now())
 		if scn.Schedule == BatchedSchedule {
 			if err := m.runBatchedFrame(frame, ctxs); err != nil {
 				return err
 			}
 			if !scn.PipelineFrames {
 				m.ep.Recv(rankImageGen, transport.TagFrameDone)
+				m.rec.Phase(-1, "frame-barrier", m.ep.Clock.Now())
 			}
+			m.rec.EndFrame(m.ep.Clock.Now())
 			continue
 		}
 		for si := range scn.Systems {
@@ -342,7 +429,9 @@ func (m *managerProc) run() error {
 		}
 		if !scn.PipelineFrames {
 			m.ep.Recv(rankImageGen, transport.TagFrameDone)
+			m.rec.Phase(-1, "frame-barrier", m.ep.Clock.Now())
 		}
+		m.rec.EndFrame(m.ep.Clock.Now())
 	}
 	return nil
 }
@@ -364,6 +453,7 @@ type calcProc struct {
 	exchangedStored int
 	lbMovedStored   int
 	events          []Event
+	rec             *obs.Recorder // nil unless the run is profiled
 }
 
 func (c *calcProc) emit(frame, si int, phase string) {
@@ -371,6 +461,7 @@ func (c *calcProc) emit(frame, si int, phase string) {
 		c.events = append(c.events, Event{Frame: frame, System: si, Proc: rankCalc0 + c.idx,
 			Phase: phase, T: c.ep.Clock.Now()})
 	}
+	c.rec.Phase(si, phase, c.ep.Clock.Now())
 }
 
 // otherCalcRanks returns every calculator rank except this one, ascending.
@@ -399,13 +490,16 @@ func (c *calcProc) run() error {
 	others := c.otherCalcRanks()
 
 	for frame := 0; frame < scn.Frames; frame++ {
+		c.rec.BeginFrame(frame, c.ep.Clock.Now())
 		if scn.Schedule == BatchedSchedule {
 			if err := c.runBatchedFrame(frame, ctxs, others); err != nil {
 				return err
 			}
 			if !scn.PipelineFrames {
 				c.ep.Recv(rankImageGen, transport.TagFrameDone)
+				c.rec.Phase(-1, "frame-barrier", c.ep.Clock.Now())
 			}
+			c.rec.EndFrame(c.ep.Clock.Now())
 			continue
 		}
 		for si := range scn.Systems {
@@ -529,6 +623,7 @@ func (c *calcProc) run() error {
 				if err := c.executeDecentralized(frame, si, report); err != nil {
 					return err
 				}
+				c.rec.Phase(si, "decentralized-lb", c.ep.Clock.Now())
 			}
 		}
 		// Synchronous frames: the frame ends when its image exists
@@ -536,7 +631,9 @@ func (c *calcProc) run() error {
 		// iteration). PipelineFrames removes this barrier.
 		if !scn.PipelineFrames {
 			c.ep.Recv(rankImageGen, transport.TagFrameDone)
+			c.rec.Phase(-1, "frame-barrier", c.ep.Clock.Now())
 		}
+		c.rec.EndFrame(c.ep.Clock.Now())
 	}
 	return nil
 }
@@ -715,6 +812,7 @@ type imageGenProc struct {
 	checksums  []uint64
 	frameTimes []float64
 	events     []Event
+	rec        *obs.Recorder // nil unless the run is profiled
 }
 
 func (g *imageGenProc) run() error {
@@ -726,6 +824,7 @@ func (g *imageGenProc) run() error {
 		cam = defaultCamera(scn)
 	}
 	for frame := 0; frame < scn.Frames; frame++ {
+		g.rec.BeginFrame(frame, g.ep.Clock.Now())
 		var frameSum uint64
 		if fb != nil {
 			fb.Clear()
@@ -765,6 +864,7 @@ func (g *imageGenProc) run() error {
 				}
 			}
 		}
+		g.rec.Phase(-1, "render-collect", g.ep.Clock.Now())
 		g.ep.Clock.AdvanceWork(scn.Render.FrameOverhead, g.rate)
 		if fb != nil {
 			frameSum = fb.Checksum()
@@ -778,12 +878,15 @@ func (g *imageGenProc) run() error {
 			g.events = append(g.events, Event{Frame: frame, System: -1, Proc: rankImageGen,
 				Phase: "image-generation", T: g.ep.Clock.Now()})
 		}
+		g.rec.Phase(-1, "image-generation", g.ep.Clock.Now())
+		g.rec.FrameDelivered(g.ep.Clock.Now())
 		if !scn.PipelineFrames {
 			g.ep.Send(rankManager, transport.TagFrameDone, nil)
 			for _, r := range g.calcRanks {
 				g.ep.Send(r, transport.TagFrameDone, nil)
 			}
 		}
+		g.rec.EndFrame(g.ep.Clock.Now())
 	}
 	return nil
 }

@@ -47,6 +47,10 @@ type Result struct {
 	// bytes); zero for sequential runs.
 	MsgsSent  int
 	BytesSent int
+	// MsgsRecv and BytesRecv total the consumed receive-side traffic; in
+	// a well-formed run they equal the send-side totals.
+	MsgsRecv  int
+	BytesRecv int
 
 	// Events is the phase trace; nil unless Scenario.Trace.
 	Events []Event

@@ -58,6 +58,15 @@ func (o Order) String() string {
 	return fmt.Sprintf("calc %d: %s %d particles (peer %d)", o.Proc, o.Op, o.Count, o.Peer)
 }
 
+// Stat counts a balancer's decisions, for the observability layer.
+// Moved is in stored (not represented) particles, matching Report.Load.
+type Stat struct {
+	Evaluations int // evaluation rounds run
+	Rounds      int // rounds that produced at least one order
+	Orders      int // orders issued (two per rebalanced pair)
+	Moved       int // particles ordered to move (counted once per pair)
+}
+
 // Balancer holds the manager's balancing policy.
 type Balancer struct {
 	// Threshold is the relative processing-time difference
@@ -70,6 +79,9 @@ type Balancer struct {
 	// identifier of the first process to be evaluated"). Disabled only
 	// by the ablation benchmarks.
 	Alternate bool
+
+	// Stat accumulates decision counts across rounds.
+	Stat Stat
 
 	round int // internal round counter driving the parity alternation
 }
@@ -117,6 +129,7 @@ func (b *Balancer) evaluateFrom(reports []Report, power []float64, start int, sk
 	n := len(reports)
 	var orders []Order
 	busy := make([]bool, n)
+	b.Stat.Evaluations++
 	for x := start; x+1 < n; x++ {
 		if skipOverlap && (busy[x] || busy[x+1]) {
 			continue
@@ -126,7 +139,12 @@ func (b *Balancer) evaluateFrom(reports []Report, power []float64, start int, sk
 			continue
 		}
 		busy[x], busy[x+1] = true, true
+		b.Stat.Orders += len(o)
+		b.Stat.Moved += o[0].Count
 		orders = append(orders, o...)
+	}
+	if len(orders) > 0 {
+		b.Stat.Rounds++
 	}
 	return orders
 }

@@ -319,3 +319,26 @@ func TestOpAndOrderString(t *testing.T) {
 		t.Error("order string empty")
 	}
 }
+
+func TestStatCountsActivity(t *testing.T) {
+	b := New(0.15, 1)
+	// Imbalanced first round: 400 total -> calc 0 sends 100 (an order pair).
+	b.Evaluate([]Report{{300, 3.0}, {100, 1.0}}, equalPower(2))
+	if b.Stat.Evaluations != 1 || b.Stat.Rounds != 1 {
+		t.Errorf("after imbalanced round: %+v", b.Stat)
+	}
+	if b.Stat.Orders != 2 || b.Stat.Moved != 100 {
+		t.Errorf("orders/moved = %d/%d, want 2/100", b.Stat.Orders, b.Stat.Moved)
+	}
+	// The next round starts at odd parity: the single pair is skipped, so
+	// the evaluation counts but no orders or rounds accrue.
+	b.Evaluate([]Report{{300, 3.0}, {100, 1.0}}, equalPower(2))
+	if b.Stat.Evaluations != 2 || b.Stat.Rounds != 1 || b.Stat.Orders != 2 {
+		t.Errorf("after skipped-parity round: %+v", b.Stat)
+	}
+	// A balanced pair back on even parity: evaluated, nothing ordered.
+	b.Evaluate([]Report{{100, 1.0}, {100, 1.0}}, equalPower(2))
+	if b.Stat.Evaluations != 3 || b.Stat.Rounds != 1 || b.Stat.Orders != 2 || b.Stat.Moved != 100 {
+		t.Errorf("after balanced round: %+v", b.Stat)
+	}
+}

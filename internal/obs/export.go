@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ---------------------------------------------------------------------
+// Chrome trace-event JSON (load in Perfetto or chrome://tracing)
+// ---------------------------------------------------------------------
+
+// traceEvent is one entry of the Chrome trace-event format. Virtual
+// seconds map to trace microseconds; ranks map to tids of a single pid.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the profile's spans as Chrome trace-event
+// JSON: one complete ("ph":"X") event per span, sorted by timestamp,
+// with thread-name metadata naming each rank's role.
+func (p *Profile) WriteChromeTrace(w io.Writer) error {
+	events := make([]traceEvent, 0, len(p.Ranks)+len(p.Spans))
+	for _, tl := range p.Ranks {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tl.Rank,
+			Args: map[string]any{"name": tl.Role},
+		})
+	}
+	spans := append([]Span(nil), p.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Rank < spans[j].Rank
+	})
+	for _, s := range spans {
+		args := map[string]any{"frame": s.Frame}
+		if s.System >= 0 {
+			args["system"] = s.System
+		}
+		events = append(events, traceEvent{
+			Name: s.Phase, Cat: "phase", Ph: "X",
+			Ts: s.Start * 1e6, Dur: (s.End - s.Start) * 1e6,
+			Pid: 0, Tid: s.Rank, Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format: families sorted by name, a # HELP and # TYPE header each, one
+// sample per line, histograms as cumulative buckets + _sum + _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, name := range r.familyNames() {
+		f := r.families[name]
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.kind)
+		for _, key := range f.seriesKeys() {
+			s := f.series[key]
+			switch f.kind {
+			case KindCounter, KindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", name, braced(key), promFloat(s.value))
+			case KindHistogram:
+				cum := 0
+				for i, bound := range f.buckets {
+					cum += s.counts[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n",
+						name, bracedWith(key, "le", promFloat(bound)), cum)
+				}
+				cum += s.counts[len(f.buckets)]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", name, bracedWith(key, "le", "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", name, braced(key), promFloat(s.sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", name, braced(key), s.n)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// braced wraps a rendered label key in {} (empty key → no braces).
+func braced(key string) string {
+	if key == "" {
+		return ""
+	}
+	return "{" + key + "}"
+}
+
+// bracedWith appends one more label to a rendered key and wraps it.
+func bracedWith(key, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if key == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + key + "," + extra + "}"
+}
+
+// promFloat formats a sample value.
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ---------------------------------------------------------------------
+// JSON snapshot
+// ---------------------------------------------------------------------
+
+// SnapshotMetric is one counter or gauge sample of a Snapshot.
+type SnapshotMetric struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// SnapshotHistogram is one histogram series of a Snapshot. Counts[i]
+// belongs to Buckets[i]; the final count is the +Inf overflow bucket.
+type SnapshotHistogram struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Buckets []float64         `json:"buckets"`
+	Counts  []int             `json:"counts"`
+	Sum     float64           `json:"sum"`
+	Count   int               `json:"count"`
+}
+
+// Snapshot is the registry frozen as plain data, for embedding in JSON
+// reports (psbench) and for tests.
+type Snapshot struct {
+	Counters   []SnapshotMetric    `json:"counters"`
+	Gauges     []SnapshotMetric    `json:"gauges"`
+	Histograms []SnapshotHistogram `json:"histograms"`
+}
+
+// Snapshot freezes the registry, deterministically ordered by family
+// name then label key.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	for _, name := range r.familyNames() {
+		f := r.families[name]
+		for _, key := range f.seriesKeys() {
+			s := f.series[key]
+			labels := labelsMap(s.labels)
+			switch f.kind {
+			case KindCounter:
+				snap.Counters = append(snap.Counters,
+					SnapshotMetric{Name: name, Labels: labels, Value: s.value})
+			case KindGauge:
+				snap.Gauges = append(snap.Gauges,
+					SnapshotMetric{Name: name, Labels: labels, Value: s.value})
+			case KindHistogram:
+				snap.Histograms = append(snap.Histograms, SnapshotHistogram{
+					Name: name, Labels: labels,
+					Buckets: append([]float64(nil), f.buckets...),
+					Counts:  append([]int(nil), s.counts...),
+					Sum:     s.sum, Count: s.n,
+				})
+			}
+		}
+	}
+	return snap
+}
+
+// Counter returns the snapshot's counter value for name with exactly the
+// given label pairs, or 0 when absent.
+func (s *Snapshot) Counter(name string, labels ...string) float64 {
+	want := labelsMap(sortPairs(labels))
+	for _, m := range s.Counters {
+		if m.Name == name && mapsEqual(m.Labels, want) {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// SumCounter totals every series of a counter family.
+func (s *Snapshot) SumCounter(name string) float64 {
+	var total float64
+	for _, m := range s.Counters {
+		if m.Name == name {
+			total += m.Value
+		}
+	}
+	return total
+}
+
+func labelsMap(pairs []string) map[string]string {
+	if len(pairs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		m[pairs[i]] = pairs[i+1]
+	}
+	return m
+}
+
+func mapsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteJSONSnapshot writes the snapshot as indented JSON.
+func (r *Registry) WriteJSONSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a metric family.
+type Kind int
+
+// The three metric kinds of the registry.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus type name.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry is a process-local metrics registry. Like the Recorder it is
+// owned by a single goroutine and uses no synchronization; per-process
+// registries are merged with MergeRegistries after the run's WaitGroup
+// barrier.
+type Registry struct {
+	families map[string]*family
+}
+
+// family is one metric name with its type, help text and series.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	buckets []float64 // histogram upper bounds, ascending (an implicit +Inf is appended)
+	series  map[string]*series
+}
+
+// series is one label combination of a family.
+type series struct {
+	labels []string // alternating key, value — sorted by key
+	value  float64  // counter / gauge
+	counts []int    // histogram: len(buckets)+1, last bucket is +Inf
+	sum    float64
+	n      int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// DefDurationBuckets is the default histogram bucketing for virtual-time
+// durations: exponential from 1 ms to 10 s, matching per-frame latencies
+// of the paper's configurations.
+var DefDurationBuckets = []float64{
+	0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10,
+}
+
+// labelKey renders sorted label pairs canonically: `k="v",k2="v2"`.
+func labelKey(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", pairs[i], pairs[i+1])
+	}
+	return b.String()
+}
+
+// sortPairs returns the label pairs sorted by key, without mutating the
+// caller's slice.
+func sortPairs(pairs []string) []string {
+	if len(pairs)%2 != 0 {
+		panic("obs: labels must be key, value pairs")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	out := make([]string, 0, len(pairs))
+	for _, p := range kvs {
+		out = append(out, p.k, p.v)
+	}
+	return out
+}
+
+func (r *Registry) familyFor(name, help string, kind Kind, buckets []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
+		if kind == KindHistogram {
+			f.buckets = append([]float64(nil), buckets...)
+		}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	return f
+}
+
+func (f *family) seriesFor(labels []string) *series {
+	sorted := sortPairs(labels)
+	key := labelKey(sorted)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: sorted}
+		if f.kind == KindHistogram {
+			s.counts = make([]int, len(f.buckets)+1)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter is an additive metric handle.
+type Counter struct{ s *series }
+
+// Add increases the counter; negative deltas panic.
+func (c Counter) Add(v float64) {
+	if v < 0 {
+		panic("obs: counter decrease")
+	}
+	c.s.value += v
+}
+
+// Inc adds one.
+func (c Counter) Inc() { c.s.value++ }
+
+// Value returns the current count.
+func (c Counter) Value() float64 { return c.s.value }
+
+// Gauge is a set-to-current-value metric handle.
+type Gauge struct{ s *series }
+
+// Set replaces the gauge value.
+func (g Gauge) Set(v float64) { g.s.value = v }
+
+// Add shifts the gauge value.
+func (g Gauge) Add(v float64) { g.s.value += v }
+
+// Value returns the current value.
+func (g Gauge) Value() float64 { return g.s.value }
+
+// Histogram is a bucketed distribution handle.
+type Histogram struct {
+	f *family
+	s *series
+}
+
+// Observe files one sample.
+func (h Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.f.buckets, v) // first bucket with bound >= v
+	h.s.counts[i]++
+	h.s.sum += v
+	h.s.n++
+}
+
+// Count returns how many samples were observed.
+func (h Histogram) Count() int { return h.s.n }
+
+// Counter returns (creating on first use) the counter for name and the
+// given label key/value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) Counter {
+	f := r.familyFor(name, help, KindCounter, nil)
+	return Counter{f.seriesFor(labels)}
+}
+
+// Gauge returns (creating on first use) the gauge for name and labels.
+func (r *Registry) Gauge(name, help string, labels ...string) Gauge {
+	f := r.familyFor(name, help, KindGauge, nil)
+	return Gauge{f.seriesFor(labels)}
+}
+
+// Histogram returns (creating on first use) the histogram for name and
+// labels. The bucket bounds of the first registration win; pass
+// DefDurationBuckets for durations.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) Histogram {
+	f := r.familyFor(name, help, KindHistogram, buckets)
+	return Histogram{f, f.seriesFor(labels)}
+}
+
+// MergeRegistries combines per-process registries into a fresh one:
+// counters and histograms add, gauges keep the last writer (per-rank
+// gauges carry disjoint labels, so no information is lost).
+func MergeRegistries(regs ...*Registry) *Registry {
+	out := NewRegistry()
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		for name, f := range r.families {
+			for _, s := range f.series {
+				switch f.kind {
+				case KindCounter:
+					out.Counter(name, f.help, s.labels...).Add(s.value)
+				case KindGauge:
+					out.Gauge(name, f.help, s.labels...).Set(s.value)
+				case KindHistogram:
+					h := out.Histogram(name, f.help, f.buckets, s.labels...)
+					for i, c := range s.counts {
+						if i < len(h.s.counts) {
+							h.s.counts[i] += c
+						}
+					}
+					h.s.sum += s.sum
+					h.s.n += s.n
+				}
+			}
+		}
+	}
+	return out
+}
+
+// familyNames returns the registered family names, sorted.
+func (r *Registry) familyNames() []string {
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// seriesKeys returns a family's series keys, sorted.
+func (f *family) seriesKeys() []string {
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

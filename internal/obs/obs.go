@@ -1,0 +1,248 @@
+// Package obs is the observability layer of the engine: per-process
+// phase-span recording in virtual time, a metrics registry
+// (counters / gauges / histograms), and exporters for Chrome trace-event
+// JSON (Perfetto-loadable), Prometheus text exposition, a JSON snapshot
+// and a terminal per-calculator timeline.
+//
+// The design mirrors the transport substrate's concurrency model: every
+// process goroutine owns one Recorder (reached through its Endpoint) and
+// records with zero synchronization; the recorders are merged into a
+// Profile only after the run's WaitGroup barrier. Recording reads the
+// virtual clocks but never advances them, so a profiled run is
+// bit-identical — same frame checksums, same virtual times — to an
+// unprofiled one.
+package obs
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Span is one Figure-2 phase interval on one process, in virtual time.
+// System is -1 for phases not tied to a particle system (frame barriers,
+// image generation, batched-schedule phases covering all systems).
+type Span struct {
+	Rank   int     `json:"rank"`
+	Frame  int     `json:"frame"`
+	System int     `json:"system"`
+	Phase  string  `json:"phase"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+}
+
+// Recorder collects one process's spans, per-frame wait/comm
+// accumulators and metrics. It is owned by a single goroutine and does
+// no locking; a nil *Recorder is valid and records nothing, so call
+// sites need no guards.
+type Recorder struct {
+	rank int
+	role string
+	reg  *Registry
+
+	spans    []Span
+	frame    int     // current frame, -1 before the first BeginFrame
+	lastMark float64 // end of the previous span — start of the next
+
+	frameStart []float64
+	frameEnd   []float64
+	wait       []float64 // blocked-receive time per frame (clock-fuse delta)
+	comm       []float64 // send packing + receive serialization per frame
+
+	lastDelivered float64 // image generator: previous frame completion
+}
+
+// NewRecorder returns a recorder for one process. role is the display
+// name used by the exporters ("manager", "calculator 0", ...).
+func NewRecorder(rank int, role string) *Recorder {
+	return &Recorder{rank: rank, role: role, reg: NewRegistry(), frame: -1}
+}
+
+// Registry returns the recorder's process-local metrics registry.
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// BeginFrame opens frame f at virtual time t: subsequent spans and
+// message costs are attributed to it.
+func (r *Recorder) BeginFrame(f int, t float64) {
+	if r == nil || f < 0 {
+		return
+	}
+	for len(r.frameStart) <= f {
+		r.frameStart = append(r.frameStart, 0)
+		r.frameEnd = append(r.frameEnd, 0)
+		r.wait = append(r.wait, 0)
+		r.comm = append(r.comm, 0)
+	}
+	r.frame = f
+	r.frameStart[f] = t
+	r.frameEnd[f] = t
+	r.lastMark = t
+}
+
+// Phase closes the span that started at the previous mark: everything
+// since then was this phase, ending at t.
+func (r *Recorder) Phase(system int, phase string, t float64) {
+	if r == nil {
+		return
+	}
+	start := r.lastMark
+	if t < start {
+		t = start
+	}
+	r.spans = append(r.spans, Span{
+		Rank: r.rank, Frame: r.frame, System: system,
+		Phase: phase, Start: start, End: t,
+	})
+	r.lastMark = t
+}
+
+// EndFrame closes the current frame at virtual time t.
+func (r *Recorder) EndFrame(t float64) {
+	if r == nil || r.frame < 0 {
+		return
+	}
+	r.frameEnd[r.frame] = t
+}
+
+// FrameDelivered records a frame-completion at t on the image
+// generator's delivery-latency histogram (the inter-frame interval, the
+// cadence the animation's viewer experiences).
+func (r *Recorder) FrameDelivered(t float64) {
+	if r == nil {
+		return
+	}
+	r.reg.Histogram("pscluster_frame_delivery_latency_seconds",
+		"virtual time between successive frame completions",
+		DefDurationBuckets).Observe(t - r.lastDelivered)
+	r.lastDelivered = t
+}
+
+// MsgSent implements the transport observer's send side: pack is the
+// sender-side packing time already charged to the clock.
+func (r *Recorder) MsgSent(to int, tag string, bytes int, pack, now float64) {
+	if r == nil {
+		return
+	}
+	_ = to
+	_ = now
+	if r.frame >= 0 && r.frame < len(r.comm) {
+		r.comm[r.frame] += pack
+	}
+	rank := strconv.Itoa(r.rank)
+	r.reg.Counter("pscluster_msgs_sent_total",
+		"messages sent, by rank and tag", "rank", rank, "tag", tag).Inc()
+	r.reg.Counter("pscluster_bytes_sent_total",
+		"billed bytes sent, by rank and tag", "rank", rank, "tag", tag).Add(float64(bytes))
+}
+
+// MsgRecv implements the transport observer's receive side: wait is the
+// blocked time (the clock-fuse delta), ser the serialization time, both
+// already charged to the clock.
+func (r *Recorder) MsgRecv(from int, tag string, bytes int, wait, ser, now float64) {
+	if r == nil {
+		return
+	}
+	_ = from
+	_ = now
+	if r.frame >= 0 && r.frame < len(r.wait) {
+		r.wait[r.frame] += wait
+		r.comm[r.frame] += ser
+	}
+	rank := strconv.Itoa(r.rank)
+	r.reg.Counter("pscluster_msgs_recv_total",
+		"messages received, by rank and tag", "rank", rank, "tag", tag).Inc()
+	r.reg.Counter("pscluster_bytes_recv_total",
+		"billed bytes received, by rank and tag", "rank", rank, "tag", tag).Add(float64(bytes))
+	r.reg.Counter("pscluster_recv_wait_seconds_total",
+		"blocked-receive virtual time, by rank", "rank", rank).Add(wait)
+}
+
+// RankTimeline is one process's per-frame time accounting.
+type RankTimeline struct {
+	Rank       int       `json:"rank"`
+	Role       string    `json:"role"`
+	FrameStart []float64 `json:"frameStart"`
+	FrameEnd   []float64 `json:"frameEnd"`
+	Wait       []float64 `json:"wait"`
+	Comm       []float64 `json:"comm"`
+}
+
+// Frames returns how many frames the timeline covers.
+func (tl *RankTimeline) Frames() int { return len(tl.FrameStart) }
+
+// Breakdown splits frames [lo, hi) of the rank's time into compute,
+// communication and idle fractions that sum to 1 (all zero when the
+// window is empty).
+func (tl *RankTimeline) Breakdown(lo, hi int) (compute, comm, idle float64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(tl.FrameStart) {
+		hi = len(tl.FrameStart)
+	}
+	var total, w, c float64
+	for f := lo; f < hi; f++ {
+		total += tl.FrameEnd[f] - tl.FrameStart[f]
+		w += tl.Wait[f]
+		c += tl.Comm[f]
+	}
+	if total <= 0 {
+		return 0, 0, 0
+	}
+	compute = (total - w - c) / total
+	if compute < 0 {
+		compute = 0
+	}
+	return compute, c / total, w / total
+}
+
+// Profile is the merged observability record of one run.
+type Profile struct {
+	Spans    []Span
+	Ranks    []RankTimeline
+	Registry *Registry
+}
+
+// NewProfile merges per-process recorders (after the run's goroutine
+// barrier) into one profile: spans sorted by start time, registries
+// summed, timelines ordered by rank.
+func NewProfile(recs ...*Recorder) *Profile {
+	p := &Profile{}
+	regs := make([]*Registry, 0, len(recs))
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		p.Spans = append(p.Spans, r.spans...)
+		p.Ranks = append(p.Ranks, RankTimeline{
+			Rank: r.rank, Role: r.role,
+			FrameStart: r.frameStart, FrameEnd: r.frameEnd,
+			Wait: r.wait, Comm: r.comm,
+		})
+		regs = append(regs, r.reg)
+	}
+	sort.SliceStable(p.Spans, func(i, j int) bool {
+		if p.Spans[i].Start != p.Spans[j].Start {
+			return p.Spans[i].Start < p.Spans[j].Start
+		}
+		return p.Spans[i].Rank < p.Spans[j].Rank
+	})
+	sort.Slice(p.Ranks, func(i, j int) bool { return p.Ranks[i].Rank < p.Ranks[j].Rank })
+	p.Registry = MergeRegistries(regs...)
+	return p
+}
+
+// Timeline returns the rank's timeline, or nil if the rank was not
+// profiled.
+func (p *Profile) Timeline(rank int) *RankTimeline {
+	for i := range p.Ranks {
+		if p.Ranks[i].Rank == rank {
+			return &p.Ranks[i]
+		}
+	}
+	return nil
+}

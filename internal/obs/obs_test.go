@@ -1,0 +1,385 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	// Every method must be a no-op on a nil receiver — call sites in the
+	// engine carry no guards.
+	r.BeginFrame(0, 0)
+	r.Phase(0, "calculus", 1)
+	r.EndFrame(1)
+	r.FrameDelivered(1)
+	r.MsgSent(1, "particles", 10, 0.1, 1)
+	r.MsgRecv(1, "particles", 10, 0.1, 0.2, 1)
+	if r.Registry() != nil {
+		t.Error("nil recorder returned a registry")
+	}
+	p := NewProfile(r, nil)
+	if len(p.Spans) != 0 || len(p.Ranks) != 0 {
+		t.Errorf("nil recorders produced profile content: %+v", p)
+	}
+}
+
+func TestRecorderSpansAndAccounting(t *testing.T) {
+	r := NewRecorder(2, "calculator 0")
+	r.BeginFrame(0, 10)
+	r.Phase(0, "addition", 11)
+	r.Phase(0, "calculus", 13.5)
+	r.MsgRecv(1, "particles", 100, 0.25, 0.75, 14.5) // wait 0.25, ser 0.75
+	r.Phase(0, "exchange", 14.5)
+	r.MsgSent(1, "render-batch", 200, 0.5, 15)
+	r.Phase(0, "render-send", 15)
+	r.EndFrame(16)
+
+	p := NewProfile(r)
+	if len(p.Spans) != 4 {
+		t.Fatalf("%d spans", len(p.Spans))
+	}
+	// Spans tile the interval: each starts where the previous ended.
+	wantPhases := []string{"addition", "calculus", "exchange", "render-send"}
+	last := 10.0
+	for i, s := range p.Spans {
+		if s.Phase != wantPhases[i] {
+			t.Errorf("span %d phase %q, want %q", i, s.Phase, wantPhases[i])
+		}
+		if s.Start != last {
+			t.Errorf("span %d starts at %v, previous ended at %v", i, s.Start, last)
+		}
+		if s.End < s.Start {
+			t.Errorf("span %d negative duration", i)
+		}
+		if s.Rank != 2 || s.Frame != 0 {
+			t.Errorf("span %d rank/frame = %d/%d", i, s.Rank, s.Frame)
+		}
+		last = s.End
+	}
+
+	tl := p.Timeline(2)
+	if tl == nil || tl.Frames() != 1 {
+		t.Fatalf("timeline missing or wrong length: %+v", tl)
+	}
+	comp, comm, idle := tl.Breakdown(0, 1)
+	// Frame spans [10,16] = 6s: wait 0.25, comm 0.75+0.5 = 1.25.
+	if !approx(idle, 0.25/6) || !approx(comm, 1.25/6) || !approx(comp, (6-0.25-1.25)/6) {
+		t.Errorf("breakdown = %v %v %v", comp, comm, idle)
+	}
+	if s := comp + comm + idle; !approx(s, 1) {
+		t.Errorf("fractions sum to %v", s)
+	}
+}
+
+// approx reports a ≈ b (the tests compare derived fractions).
+func approx(a, b float64) bool { d := a - b; return d < 1e-12 && d > -1e-12 }
+
+func TestBreakdownEmptyWindow(t *testing.T) {
+	tl := &RankTimeline{}
+	if c, m, i := tl.Breakdown(0, 5); c != 0 || m != 0 || i != 0 {
+		t.Errorf("empty timeline breakdown = %v %v %v", c, m, i)
+	}
+}
+
+func TestPhaseClampsBackwardTime(t *testing.T) {
+	r := NewRecorder(0, "manager")
+	r.BeginFrame(0, 5)
+	r.Phase(0, "a", 6)
+	r.Phase(0, "b", 4) // never happens in the engine, but must not produce a negative span
+	p := NewProfile(r)
+	if p.Spans[1].Start != 6 || p.Spans[1].End != 6 {
+		t.Errorf("backward phase span = %+v", p.Spans[1])
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("msgs_total", "messages", "rank", "0")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Errorf("counter = %v", c.Value())
+	}
+	// Same name + labels must return the same series.
+	if v := reg.Counter("msgs_total", "", "rank", "0").Value(); v != 3 {
+		t.Errorf("re-lookup = %v", v)
+	}
+	// Different labels are a different series.
+	if v := reg.Counter("msgs_total", "", "rank", "1").Value(); v != 0 {
+		t.Errorf("fresh series = %v", v)
+	}
+
+	g := reg.Gauge("load", "particles")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+
+	h := reg.Histogram("lat", "latency", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("histogram count = %d", h.Count())
+	}
+	s := reg.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("%d histograms", len(s.Histograms))
+	}
+	hs := s.Histograms[0]
+	// counts: ≤1 → 1 sample, (1,2] → 2, (2,5] → 1, +Inf → 1.
+	want := []int{1, 2, 1, 1}
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Errorf("bucket %d count %d, want %d", i, hs.Counts[i], w)
+		}
+	}
+	if hs.Sum != 0.5+1.5+1.5+3+100 {
+		t.Errorf("sum = %v", hs.Sum)
+	}
+}
+
+func TestCounterDecreasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative counter add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c", "").Add(-1)
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("m", "")
+}
+
+func TestLabelOrderIsCanonical(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c", "", "b", "2", "a", "1").Inc()
+	if v := reg.Counter("c", "", "a", "1", "b", "2").Value(); v != 1 {
+		t.Errorf("label order created a second series: %v", v)
+	}
+}
+
+func TestMergeRegistries(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("msgs", "", "rank", "0").Add(3)
+	b.Counter("msgs", "", "rank", "0").Add(4)
+	b.Counter("msgs", "", "rank", "1").Add(5)
+	a.Gauge("load", "", "rank", "0").Set(7)
+	a.Histogram("lat", "", []float64{1}).Observe(0.5)
+	b.Histogram("lat", "", []float64{1}).Observe(2)
+
+	m := MergeRegistries(a, b, nil)
+	s := m.Snapshot()
+	if v := s.Counter("msgs", "rank", "0"); v != 7 {
+		t.Errorf("merged counter = %v", v)
+	}
+	if v := s.Counter("msgs", "rank", "1"); v != 5 {
+		t.Errorf("disjoint counter = %v", v)
+	}
+	if v := s.SumCounter("msgs"); v != 12 {
+		t.Errorf("family sum = %v", v)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != 7 {
+		t.Errorf("merged gauges = %+v", s.Gauges)
+	}
+	if len(s.Histograms) != 1 {
+		t.Fatalf("%d merged histograms", len(s.Histograms))
+	}
+	h := s.Histograms[0]
+	if h.Count != 2 || h.Sum != 2.5 || h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Errorf("merged histogram = %+v", h)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pscluster_msgs_total", "messages", "rank", "0", "tag", "particles").Add(3)
+	reg.Gauge("pscluster_load", "load").Set(1.5)
+	reg.Histogram("pscluster_lat", "latency", []float64{0.1, 1}).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	types := 0
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "# TYPE ") {
+			types++
+			continue
+		}
+		if strings.HasPrefix(ln, "# HELP ") {
+			continue
+		}
+		// Every sample line is "name[{labels}] value" — exactly two fields.
+		if parts := strings.Fields(ln); len(parts) != 2 {
+			t.Errorf("malformed sample line %q", ln)
+		}
+	}
+	if types != 3 {
+		t.Errorf("%d TYPE headers, want 3", types)
+	}
+	for _, want := range []string{
+		"# TYPE pscluster_msgs_total counter",
+		"# TYPE pscluster_load gauge",
+		"# TYPE pscluster_lat histogram",
+		`pscluster_msgs_total{rank="0",tag="particles"} 3`,
+		"pscluster_load 1.5",
+		`pscluster_lat_bucket{le="0.1"} 0`,
+		`pscluster_lat_bucket{le="1"} 1`,
+		`pscluster_lat_bucket{le="+Inf"} 1`,
+		"pscluster_lat_sum 0.5",
+		"pscluster_lat_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Histogram buckets must be cumulative (non-decreasing counts).
+	prev := int64(-1)
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "pscluster_lat_bucket") {
+			continue
+		}
+		n, err := json.Number(strings.Fields(ln)[1]).Int64()
+		if err != nil {
+			t.Fatalf("bucket value in %q: %v", ln, err)
+		}
+		if n < prev {
+			t.Errorf("bucket counts not cumulative at %q", ln)
+		}
+		prev = n
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	r := NewRecorder(2, "calculator 0")
+	r.BeginFrame(0, 0)
+	r.Phase(1, "calculus", 2)
+	r.Phase(-1, "frame-barrier", 3)
+	p := NewProfile(r)
+
+	var buf bytes.Buffer
+	if err := p.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var metas, complete int
+	lastTs := -1.0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			metas++
+			if ev.Name != "thread_name" || ev.Args["name"] != "calculator 0" {
+				t.Errorf("metadata event = %+v", ev)
+			}
+		case "X":
+			complete++
+			if ev.Ts < lastTs {
+				t.Errorf("events not sorted by ts: %v after %v", ev.Ts, lastTs)
+			}
+			lastTs = ev.Ts
+			if ev.Dur < 0 {
+				t.Errorf("negative duration: %+v", ev)
+			}
+			if ev.Tid != 2 {
+				t.Errorf("tid = %d, want rank 2", ev.Tid)
+			}
+		default:
+			t.Errorf("unexpected phase type %q", ev.Ph)
+		}
+	}
+	if metas != 1 || complete != 2 {
+		t.Errorf("%d metadata + %d complete events", metas, complete)
+	}
+	// Microsecond scaling: the calculus span [0,2]s is [0,2e6]µs.
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "calculus" && ev.Dur != 2e6 {
+			t.Errorf("calculus dur = %v µs", ev.Dur)
+		}
+		if ev.Name == "frame-barrier" {
+			if _, hasSys := ev.Args["system"]; hasSys {
+				t.Error("system=-1 span carries a system arg")
+			}
+		}
+	}
+}
+
+func TestWriteJSONSnapshotRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c", "help", "rank", "0").Add(2)
+	reg.Histogram("h", "", []float64{1, 2}).Observe(1.5)
+	var buf bytes.Buffer
+	if err := reg.WriteJSONSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if v := snap.Counter("c", "rank", "0"); v != 2 {
+		t.Errorf("round-tripped counter = %v", v)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 1 {
+		t.Errorf("round-tripped histograms = %+v", snap.Histograms)
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	r := NewRecorder(2, "calculator 0")
+	for f := 0; f < 4; f++ {
+		t0 := float64(f)
+		r.BeginFrame(f, t0)
+		r.MsgRecv(0, "particles", 10, 0.2, 0.1, t0+0.3)
+		r.EndFrame(t0 + 1)
+	}
+	p := NewProfile(r)
+	var buf bytes.Buffer
+	if err := p.WriteTimeline(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "calculator 0") {
+		t.Errorf("timeline missing role:\n%s", out)
+	}
+	// Each frame is 1s with 0.2 wait and 0.1 comm: 70/10/20.
+	if !strings.Contains(out, "compute  70.0%") ||
+		!strings.Contains(out, "comm  10.0%") ||
+		!strings.Contains(out, "idle  20.0%") {
+		t.Errorf("timeline percentages wrong:\n%s", out)
+	}
+	// maxWindows=2 over 4 frames → two 2-frame windows.
+	if !strings.Contains(out, "frames   0-1") || !strings.Contains(out, "frames   2-3") {
+		t.Errorf("timeline windows wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTimeline prints the per-process timeline report: for every rank,
+// the whole-run compute / communication / idle split, then per
+// frame-window rows with a proportional bar — the load-imbalance view
+// that motivates dynamic balancing (a starved calculator shows a wide
+// idle band; the gather bottleneck shows as the image generator's comm
+// band). Frames are grouped into at most maxWindows windows.
+func (p *Profile) WriteTimeline(w io.Writer, maxWindows int) error {
+	if maxWindows < 1 {
+		maxWindows = 1
+	}
+	var b strings.Builder
+	b.WriteString("per-process timeline (virtual time; compute / comm / idle)\n")
+	for i := range p.Ranks {
+		tl := &p.Ranks[i]
+		n := tl.Frames()
+		if n == 0 {
+			continue
+		}
+		comp, comm, idle := tl.Breakdown(0, n)
+		fmt.Fprintf(&b, "rank %d  %-16s  compute %5.1f%%  comm %5.1f%%  idle %5.1f%%\n",
+			tl.Rank, tl.Role, comp*100, comm*100, idle*100)
+		step := (n + maxWindows - 1) / maxWindows
+		for lo := 0; lo < n; lo += step {
+			hi := lo + step
+			if hi > n {
+				hi = n
+			}
+			comp, comm, idle := tl.Breakdown(lo, hi)
+			fmt.Fprintf(&b, "  frames %3d-%-3d %s compute %5.1f%%  comm %5.1f%%  idle %5.1f%%\n",
+				lo, hi-1, bar(comp, comm, idle, 24), comp*100, comm*100, idle*100)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// bar renders a width-character band: '#' compute, '+' comm, '.' idle.
+func bar(comp, comm, idle float64, width int) string {
+	total := comp + comm + idle
+	if total <= 0 {
+		return "[" + strings.Repeat(" ", width) + "]"
+	}
+	nc := int(comp / total * float64(width))
+	nm := int(comm / total * float64(width))
+	if nc+nm > width {
+		nm = width - nc
+	}
+	ni := width - nc - nm
+	return "[" + strings.Repeat("#", nc) + strings.Repeat("+", nm) + strings.Repeat(".", ni) + "]"
+}

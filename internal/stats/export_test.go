@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"math"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -45,6 +47,115 @@ func TestWriteCSVNoPaper(t *testing.T) {
 	}
 	if strings.Contains(buf.String(), "paper") {
 		t.Error("paper columns emitted without paper data")
+	}
+}
+
+// TestCSVRoundTrip parses the CSV back and checks every measured and
+// paper value survives, including NaN → empty-cell mapping.
+func TestCSVRoundTrip(t *testing.T) {
+	tab := sample()
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1+len(tab.Rows) {
+		t.Fatalf("%d records for %d rows", len(records), len(tab.Rows))
+	}
+	nCols := len(tab.Columns)
+	for ri, row := range tab.Rows {
+		rec := records[ri+1]
+		if rec[0] != row.Label {
+			t.Errorf("row %d label = %q, want %q", ri, rec[0], row.Label)
+		}
+		for ci, want := range row.Values {
+			got, err := strconv.ParseFloat(rec[1+ci], 64)
+			if err != nil {
+				t.Fatalf("row %d col %d: %v", ri, ci, err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("row %d col %d = %v, want %v", ri, ci, got, want)
+			}
+		}
+		for ci, want := range tab.Paper[ri].Values {
+			cell := rec[1+nCols+ci]
+			if math.IsNaN(want) {
+				if cell != "" {
+					t.Errorf("row %d paper col %d: NaN rendered as %q", ri, ci, cell)
+				}
+				continue
+			}
+			got, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("row %d paper col %d: %v", ri, ci, err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("row %d paper col %d = %v, want %v", ri, ci, got, want)
+			}
+		}
+	}
+}
+
+// TestJSONRoundTrip decodes the JSON back into the table shape and
+// compares every field, with NaN mapping to null and back.
+func TestJSONRoundTrip(t *testing.T) {
+	tab := sample()
+	var buf bytes.Buffer
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID      string   `json:"id"`
+		Title   string   `json:"title"`
+		Columns []string `json:"columns"`
+		Rows    []struct {
+			Label  string     `json:"label"`
+			Values []*float64 `json:"values"`
+		} `json:"rows"`
+		Paper []struct {
+			Label  string     `json:"label"`
+			Values []*float64 `json:"values"`
+		} `json:"paper"`
+		Notes []string `json:"notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != tab.ID || decoded.Title != tab.Title {
+		t.Errorf("header = %q/%q", decoded.ID, decoded.Title)
+	}
+	if len(decoded.Columns) != len(tab.Columns) || len(decoded.Notes) != len(tab.Notes) {
+		t.Errorf("columns/notes lost in round-trip")
+	}
+	if len(decoded.Rows) != len(tab.Rows) {
+		t.Fatalf("%d rows", len(decoded.Rows))
+	}
+	for ri, row := range tab.Rows {
+		if decoded.Rows[ri].Label != row.Label {
+			t.Errorf("row %d label = %q", ri, decoded.Rows[ri].Label)
+		}
+		for ci, want := range row.Values {
+			got := decoded.Rows[ri].Values[ci]
+			if got == nil || *got != want {
+				t.Errorf("row %d col %d = %v, want %v", ri, ci, got, want)
+			}
+		}
+	}
+	for ri, row := range tab.Paper {
+		for ci, want := range row.Values {
+			got := decoded.Paper[ri].Values[ci]
+			switch {
+			case math.IsNaN(want):
+				if got != nil {
+					t.Errorf("paper row %d col %d: NaN became %v", ri, ci, *got)
+				}
+			case got == nil || *got != want:
+				t.Errorf("paper row %d col %d = %v, want %v", ri, ci, got, want)
+			}
+		}
 	}
 }
 

@@ -51,6 +51,8 @@ const (
 	TagFrameDone              // image generator frame completion marker
 	TagLBParticles            // calc→calc balancing donation
 	TagGhosts                 // calc→calc boundary-band ghosts for collision detection
+
+	numTags // sentinel — keep last; Tag.String's names table must match
 )
 
 // String names the tag.
@@ -74,11 +76,35 @@ type Message struct {
 	Bytes    int     // billed size (>= len(Payload) under scaling)
 }
 
-// Stats counts traffic an endpoint has sent, in billed bytes.
+// Stats counts an endpoint's traffic on both sides, in billed bytes.
+// Receive-side counters cover consumed messages only (a well-formed run
+// consumes everything it was sent, so run totals balance).
 type Stats struct {
 	MsgsSent  int
 	BytesSent int
-	ByTag     map[Tag]int
+	ByTag     map[Tag]int // billed bytes sent, per tag
+
+	MsgsRecv  int
+	BytesRecv int
+	ByTagRecv map[Tag]int // billed bytes received, per tag
+
+	MsgsByTag     map[Tag]int // messages sent, per tag
+	MsgsByTagRecv map[Tag]int // messages received, per tag
+}
+
+// Observer receives per-message notifications from an endpoint — the
+// hook the observability layer hangs its recorder on. Implementations
+// must not advance clocks or otherwise perturb the run; every duration
+// reported here has already been charged. All calls happen on the
+// endpoint-owning goroutine.
+type Observer interface {
+	// MsgSent fires after a send: pack is the sender-side packing time,
+	// now the sender clock after it.
+	MsgSent(to int, tag string, bytes int, pack, now float64)
+	// MsgRecv fires after a message is consumed: wait is the blocked
+	// time (the clock-fuse delta to the message's ready time), ser the
+	// receive-side serialization time, now the receiver clock after both.
+	MsgRecv(from int, tag string, bytes int, wait, ser, now float64)
 }
 
 // Router connects the processes of one run. Inboxes are buffered
@@ -122,17 +148,24 @@ func (r *Router) Endpoint(rank int) *Endpoint {
 	return &Endpoint{
 		rank:   rank,
 		router: r,
-		Stats:  Stats{ByTag: map[Tag]int{}},
+		Stats: Stats{
+			ByTag: map[Tag]int{}, ByTagRecv: map[Tag]int{},
+			MsgsByTag: map[Tag]int{}, MsgsByTagRecv: map[Tag]int{},
+		},
 	}
 }
 
 // Endpoint is one process's handle on the router. It is owned by a
-// single goroutine; Clock and Stats are not synchronized.
+// single goroutine; Clock, Stats and Obs are not synchronized.
 type Endpoint struct {
 	rank   int
 	router *Router
 	Clock  cluster.Clock
 	Stats  Stats
+
+	// Obs, when non-nil, is notified of every send and consumed receive.
+	// Set it before the run starts; it is called on the owning goroutine.
+	Obs Observer
 
 	// pending holds received-but-unmatched messages, keyed by (from, tag).
 	pending map[pendKey][]Message
@@ -162,7 +195,8 @@ func (e *Endpoint) SendSized(to int, tag Tag, payload []byte, bytes int) {
 		panic("transport: billed bytes smaller than payload")
 	}
 	r := e.router
-	e.Clock.Advance(r.SendCPU * float64(bytes))
+	pack := r.SendCPU * float64(bytes)
+	e.Clock.Advance(pack)
 	lat := r.net.Latency
 	if r.place.SameNode(e.rank, to) {
 		lat = r.LocalLatency
@@ -170,6 +204,10 @@ func (e *Endpoint) SendSized(to int, tag Tag, payload []byte, bytes int) {
 	e.Stats.MsgsSent++
 	e.Stats.BytesSent += bytes
 	e.Stats.ByTag[tag] += bytes
+	e.Stats.MsgsByTag[tag]++
+	if e.Obs != nil {
+		e.Obs.MsgSent(to, tag.String(), bytes, pack, e.Clock.Now())
+	}
 	select {
 	case r.inboxes[to] <- Message{
 		From: e.rank, To: to, Tag: tag, Payload: payload,
@@ -202,14 +240,29 @@ func (e *Endpoint) Recv(from int, tag Tag) Message {
 	}
 }
 
-// ingest applies the receive-side cost model to a consumed message.
+// ingest applies the receive-side cost model to a consumed message and
+// updates the receive-side statistics. The time spent blocked on the
+// sender is the clock-fuse delta — the difference between the receiver's
+// clock before the fuse and the message's ready time.
 func (e *Endpoint) ingest(m Message) {
+	wait := m.Ready - e.Clock.Now()
+	if wait < 0 {
+		wait = 0
+	}
 	e.Clock.Fuse(m.Ready)
 	bw := e.router.net.Bandwidth
 	if e.router.place.SameNode(m.From, e.rank) {
 		bw = e.router.LocalBandwidth
 	}
-	e.Clock.Advance(float64(m.Bytes) / bw)
+	ser := float64(m.Bytes) / bw
+	e.Clock.Advance(ser)
+	e.Stats.MsgsRecv++
+	e.Stats.BytesRecv += m.Bytes
+	e.Stats.ByTagRecv[m.Tag] += m.Bytes
+	e.Stats.MsgsByTagRecv[m.Tag]++
+	if e.Obs != nil {
+		e.Obs.MsgRecv(m.From, m.Tag.String(), m.Bytes, wait, ser, e.Clock.Now())
+	}
 }
 
 // RecvFromEach receives exactly one message with the given tag from

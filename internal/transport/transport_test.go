@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -169,6 +171,102 @@ func TestStats(t *testing.T) {
 	b.Recv(2, TagRenderBatch)
 }
 
+func TestRecvStats(t *testing.T) {
+	_, a, b := twoProcRouter(t)
+	a.Send(3, TagParticles, make([]byte, 100))
+	a.SendSized(3, TagRenderBatch, make([]byte, 50), 200)
+	b.Recv(2, TagParticles)
+	b.Recv(2, TagRenderBatch)
+	// Receive-side totals must mirror the send side, in billed bytes.
+	if b.Stats.MsgsRecv != a.Stats.MsgsSent {
+		t.Errorf("msgs: sent %d, received %d", a.Stats.MsgsSent, b.Stats.MsgsRecv)
+	}
+	if b.Stats.BytesRecv != a.Stats.BytesSent || b.Stats.BytesRecv != 300 {
+		t.Errorf("bytes: sent %d, received %d", a.Stats.BytesSent, b.Stats.BytesRecv)
+	}
+	if b.Stats.ByTagRecv[TagParticles] != 100 || b.Stats.ByTagRecv[TagRenderBatch] != 200 {
+		t.Errorf("by-tag recv = %v", b.Stats.ByTagRecv)
+	}
+	if b.Stats.MsgsByTagRecv[TagParticles] != 1 || b.Stats.MsgsByTagRecv[TagRenderBatch] != 1 {
+		t.Errorf("msgs-by-tag recv = %v", b.Stats.MsgsByTagRecv)
+	}
+	if a.Stats.MsgsByTag[TagParticles] != 1 || a.Stats.MsgsByTag[TagRenderBatch] != 1 {
+		t.Errorf("msgs-by-tag sent = %v", a.Stats.MsgsByTag)
+	}
+}
+
+func TestRecvStatsCountConsumedOnly(t *testing.T) {
+	_, a, b := twoProcRouter(t)
+	a.Send(3, TagParticles, make([]byte, 10))
+	a.Send(3, TagLoadReport, make([]byte, 20))
+	b.Recv(2, TagLoadReport) // the particles message gets stashed, not consumed
+	if b.Stats.MsgsRecv != 1 || b.Stats.BytesRecv != 20 {
+		t.Errorf("stashed message counted as received: %+v", b.Stats)
+	}
+	b.Recv(2, TagParticles)
+	if b.Stats.MsgsRecv != 2 || b.Stats.BytesRecv != 30 {
+		t.Errorf("consumed message not counted: %+v", b.Stats)
+	}
+}
+
+// obsRecord captures Observer callbacks for inspection.
+type obsRecord struct {
+	sent []string
+	recv []string
+	wait []float64
+	ser  []float64
+}
+
+func (o *obsRecord) MsgSent(to int, tag string, bytes int, pack, now float64) {
+	o.sent = append(o.sent, tag)
+	if pack < 0 || now <= 0 {
+		panic("bad send observation")
+	}
+}
+
+func (o *obsRecord) MsgRecv(from int, tag string, bytes int, wait, ser, now float64) {
+	o.recv = append(o.recv, tag)
+	o.wait = append(o.wait, wait)
+	o.ser = append(o.ser, ser)
+}
+
+func TestObserverCallbacks(t *testing.T) {
+	_, a, b := twoProcRouter(t)
+	oa, ob := &obsRecord{}, &obsRecord{}
+	a.Obs, b.Obs = oa, ob
+
+	a.Clock.Advance(5)
+	a.Send(3, TagParticles, make([]byte, 1000))
+	m := b.Recv(2, TagParticles)
+
+	if len(oa.sent) != 1 || oa.sent[0] != "particles" {
+		t.Errorf("send observations = %v", oa.sent)
+	}
+	if len(ob.recv) != 1 || ob.recv[0] != "particles" {
+		t.Fatalf("recv observations = %v", ob.recv)
+	}
+	// The receiver's clock started at 0, so the blocked wait is the full
+	// ready time; serialization is bytes over the network bandwidth.
+	if ob.wait[0] != m.Ready {
+		t.Errorf("wait = %v, want ready time %v", ob.wait[0], m.Ready)
+	}
+	if want := 1000 / cluster.Myrinet.Bandwidth; ob.ser[0] != want {
+		t.Errorf("ser = %v, want %v", ob.ser[0], want)
+	}
+}
+
+func TestObserverWaitZeroWhenMessageAlreadyArrived(t *testing.T) {
+	_, a, b := twoProcRouter(t)
+	ob := &obsRecord{}
+	b.Obs = ob
+	a.Send(3, TagParticles, nil)
+	b.Clock.Advance(100) // receiver is late: the message waited for it
+	b.Recv(2, TagParticles)
+	if ob.wait[0] != 0 {
+		t.Errorf("late receiver observed wait %v, want 0", ob.wait[0])
+	}
+}
+
 func TestSendToSelfPanics(t *testing.T) {
 	_, a, _ := twoProcRouter(t)
 	defer func() {
@@ -221,5 +319,24 @@ func TestTagString(t *testing.T) {
 	}
 	if Tag(200).String() == "" {
 		t.Error("unknown tag should still format")
+	}
+}
+
+// Every declared tag must have a real name — adding a tag without
+// extending the names table would leak "tag(N)" into metric labels.
+func TestTagStringNamesAllTags(t *testing.T) {
+	seen := map[string]Tag{}
+	for tag := Tag(0); tag < numTags; tag++ {
+		name := tag.String()
+		if name == "" || strings.HasPrefix(name, "tag(") {
+			t.Errorf("tag %d has no name: %q", tag, name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("tags %d and %d share the name %q", prev, tag, name)
+		}
+		seen[name] = tag
+	}
+	if numTags.String() != fmt.Sprintf("tag(%d)", int(numTags)) {
+		t.Errorf("sentinel formats as %q — names table longer than the tag list", numTags.String())
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"pscluster/internal/core"
 	"pscluster/internal/effects"
 	"pscluster/internal/geom"
+	"pscluster/internal/obs"
 	"pscluster/internal/particle"
 	"pscluster/internal/render"
 	"pscluster/internal/scenario"
@@ -244,6 +245,17 @@ func RunSequential(scn Scenario, node NodeType, comp Compiler) (*Result, error) 
 // calculator processes (plus the manager and the image generator).
 func RunParallel(scn Scenario, cl *Cluster, nCalc int) (*Result, error) {
 	return core.RunParallel(scn, cl, nCalc)
+}
+
+// Profile is the observability record of a profiled run: Figure-2
+// phase spans in virtual time, per-rank timelines and the metrics
+// registry, with Chrome-trace / Prometheus / JSON exporters.
+type Profile = obs.Profile
+
+// RunParallelProfiled is RunParallel with recording switched on. It is
+// bit-neutral: the Result is identical to an unprofiled run's.
+func RunParallelProfiled(scn Scenario, cl *Cluster, nCalc int) (*Result, *Profile, error) {
+	return core.RunParallelProfiled(scn, cl, nCalc)
 }
 
 // RunSimsBaseline executes the scenario with the Karl Sims CM-2
