@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build vet test race race-obs bench ci
+# Coverage floor (percent of statements) for the engine package.
+CORE_COVER_FLOOR ?= 85
+
+.PHONY: all build vet test race race-obs bench cover ci
 
 all: ci
 
@@ -24,5 +27,17 @@ race-obs:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Coverage report, gated: internal/core (the engine) must stay at or
+# above CORE_COVER_FLOOR percent of statements.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -n 1
+	@core=$$($(GO) test -cover ./internal/core/ | \
+	  awk '{ for (i = 1; i <= NF; i++) if ($$i ~ /%/) { split($$i, a, "%"); print a[1] } }'); \
+	echo "internal/core coverage: $$core% (floor $(CORE_COVER_FLOOR)%)"; \
+	awk -v p="$$core" -v f="$(CORE_COVER_FLOOR)" \
+	  'BEGIN { exit (p + 0 >= f + 0) ? 0 : 1 }' || \
+	  { echo "internal/core coverage below floor"; exit 1; }
 
 ci: build vet test race

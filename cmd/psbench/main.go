@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	psbench [-table all|1|2|3|X1|X2|X3|X4|X5|X6|F1|F2] [-scale small|paper]
+//	psbench [-table all|1|2|3|X1|X2|X3|X4|X5|X6|A1|F1|F2] [-scale small|paper]
+//	psbench -list
 package main
 
 import (
@@ -23,11 +24,54 @@ import (
 	"pscluster/internal/stats"
 )
 
+// experimentIndex mirrors DESIGN.md §3: every table and figure psbench
+// can regenerate, with the paper artifact each one reproduces and the
+// workload behind it.
+var experimentIndex = []struct{ id, artifact, workload string }{
+	{"1", "Table 1 — snow speedups, Myrinet + GCC, 8×B nodes, {4..8,16} procs × {IS,FS}×{SLB,DLB}",
+		"snow, 8 systems, vertical motion; sequential baseline 1×B/GCC"},
+	{"2", "Table 2 — snow on heterogeneous A/B/C mixes, Fast-Ethernet + ICC, DLB+FS",
+		"8 rows of node/process mixes; baseline 1×C/ICC"},
+	{"3", "Table 3 — fountain speedups, Myrinet + GCC, 8×B nodes (same grid as Table 1)",
+		"fountain, 8 emitters spread through space, horizontal+vertical motion"},
+	{"X1", "§5.1 text — snow, Fast-Ethernet + ICC, 8×B/16P: speedup 2.56 (DLB), 2.65 (FS-SLB)",
+		"as Table 1 but Fast-Ethernet; baseline 1×C/ICC"},
+	{"X2", "§5.1 text — snow, 4×A+4×B Myrinet: 2.76 (8P), 2.93 (16P)",
+		"mixed homogeneous-network cluster"},
+	{"X3", "§5.2 text — fountain, 8×B+8×A Myrinet, 16P: 4.28",
+		"fountain scale-out"},
+	{"X4", "§5.2 text — fountain, Fast-Ethernet best (2×B+2×C, DLB+FS): 1.26",
+		"slow-network crossover"},
+	{"X5", "§5.1/§5.2 text — per-frame exchange volume: snow ≈560/proc ≈613 KB; fountain ≈4000 ≈4375 KB",
+		"exchange accounting"},
+	{"X6", "§5.3 text — time reduction: snow 84 % (Myrinet), 68 % (Fast-Ethernet); fountain 66 % (Myrinet)",
+		"best-config summary"},
+	{"A1", "DESIGN.md §5 ablations (not in the paper)",
+		"design-choice comparisons"},
+	{"F1", "Figure 1 — equal-size initial domains",
+		"prints the [-10, 10] split across 4 calculators"},
+	{"F2", "Figure 2 / Algorithm 1 — per-frame phase sequence",
+		"event trace of one frame from a live parallel run"},
+}
+
+func printIndex() {
+	fmt.Println("psbench experiment index (DESIGN.md §3); run with -table <ID>:")
+	for _, e := range experimentIndex {
+		fmt.Printf("  %-3s  %s\n       %s\n", e.id, e.artifact, e.workload)
+	}
+}
+
 func main() {
 	table := flag.String("table", "all", "table to regenerate: all, 1, 2, 3, X1..X6, A1, F1, F2")
 	scale := flag.String("scale", "paper", "experiment scale: small or paper")
 	format := flag.String("format", "text", "output format for tables: text, csv, or json")
+	list := flag.Bool("list", false, "print the table/figure index and exit")
 	flag.Parse()
+
+	if *list {
+		printIndex()
+		return
+	}
 
 	cfg := experiments.PaperScale
 	if *scale == "small" {

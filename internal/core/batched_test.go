@@ -8,30 +8,9 @@ import (
 	"pscluster/internal/cluster"
 )
 
-// The batched schedule must be bit-equivalent to both the per-system
-// schedule and the sequential engine.
-func TestBatchedScheduleEquivalence(t *testing.T) {
-	for _, lb := range []LBMode{StaticLB, DynamicLB} {
-		for _, mode := range []SpaceMode{FiniteSpace, InfiniteSpace} {
-			for _, nCalc := range []int{1, 3, 4} {
-				name := fmt.Sprintf("%v/%v/%dcalc", lb, mode, nCalc)
-				t.Run(name, func(t *testing.T) {
-					scn := miniSnow(lb, mode)
-					scn.Schedule = BatchedSchedule
-					seq, err := RunSequential(scn, cluster.TypeB, cluster.GCC)
-					if err != nil {
-						t.Fatal(err)
-					}
-					par, err := RunParallel(scn, testCluster(4), nCalc)
-					if err != nil {
-						t.Fatal(err)
-					}
-					compareResults(t, seq, par)
-				})
-			}
-		}
-	}
-}
+// Bit-equality of the batched schedule against the sequential engine
+// across the full {schedule} × {LB mode} × {calculators} cross-product
+// lives in TestScheduleLBCrossProduct (pipeline_test.go).
 
 func TestBatchedScheduleSendsFewerMessages(t *testing.T) {
 	perSys := miniSnow(DynamicLB, FiniteSpace)

@@ -1,0 +1,483 @@
+package core
+
+import (
+	"fmt"
+
+	"pscluster/internal/domain"
+	"pscluster/internal/loadbalance"
+	"pscluster/internal/particle"
+	"pscluster/internal/transport"
+)
+
+// This file holds the LBPolicy strategies: which load-balancing steps
+// each LBMode contributes to the schedule's frame program. StaticLB
+// contributes nothing; DynamicLB adds the paper's centralized
+// report → evaluate → new-dims → transfer round (§3.2.4–§3.2.5);
+// DecentralizedLB adds the manager-free neighbor-trading variant of
+// the paper's future work. The per-system hooks slot one system's
+// steps between that system's phases; the batch hooks emit one
+// combined round for all systems (§3.3).
+
+// lbPolicy contributes balancing steps to a schedule's compiled frame.
+// Hooks may return nil when the policy has nothing to do at that point.
+type lbPolicy interface {
+	// Per-system schedule hooks, called once per system.
+	managerSystemSteps(m *managerProc, si int) []step // after creation
+	calcReportSteps(c *calcProc, si int) []step       // between exchange and render-send
+	calcBalanceSteps(c *calcProc, si int) []step      // after render-send
+
+	// Batched schedule hooks, called once per frame.
+	managerBatchSteps(m *managerProc) []step
+	calcBatchReportSteps(c *calcProc) []step
+	calcBatchBalanceSteps(c *calcProc) []step
+}
+
+// policy returns the strategy implementing this balancing mode.
+func (m LBMode) policy() lbPolicy {
+	switch m {
+	case DynamicLB:
+		return dynamicLB{}
+	case DecentralizedLB:
+		return decentralLB{}
+	default:
+		return staticLB{}
+	}
+}
+
+// noSteps is the do-nothing base: policies embed it and override only
+// the hooks they participate in.
+type noSteps struct{}
+
+func (noSteps) managerSystemSteps(*managerProc, int) []step { return nil }
+func (noSteps) calcReportSteps(*calcProc, int) []step       { return nil }
+func (noSteps) calcBalanceSteps(*calcProc, int) []step      { return nil }
+func (noSteps) managerBatchSteps(*managerProc) []step       { return nil }
+func (noSteps) calcBatchReportSteps(*calcProc) []step       { return nil }
+func (noSteps) calcBatchBalanceSteps(*calcProc) []step      { return nil }
+
+// staticLB is the SLB mode: equal domains, no balancing traffic.
+type staticLB struct{ noSteps }
+
+// ---------------------------------------------------------------------
+// Centralized dynamic balancing (DLB)
+// ---------------------------------------------------------------------
+
+type dynamicLB struct{}
+
+func (dynamicLB) managerSystemSteps(m *managerProc, si int) []step {
+	return []step{
+		// Load balancing evaluation (§3.2.5).
+		{phase: "lb-evaluation", sys: si, traced: true, run: always(func() error {
+			msgs := m.ep.RecvFromEach(m.calcRanks, transport.TagLoadReport)
+			reports := make([]loadbalance.Report, m.nCalc)
+			for i, msg := range msgs {
+				r, err := decodeLoadReport(msg.Payload)
+				if err != nil {
+					return err
+				}
+				reports[i] = r
+			}
+			m.ep.Clock.AdvanceWork(evalWorkPerCalc*float64(m.nCalc), m.rate)
+			m.fs.orders = m.balancers[si].Evaluate(reports, m.power)
+			if len(m.fs.orders) > 0 {
+				m.lbRounds++
+			}
+			return nil
+		})},
+		// Collect the donors' new dimensions in ascending order and
+		// update the authoritative table (§3.2.5: "the calculator
+		// processes send the new values to the manager, which will
+		// update its local information and send the dimensions back to
+		// all the calculators").
+		{phase: "dims-broadcast", sys: si, traced: true, run: always(func() error {
+			orders := m.fs.orders
+			perCalc := make([]*loadbalance.Order, m.nCalc)
+			for i := range orders {
+				perCalc[orders[i].Proc] = &orders[i]
+			}
+			for c := 0; c < m.nCalc; c++ {
+				m.ep.Send(rankCalc0+c, transport.TagLBOrder, encodeOrder(perCalc[c]))
+			}
+			for _, o := range orders {
+				if o.Op != loadbalance.Send {
+					continue
+				}
+				msg := m.ep.Recv(rankCalc0+o.Proc, transport.TagNewDims)
+				edge, val, err := decodeBoundary(msg.Payload)
+				if err != nil {
+					return err
+				}
+				if err := m.tables[si].SetBoundary(edge, val); err != nil {
+					return err
+				}
+				m.lbMovedStored += o.Count
+			}
+			dims := encodeEdges(m.tables[si].Edges())
+			for c := 0; c < m.nCalc; c++ {
+				m.ep.Send(rankCalc0+c, transport.TagNewDims, dims)
+			}
+			return nil
+		})},
+	}
+}
+
+func (dynamicLB) calcReportSteps(c *calcProc, si int) []step {
+	// Load information (§3.2.4): the measured time, rescaled to the
+	// post-exchange particle count.
+	return []step{{phase: "load-information", sys: si, traced: true, run: always(func() error {
+		c.ep.Send(rankManager, transport.TagLoadReport, encodeLoadReport(c.frameReport(si)))
+		return nil
+	})}}
+}
+
+func (dynamicLB) calcBalanceSteps(c *calcProc, si int) []step {
+	return []step{
+		// Donors select the particles nearest the departing edge and
+		// derive the new boundary before anything moves; then everyone
+		// installs the new dimensions ("only after receiving the new
+		// domains the calculators effectively start the donation and
+		// reception of particles", §3.2.5).
+		{phase: "new-dims", sys: si, traced: true, run: always(func() error {
+			msg := c.ep.Recv(rankManager, transport.TagLBOrder)
+			order, err := decodeOrder(msg.Payload)
+			if err != nil {
+				return err
+			}
+			c.fs.order, c.fs.donated = order, nil
+			st := c.stores[si]
+			if order != nil && order.Op == loadbalance.Send {
+				side, edge := donationSide(c.idx, order.Peer)
+				var boundary float64
+				c.fs.donated, boundary = st.SelectDonation(order.Count, side)
+				c.ep.Send(rankManager, transport.TagNewDims, encodeBoundary(edge, boundary))
+			}
+			dimsMsg := c.ep.Recv(rankManager, transport.TagNewDims)
+			edges, err := decodeEdges(dimsMsg.Payload)
+			if err != nil {
+				return err
+			}
+			table, err := domain.FromEdges(c.scn.Axis, edges)
+			if err != nil {
+				return err
+			}
+			c.tables[si] = table
+			lo, hi := table.Bounds(c.idx)
+			st.Resize(lo, hi)
+			return nil
+		})},
+		// The transfer itself; idle calculators skip the phase.
+		{phase: "load-balance", sys: si, traced: true, run: func() (bool, error) {
+			order := c.fs.order
+			if order == nil {
+				return false, nil
+			}
+			st := c.stores[si]
+			peerRank := rankCalc0 + order.Peer
+			if order.Op == loadbalance.Send {
+				payload := particle.EncodeBatch(c.fs.donated)
+				c.ep.SendSized(peerRank, transport.TagLBParticles, payload,
+					billed(len(payload), c.scn.Ratio))
+				return true, nil
+			}
+			msg := c.ep.Recv(peerRank, transport.TagLBParticles)
+			ps, err := particle.DecodeBatch(msg.Payload)
+			if err != nil {
+				return false, err
+			}
+			st.AddSlice(ps)
+			return true, nil
+		}},
+	}
+}
+
+func (dynamicLB) managerBatchSteps(m *managerProc) []step {
+	scn := m.scn
+	return []step{
+		// One combined report per calculator, one balancing pass per
+		// system, one combined order message back.
+		{phase: "lb-evaluation", sys: -1, run: always(func() error {
+			nSys := len(scn.Systems)
+			msgs := m.ep.RecvFromEach(m.calcRanks, transport.TagLoadReport)
+			reports := make([][]loadbalance.Report, nSys) // [system][calc]
+			for si := range reports {
+				reports[si] = make([]loadbalance.Report, m.nCalc)
+			}
+			for ci, msg := range msgs {
+				rs, err := decodeMultiReports(msg.Payload, nSys)
+				if err != nil {
+					return err
+				}
+				for si, r := range rs {
+					reports[si][ci] = r
+				}
+			}
+			m.ep.Clock.AdvanceWork(evalWorkPerCalc*float64(m.nCalc*nSys), m.rate)
+			m.fs.ordersBySys = make([][]loadbalance.Order, nSys)
+			perCalcOrders := make([][]*loadbalance.Order, m.nCalc)
+			for c := range perCalcOrders {
+				perCalcOrders[c] = make([]*loadbalance.Order, nSys)
+			}
+			for si := range scn.Systems {
+				orders := m.balancers[si].Evaluate(reports[si], m.power)
+				if len(orders) > 0 {
+					m.lbRounds++
+				}
+				m.fs.ordersBySys[si] = orders
+				for i := range orders {
+					perCalcOrders[orders[i].Proc][si] = &orders[i]
+				}
+			}
+			for c := 0; c < m.nCalc; c++ {
+				m.ep.Send(rankCalc0+c, transport.TagLBOrder, encodeMultiOrders(perCalcOrders[c]))
+			}
+			return nil
+		})},
+		// Donor boundaries, in (system, order) sequence — donors emit
+		// them in the same order, so the matching is deterministic —
+		// then one combined dimension broadcast.
+		{phase: "dims-broadcast", sys: -1, run: always(func() error {
+			for si := range scn.Systems {
+				for _, o := range m.fs.ordersBySys[si] {
+					if o.Op != loadbalance.Send {
+						continue
+					}
+					msg := m.ep.Recv(rankCalc0+o.Proc, transport.TagNewDims)
+					sys, edge, val, err := decodeBoundarySys(msg.Payload)
+					if err != nil {
+						return err
+					}
+					if sys != si {
+						return fmt.Errorf("core: donor %d sent boundary for system %d, expected %d",
+							o.Proc, sys, si)
+					}
+					if err := m.tables[si].SetBoundary(edge, val); err != nil {
+						return err
+					}
+					m.lbMovedStored += o.Count
+				}
+			}
+			edgeTables := make([][]float64, len(scn.Systems))
+			for si := range edgeTables {
+				edgeTables[si] = m.tables[si].Edges()
+			}
+			dims := encodeMultiEdges(edgeTables)
+			for c := 0; c < m.nCalc; c++ {
+				m.ep.Send(rankCalc0+c, transport.TagNewDims, dims)
+			}
+			return nil
+		})},
+	}
+}
+
+func (dynamicLB) calcBatchReportSteps(c *calcProc) []step {
+	scn := c.scn
+	// One combined load report.
+	return []step{{phase: "load-information", sys: -1, run: always(func() error {
+		reports := make([]loadbalance.Report, len(scn.Systems))
+		for si := range scn.Systems {
+			reports[si] = c.frameReport(si)
+		}
+		c.ep.Send(rankManager, transport.TagLoadReport, encodeMultiReports(reports))
+		return nil
+	})}}
+}
+
+func (dynamicLB) calcBatchBalanceSteps(c *calcProc) []step {
+	scn := c.scn
+	return []step{
+		// Donations selected and announced in system order, then one
+		// combined dimension broadcast installs every system's table.
+		{phase: "new-dims", sys: -1, run: always(func() error {
+			nSys := len(scn.Systems)
+			msg := c.ep.Recv(rankManager, transport.TagLBOrder)
+			orders, err := decodeMultiOrders(msg.Payload, nSys)
+			if err != nil {
+				return err
+			}
+			c.fs.orders = orders
+			c.fs.donations = make([][]particle.Particle, nSys)
+			for si, o := range orders {
+				if o == nil || o.Op != loadbalance.Send {
+					continue
+				}
+				st := c.stores[si]
+				side, edge := donationSide(c.idx, o.Peer)
+				var boundary float64
+				c.fs.donations[si], boundary = st.SelectDonation(o.Count, side)
+				c.ep.Send(rankManager, transport.TagNewDims, encodeBoundarySys(si, edge, boundary))
+			}
+			dimsMsg := c.ep.Recv(rankManager, transport.TagNewDims)
+			edgeTables, err := decodeMultiEdges(dimsMsg.Payload, nSys, c.nCalc+1)
+			if err != nil {
+				return err
+			}
+			for si, edges := range edgeTables {
+				table, err := domain.FromEdges(scn.Axis, edges)
+				if err != nil {
+					return err
+				}
+				c.tables[si] = table
+				lo, hi := table.Bounds(c.idx)
+				c.stores[si].Resize(lo, hi)
+			}
+			return nil
+		})},
+		// Transfers in system order.
+		{phase: "load-balance", sys: -1, run: always(func() error {
+			for si, o := range c.fs.orders {
+				if o == nil {
+					continue
+				}
+				peerRank := rankCalc0 + o.Peer
+				if o.Op == loadbalance.Send {
+					payload := particle.EncodeBatch(c.fs.donations[si])
+					c.ep.SendSized(peerRank, transport.TagLBParticles, payload,
+						billed(len(payload), scn.Ratio))
+					continue
+				}
+				pm := c.ep.Recv(peerRank, transport.TagLBParticles)
+				ps, err := particle.DecodeBatch(pm.Payload)
+				if err != nil {
+					return err
+				}
+				c.stores[si].AddSlice(ps)
+			}
+			return nil
+		})},
+	}
+}
+
+// frameReport builds one system's load report from the frame's
+// accumulated work: the measured time rescaled to the post-exchange
+// particle count (§3.2.4), or a model estimate when the system was
+// empty before the exchange.
+func (c *calcProc) frameReport(si int) loadbalance.Report {
+	scn := c.scn
+	newLoad := c.stores[si].Len()
+	t := c.fs.work[si] / c.rate
+	var rescaled float64
+	if c.fs.oldLoad[si] > 0 {
+		rescaled = t * float64(newLoad) / float64(c.fs.oldLoad[si])
+	} else {
+		perParticle := scn.Systems[si].perParticleWork() + scn.ExchangeScanWork
+		rescaled = float64(newLoad) * perParticle * scn.Ratio / c.rate
+	}
+	return loadbalance.Report{Load: newLoad, Time: rescaled}
+}
+
+// donationSide returns the store side a donor gives particles from and
+// the table edge it moves when sending to peer: the high side and
+// right edge toward a higher-indexed peer, the low side and left edge
+// otherwise.
+func donationSide(idx, peer int) (particle.Side, int) {
+	if peer < idx {
+		return particle.LowSide, idx
+	}
+	return particle.HighSide, idx + 1
+}
+
+// ---------------------------------------------------------------------
+// Decentralized balancing (the paper's future work)
+// ---------------------------------------------------------------------
+
+type decentralLB struct{ noSteps }
+
+func (decentralLB) calcBalanceSteps(c *calcProc, si int) []step {
+	return []step{{phase: "decentralized-lb", sys: si, run: always(func() error {
+		return c.executeDecentralized(c.fs.frame, si, c.frameReport(si))
+	})}}
+}
+
+// executeDecentralized performs one round of the manager-free balancing
+// variant (the paper's future work): each calculator trades load
+// reports with its immediate neighbors and both members of the active
+// pair apply loadbalance.DecidePair symmetrically. Pairs (x, x+1) with
+// x ≡ frame (mod 2) are active, which alternates the pairing each frame
+// and guarantees a process never both sends and receives.
+func (c *calcProc) executeDecentralized(frame, si int, rep loadbalance.Report) error {
+	enc := encodeLoadReport(rep)
+	hasLeft := c.idx > 0
+	hasRight := c.idx < c.nCalc-1
+	if hasLeft {
+		c.ep.Send(rankCalc0+c.idx-1, transport.TagLoadReport, enc)
+	}
+	if hasRight {
+		c.ep.Send(rankCalc0+c.idx+1, transport.TagLoadReport, enc)
+	}
+	var left, right loadbalance.Report
+	if hasLeft {
+		m := c.ep.Recv(rankCalc0+c.idx-1, transport.TagLoadReport)
+		r, err := decodeLoadReport(m.Payload)
+		if err != nil {
+			return err
+		}
+		left = r
+	}
+	if hasRight {
+		m := c.ep.Recv(rankCalc0+c.idx+1, transport.TagLoadReport)
+		r, err := decodeLoadReport(m.Payload)
+		if err != nil {
+			return err
+		}
+		right = r
+	}
+
+	parity := frame % 2
+	switch {
+	case hasRight && c.idx%2 == parity:
+		// Left member of the active pair (c.idx, c.idx+1).
+		move := loadbalance.DecidePair(rep, right,
+			c.power[c.idx], c.power[c.idx+1], c.scn.LBThreshold, c.scn.LBMinBatch)
+		return c.tradeWithNeighbor(si, c.idx+1, move)
+	case hasLeft && (c.idx-1)%2 == parity:
+		// Right member of the active pair (c.idx-1, c.idx): the same
+		// decision, seen from the other side.
+		move := loadbalance.DecidePair(left, rep,
+			c.power[c.idx-1], c.power[c.idx], c.scn.LBThreshold, c.scn.LBMinBatch)
+		return c.tradeWithNeighbor(si, c.idx-1, -move)
+	}
+	return nil
+}
+
+// tradeWithNeighbor executes this side of a decentralized pair
+// decision: move > 0 means this calculator donates move particles to
+// peer; move < 0 means it receives -move from peer.
+func (c *calcProc) tradeWithNeighbor(si, peer, move int) error {
+	if move == 0 {
+		return nil
+	}
+	st := c.stores[si]
+	peerRank := rankCalc0 + peer
+	if move > 0 {
+		side, edge := donationSide(c.idx, peer)
+		donated, boundary := st.SelectDonation(move, side)
+		c.lbMovedStored += len(donated)
+		if err := c.tables[si].SetBoundary(edge, boundary); err != nil {
+			return err
+		}
+		c.ep.Send(peerRank, transport.TagNewDims, encodeBoundary(edge, boundary))
+		payload := particle.EncodeBatch(donated)
+		c.ep.SendSized(peerRank, transport.TagLBParticles, payload,
+			billed(len(payload), c.scn.Ratio))
+		return nil
+	}
+	// Receiving side: install the shared boundary first, then take the
+	// particles.
+	m := c.ep.Recv(peerRank, transport.TagNewDims)
+	edge, boundary, err := decodeBoundary(m.Payload)
+	if err != nil {
+		return err
+	}
+	if err := c.tables[si].SetBoundary(edge, boundary); err != nil {
+		return err
+	}
+	lo, hi := c.tables[si].Bounds(c.idx)
+	st.Resize(lo, hi)
+	pm := c.ep.Recv(peerRank, transport.TagLBParticles)
+	ps, err := particle.DecodeBatch(pm.Payload)
+	if err != nil {
+		return err
+	}
+	st.AddSlice(ps)
+	return nil
+}

@@ -31,7 +31,10 @@ const evalWorkPerCalc = 20.0
 // RunParallel executes the scenario on the given (simulated) cluster
 // with nCalc calculator processes, following the per-frame phase
 // structure of the paper's Figure 2. Physics is computed for real by
-// goroutines; timing is virtual (see package transport).
+// goroutines; timing is virtual (see package transport). Each process
+// role compiles its frame into a step program — assembled by the
+// scenario's Schedule plan and LB policy — and the runner in
+// pipeline.go executes it every frame.
 func RunParallel(scn Scenario, cl *cluster.Cluster, nCalc int) (*Result, error) {
 	res, _, err := runParallel(scn, cl, nCalc, false)
 	return res, err
@@ -311,129 +314,44 @@ type managerProc struct {
 	calcRanks []int
 	nCalc     int
 
+	ctxs          []*actions.Context
 	balancers     []*loadbalance.Balancer
 	lbRounds      int
 	lbMovedStored int
 	events        []Event
 	rec           *obs.Recorder // nil unless the run is profiled
+
+	fs managerFrame
 }
 
-func (m *managerProc) emit(frame, si int, phase string) {
-	if m.scn.Trace {
-		m.events = append(m.events, Event{Frame: frame, System: si, Proc: rankManager,
-			Phase: phase, T: m.ep.Clock.Now()})
-	}
-	m.rec.Phase(si, phase, m.ep.Clock.Now())
+// managerFrame is the manager's per-frame scratch: the balancing
+// orders flowing from the lb-evaluation step to the dims-broadcast
+// step.
+type managerFrame struct {
+	frame       int
+	orders      []loadbalance.Order   // per-system schedule: current system's orders
+	ordersBySys [][]loadbalance.Order // batched schedule: orders for every system
 }
+
+func (m *managerProc) scenario() *Scenario           { return m.scn }
+func (m *managerProc) endpoint() *transport.Endpoint { return m.ep }
+func (m *managerProc) recorder() *obs.Recorder       { return m.rec }
+func (m *managerProc) rank() int                     { return rankManager }
+func (m *managerProc) beginFrame(frame int)          { m.fs = managerFrame{frame: frame} }
+func (m *managerProc) pushEvent(ev Event)            { m.events = append(m.events, ev) }
 
 func (m *managerProc) run() error {
 	scn := m.scn
 	m.balancers = make([]*loadbalance.Balancer, len(scn.Systems))
-	ctxs := make([]*actions.Context, len(scn.Systems))
+	m.ctxs = make([]*actions.Context, len(scn.Systems))
 	for i := range scn.Systems {
 		m.balancers[i] = loadbalance.New(scn.LBThreshold, scn.LBMinBatch)
 		if scn.NaivePairing {
 			m.balancers[i].Alternate = false
 		}
-		ctxs[i] = &actions.Context{RNG: geom.NewRNG(scn.Systems[i].Seed), DT: scn.DT}
+		m.ctxs[i] = &actions.Context{RNG: geom.NewRNG(scn.Systems[i].Seed), DT: scn.DT}
 	}
-
-	for frame := 0; frame < scn.Frames; frame++ {
-		m.rec.BeginFrame(frame, m.ep.Clock.Now())
-		if scn.Schedule == BatchedSchedule {
-			if err := m.runBatchedFrame(frame, ctxs); err != nil {
-				return err
-			}
-			if !scn.PipelineFrames {
-				m.ep.Recv(rankImageGen, transport.TagFrameDone)
-				m.rec.Phase(-1, "frame-barrier", m.ep.Clock.Now())
-			}
-			m.rec.EndFrame(m.ep.Clock.Now())
-			continue
-		}
-		for si := range scn.Systems {
-			sys := &scn.Systems[si]
-
-			// Particle creation (§3.2.1): generate, then scatter by
-			// domain with one batch per calculator; the batch itself is
-			// the end-of-transmission notification.
-			for _, a := range sys.Actions {
-				ca, ok := a.(actions.CreateAction)
-				if !ok {
-					continue
-				}
-				ps := ca.Generate(ctxs[si])
-				m.ep.Clock.AdvanceWork(a.Cost()*float64(len(ps))*scn.Ratio, m.rate)
-				groups := groupByOwner(ps, m.tables[si], m.nCalc)
-				for c := 0; c < m.nCalc; c++ {
-					payload := particle.EncodeBatch(groups[c])
-					m.ep.SendSized(rankCalc0+c, transport.TagParticles, payload,
-						billed(len(payload), scn.Ratio))
-				}
-				m.emit(frame, si, "particle-creation")
-			}
-
-			if scn.LB != DynamicLB {
-				continue
-			}
-
-			// Load balancing evaluation (§3.2.5).
-			msgs := m.ep.RecvFromEach(m.calcRanks, transport.TagLoadReport)
-			reports := make([]loadbalance.Report, m.nCalc)
-			for i, msg := range msgs {
-				r, err := decodeLoadReport(msg.Payload)
-				if err != nil {
-					return err
-				}
-				reports[i] = r
-			}
-			m.ep.Clock.AdvanceWork(evalWorkPerCalc*float64(m.nCalc), m.rate)
-			orders := m.balancers[si].Evaluate(reports, m.power)
-			if len(orders) > 0 {
-				m.lbRounds++
-			}
-			m.emit(frame, si, "lb-evaluation")
-
-			perCalc := make([]*loadbalance.Order, m.nCalc)
-			for i := range orders {
-				perCalc[orders[i].Proc] = &orders[i]
-			}
-			for c := 0; c < m.nCalc; c++ {
-				m.ep.Send(rankCalc0+c, transport.TagLBOrder, encodeOrder(perCalc[c]))
-			}
-
-			// Collect the donors' new dimensions in ascending order and
-			// update the authoritative table (§3.2.5: "the calculator
-			// processes send the new values to the manager, which will
-			// update its local information and send the dimensions back
-			// to all the calculators").
-			for _, o := range orders {
-				if o.Op != loadbalance.Send {
-					continue
-				}
-				msg := m.ep.Recv(rankCalc0+o.Proc, transport.TagNewDims)
-				edge, val, err := decodeBoundary(msg.Payload)
-				if err != nil {
-					return err
-				}
-				if err := m.tables[si].SetBoundary(edge, val); err != nil {
-					return err
-				}
-				m.lbMovedStored += o.Count
-			}
-			dims := encodeEdges(m.tables[si].Edges())
-			for c := 0; c < m.nCalc; c++ {
-				m.ep.Send(rankCalc0+c, transport.TagNewDims, dims)
-			}
-			m.emit(frame, si, "dims-broadcast")
-		}
-		if !scn.PipelineFrames {
-			m.ep.Recv(rankImageGen, transport.TagFrameDone)
-			m.rec.Phase(-1, "frame-barrier", m.ep.Clock.Now())
-		}
-		m.rec.EndFrame(m.ep.Clock.Now())
-	}
-	return nil
+	return runProgram(m, scn.Schedule.plan().compileManager(m, scn.LB.policy()))
 }
 
 // ---------------------------------------------------------------------
@@ -450,19 +368,51 @@ type calcProc struct {
 	nCalc  int
 	power  []float64
 
+	ctxs   []*actions.Context
+	others []int // every calculator rank except this one, ascending
+
 	exchangedStored int
 	lbMovedStored   int
 	events          []Event
 	rec             *obs.Recorder // nil unless the run is profiled
+
+	fs calcFrame
 }
 
-func (c *calcProc) emit(frame, si int, phase string) {
-	if c.scn.Trace {
-		c.events = append(c.events, Event{Frame: frame, System: si, Proc: rankCalc0 + c.idx,
-			Phase: phase, T: c.ep.Clock.Now()})
-	}
-	c.rec.Phase(si, phase, c.ep.Clock.Now())
+// calcFrame is a calculator's per-frame scratch: the accumulated work
+// and pre-exchange loads feeding the load reports, and the balancing
+// orders flowing from the new-dims step to the load-balance step.
+type calcFrame struct {
+	frame   int
+	work    []float64 // accumulated work units, per system
+	oldLoad []int     // pre-exchange particle count, per system
+
+	// Per-system schedule: the current system's balancing order.
+	order   *loadbalance.Order
+	donated []particle.Particle
+
+	// Batched schedule: one order and donation per system.
+	orders    []*loadbalance.Order
+	donations [][]particle.Particle
 }
+
+func (c *calcProc) scenario() *Scenario           { return c.scn }
+func (c *calcProc) endpoint() *transport.Endpoint { return c.ep }
+func (c *calcProc) recorder() *obs.Recorder       { return c.rec }
+func (c *calcProc) rank() int                     { return rankCalc0 + c.idx }
+
+func (c *calcProc) beginFrame(frame int) {
+	work, oldLoad := c.fs.work, c.fs.oldLoad
+	for i := range work {
+		work[i] = 0
+	}
+	for i := range oldLoad {
+		oldLoad[i] = 0
+	}
+	c.fs = calcFrame{frame: frame, work: work, oldLoad: oldLoad}
+}
+
+func (c *calcProc) pushEvent(ev Event) { c.events = append(c.events, ev) }
 
 // otherCalcRanks returns every calculator rank except this one, ascending.
 func (c *calcProc) otherCalcRanks() []int {
@@ -480,323 +430,17 @@ func (c *calcProc) run() error {
 	// Calculator-local contexts: stochastic per-particle actions use the
 	// particles' private streams, so this RNG only matters for actions
 	// that deliberately want process-local noise.
-	ctxs := make([]*actions.Context, len(scn.Systems))
-	for i := range ctxs {
-		ctxs[i] = &actions.Context{
+	c.ctxs = make([]*actions.Context, len(scn.Systems))
+	for i := range c.ctxs {
+		c.ctxs[i] = &actions.Context{
 			RNG: geom.NewRNG(scn.Systems[i].Seed ^ uint64(rankCalc0+c.idx)<<32),
 			DT:  scn.DT,
 		}
 	}
-	others := c.otherCalcRanks()
-
-	for frame := 0; frame < scn.Frames; frame++ {
-		c.rec.BeginFrame(frame, c.ep.Clock.Now())
-		if scn.Schedule == BatchedSchedule {
-			if err := c.runBatchedFrame(frame, ctxs, others); err != nil {
-				return err
-			}
-			if !scn.PipelineFrames {
-				c.ep.Recv(rankImageGen, transport.TagFrameDone)
-				c.rec.Phase(-1, "frame-barrier", c.ep.Clock.Now())
-			}
-			c.rec.EndFrame(c.ep.Clock.Now())
-			continue
-		}
-		for si := range scn.Systems {
-			sys := &scn.Systems[si]
-			st := c.stores[si]
-			var workFrame float64
-
-			// Compute phase: the action list of Algorithm 1.
-			for _, a := range sys.Actions {
-				switch act := a.(type) {
-				case actions.CreateAction:
-					msg := c.ep.Recv(rankManager, transport.TagParticles)
-					ps, err := particle.DecodeBatch(msg.Payload)
-					if err != nil {
-						return err
-					}
-					st.AddSlice(ps)
-					c.emit(frame, si, "addition")
-				case actions.StoreAction:
-					w, err := c.applyStoreAction(si, act, ctxs[si])
-					if err != nil {
-						return err
-					}
-					w *= scn.Ratio
-					c.ep.Clock.AdvanceWork(w, c.rate)
-					workFrame += w
-				case actions.ParticleAction:
-					st.ForEach(func(p *particle.Particle) { act.Apply(ctxs[si], p) })
-					w := a.Cost() * float64(st.Len()) * scn.Ratio
-					c.ep.Clock.AdvanceWork(w, c.rate)
-					workFrame += w
-				default:
-					return fmt.Errorf("core: system %d action %q has unknown shape", si, a.Name())
-				}
-			}
-			for _, pa := range scn.scriptedFor(frame, si) {
-				st.ForEach(func(p *particle.Particle) { pa.Apply(ctxs[si], p) })
-				w := pa.Cost() * float64(st.Len()) * scn.Ratio
-				c.ep.Clock.AdvanceWork(w, c.rate)
-				workFrame += w
-			}
-			st.RemoveDead()
-			oldLoad := st.Len()
-			c.emit(frame, si, "calculus")
-
-			// Preparation of the structures (Figure 2): out-of-domain
-			// detection, sub-domain re-binning and exchange packing, a
-			// per-particle cost the sequential baseline does not pay.
-			scanWork := scn.ExchangeScanWork * float64(st.Len()) * scn.Ratio
-			c.ep.Clock.AdvanceWork(scanWork, c.rate)
-			workFrame += scanWork
-
-			// Particle exchange (§3.2.4): out-of-domain particles go
-			// straight to their owner; one message per peer, empty
-			// batches doubling as end-of-transmission.
-			out := st.Partition()
-			groups := groupByOwner(out, c.tables[si], c.nCalc)
-			if len(groups[c.idx]) > 0 {
-				// Out-of-space particles clamp back to the outermost
-				// domains, which may be our own.
-				st.AddSlice(groups[c.idx])
-			}
-			for i := 0; i < c.nCalc; i++ {
-				if i == c.idx {
-					continue
-				}
-				payload := particle.EncodeBatch(groups[i])
-				c.exchangedStored += len(groups[i])
-				c.ep.SendSized(rankCalc0+i, transport.TagParticles, payload,
-					billed(len(payload), scn.Ratio))
-			}
-			for _, msg := range c.ep.RecvFromEach(others, transport.TagParticles) {
-				ps, err := particle.DecodeBatch(msg.Payload)
-				if err != nil {
-					return err
-				}
-				st.AddSlice(ps)
-			}
-			newLoad := st.Len()
-			c.emit(frame, si, "exchange")
-
-			// Load information (§3.2.4): the measured time, rescaled to
-			// the post-exchange particle count.
-			var report loadbalance.Report
-			if scn.LB != StaticLB {
-				t := workFrame / c.rate
-				var rescaled float64
-				if oldLoad > 0 {
-					rescaled = t * float64(newLoad) / float64(oldLoad)
-				} else {
-					perParticle := sys.perParticleWork() + scn.ExchangeScanWork
-					rescaled = float64(newLoad) * perParticle * scn.Ratio / c.rate
-				}
-				report = loadbalance.Report{Load: newLoad, Time: rescaled}
-			}
-			if scn.LB == DynamicLB {
-				c.ep.Send(rankManager, transport.TagLoadReport, encodeLoadReport(report))
-				c.emit(frame, si, "load-information")
-			}
-
-			// Render send: overlaps the manager's evaluation ("while the
-			// manager evaluates the load balancing, the calculators send
-			// the particles to the image generator"). Billed at the
-			// scenario's per-particle render wire size.
-			payload := encodeRenderBatch(st.All())
-			bill := 4 + int(float64(st.Len()*scn.Render.BytesPerParticle)*scn.Ratio)
-			if bill < len(payload) {
-				bill = len(payload)
-			}
-			c.ep.SendSized(rankImageGen, transport.TagRenderBatch, payload, bill)
-			c.emit(frame, si, "render-send")
-
-			// Load balance execution (§3.2.5, or the decentralized
-			// future-work variant).
-			switch scn.LB {
-			case DynamicLB:
-				if err := c.executeBalancing(frame, si); err != nil {
-					return err
-				}
-			case DecentralizedLB:
-				if err := c.executeDecentralized(frame, si, report); err != nil {
-					return err
-				}
-				c.rec.Phase(si, "decentralized-lb", c.ep.Clock.Now())
-			}
-		}
-		// Synchronous frames: the frame ends when its image exists
-		// (Algorithm 1's "Generate the image" precedes the next
-		// iteration). PipelineFrames removes this barrier.
-		if !scn.PipelineFrames {
-			c.ep.Recv(rankImageGen, transport.TagFrameDone)
-			c.rec.Phase(-1, "frame-barrier", c.ep.Clock.Now())
-		}
-		c.rec.EndFrame(c.ep.Clock.Now())
-	}
-	return nil
-}
-
-// executeBalancing performs this calculator's side of one balancing
-// round for system si.
-func (c *calcProc) executeBalancing(frame, si int) error {
-	st := c.stores[si]
-	msg := c.ep.Recv(rankManager, transport.TagLBOrder)
-	order, err := decodeOrder(msg.Payload)
-	if err != nil {
-		return err
-	}
-
-	// Donors select the particles nearest the departing edge and derive
-	// the new boundary before anything moves (§3.2.5).
-	var donated []particle.Particle
-	if order != nil && order.Op == loadbalance.Send {
-		side := particle.HighSide
-		edge := c.idx + 1
-		if order.Peer < c.idx {
-			side = particle.LowSide
-			edge = c.idx
-		}
-		var boundary float64
-		donated, boundary = st.SelectDonation(order.Count, side)
-		c.ep.Send(rankManager, transport.TagNewDims, encodeBoundary(edge, boundary))
-	}
-
-	// Everyone installs the new dimensions ("only after receiving the
-	// new domains the calculators effectively start the donation and
-	// reception of particles").
-	dimsMsg := c.ep.Recv(rankManager, transport.TagNewDims)
-	edges, err := decodeEdges(dimsMsg.Payload)
-	if err != nil {
-		return err
-	}
-	table, err := domain.FromEdges(c.scn.Axis, edges)
-	if err != nil {
-		return err
-	}
-	c.tables[si] = table
-	lo, hi := table.Bounds(c.idx)
-	st.Resize(lo, hi)
-	c.emit(frame, si, "new-dims")
-
-	if order == nil {
-		return nil
-	}
-	peerRank := rankCalc0 + order.Peer
-	if order.Op == loadbalance.Send {
-		payload := particle.EncodeBatch(donated)
-		c.ep.SendSized(peerRank, transport.TagLBParticles, payload,
-			billed(len(payload), c.scn.Ratio))
-	} else {
-		msg := c.ep.Recv(peerRank, transport.TagLBParticles)
-		ps, err := particle.DecodeBatch(msg.Payload)
-		if err != nil {
-			return err
-		}
-		st.AddSlice(ps)
-	}
-	c.emit(frame, si, "load-balance")
-	return nil
-}
-
-// executeDecentralized performs one round of the manager-free balancing
-// variant (the paper's future work): each calculator trades load
-// reports with its immediate neighbors and both members of the active
-// pair apply loadbalance.DecidePair symmetrically. Pairs (x, x+1) with
-// x ≡ frame (mod 2) are active, which alternates the pairing each frame
-// and guarantees a process never both sends and receives.
-func (c *calcProc) executeDecentralized(frame, si int, rep loadbalance.Report) error {
-	enc := encodeLoadReport(rep)
-	hasLeft := c.idx > 0
-	hasRight := c.idx < c.nCalc-1
-	if hasLeft {
-		c.ep.Send(rankCalc0+c.idx-1, transport.TagLoadReport, enc)
-	}
-	if hasRight {
-		c.ep.Send(rankCalc0+c.idx+1, transport.TagLoadReport, enc)
-	}
-	var left, right loadbalance.Report
-	if hasLeft {
-		m := c.ep.Recv(rankCalc0+c.idx-1, transport.TagLoadReport)
-		r, err := decodeLoadReport(m.Payload)
-		if err != nil {
-			return err
-		}
-		left = r
-	}
-	if hasRight {
-		m := c.ep.Recv(rankCalc0+c.idx+1, transport.TagLoadReport)
-		r, err := decodeLoadReport(m.Payload)
-		if err != nil {
-			return err
-		}
-		right = r
-	}
-
-	parity := frame % 2
-	switch {
-	case hasRight && c.idx%2 == parity:
-		// Left member of the active pair (c.idx, c.idx+1).
-		move := loadbalance.DecidePair(rep, right,
-			c.power[c.idx], c.power[c.idx+1], c.scn.LBThreshold, c.scn.LBMinBatch)
-		return c.tradeWithNeighbor(si, c.idx+1, move)
-	case hasLeft && (c.idx-1)%2 == parity:
-		// Right member of the active pair (c.idx-1, c.idx): the same
-		// decision, seen from the other side.
-		move := loadbalance.DecidePair(left, rep,
-			c.power[c.idx-1], c.power[c.idx], c.scn.LBThreshold, c.scn.LBMinBatch)
-		return c.tradeWithNeighbor(si, c.idx-1, -move)
-	}
-	return nil
-}
-
-// tradeWithNeighbor executes this side of a decentralized pair
-// decision: move > 0 means this calculator donates move particles to
-// peer; move < 0 means it receives -move from peer.
-func (c *calcProc) tradeWithNeighbor(si, peer, move int) error {
-	if move == 0 {
-		return nil
-	}
-	st := c.stores[si]
-	peerRank := rankCalc0 + peer
-	if move > 0 {
-		side := particle.HighSide
-		edge := c.idx + 1
-		if peer < c.idx {
-			side = particle.LowSide
-			edge = c.idx
-		}
-		donated, boundary := st.SelectDonation(move, side)
-		c.lbMovedStored += len(donated)
-		if err := c.tables[si].SetBoundary(edge, boundary); err != nil {
-			return err
-		}
-		c.ep.Send(peerRank, transport.TagNewDims, encodeBoundary(edge, boundary))
-		payload := particle.EncodeBatch(donated)
-		c.ep.SendSized(peerRank, transport.TagLBParticles, payload,
-			billed(len(payload), c.scn.Ratio))
-		return nil
-	}
-	// Receiving side: install the shared boundary first, then take the
-	// particles.
-	m := c.ep.Recv(peerRank, transport.TagNewDims)
-	edge, boundary, err := decodeBoundary(m.Payload)
-	if err != nil {
-		return err
-	}
-	if err := c.tables[si].SetBoundary(edge, boundary); err != nil {
-		return err
-	}
-	lo, hi := c.tables[si].Bounds(c.idx)
-	st.Resize(lo, hi)
-	pm := c.ep.Recv(peerRank, transport.TagLBParticles)
-	ps, err := particle.DecodeBatch(pm.Payload)
-	if err != nil {
-		return err
-	}
-	st.AddSlice(ps)
-	return nil
+	c.others = c.otherCalcRanks()
+	c.fs.work = make([]float64, len(scn.Systems))
+	c.fs.oldLoad = make([]int, len(scn.Systems))
+	return runProgram(c, scn.Schedule.plan().compileCalc(c, scn.LB.policy()))
 }
 
 // ---------------------------------------------------------------------
@@ -809,84 +453,36 @@ type imageGenProc struct {
 	rate      float64
 	calcRanks []int
 
+	fb  *render.Framebuffer // nil unless the scenario rasterizes
+	cam render.Camera
+
 	checksums  []uint64
 	frameTimes []float64
 	events     []Event
 	rec        *obs.Recorder // nil unless the run is profiled
+
+	fs imageFrame
 }
+
+// imageFrame is the image generator's per-frame scratch: the running
+// frame checksum accumulated while collecting render batches.
+type imageFrame struct {
+	frame    int
+	frameSum uint64
+}
+
+func (g *imageGenProc) scenario() *Scenario           { return g.scn }
+func (g *imageGenProc) endpoint() *transport.Endpoint { return g.ep }
+func (g *imageGenProc) recorder() *obs.Recorder       { return g.rec }
+func (g *imageGenProc) rank() int                     { return rankImageGen }
+func (g *imageGenProc) beginFrame(frame int)          { g.fs = imageFrame{frame: frame} }
+func (g *imageGenProc) pushEvent(ev Event)            { g.events = append(g.events, ev) }
 
 func (g *imageGenProc) run() error {
 	scn := g.scn
-	var fb *render.Framebuffer
-	var cam render.Camera
 	if scn.Render.Rasterize {
-		fb = render.NewFramebuffer(scn.Render.Width, scn.Render.Height)
-		cam = defaultCamera(scn)
+		g.fb = render.NewFramebuffer(scn.Render.Width, scn.Render.Height)
+		g.cam = defaultCamera(scn)
 	}
-	for frame := 0; frame < scn.Frames; frame++ {
-		g.rec.BeginFrame(frame, g.ep.Clock.Now())
-		var frameSum uint64
-		if fb != nil {
-			fb.Clear()
-		}
-		ingestBlob := func(blob []byte) error {
-			count := (len(blob) - 4) / renderRecordSize
-			g.ep.Clock.AdvanceWork(scn.Render.CostPerParticle*float64(count)*scn.Ratio, g.rate)
-			frameSum += hashRenderRecords(blob)
-			if fb != nil {
-				ps, err := decodeRenderBatch(blob)
-				if err != nil {
-					return err
-				}
-				fb.SplatBatch(cam, ps)
-			}
-			return nil
-		}
-		if scn.Schedule == BatchedSchedule {
-			// One combined message per calculator carries every system.
-			for _, msg := range g.ep.RecvFromEach(g.calcRanks, transport.TagRenderBatch) {
-				blobs, err := decodeMultiRender(msg.Payload)
-				if err != nil {
-					return err
-				}
-				for _, blob := range blobs {
-					if err := ingestBlob(blob); err != nil {
-						return err
-					}
-				}
-			}
-		} else {
-			for range scn.Systems {
-				for _, msg := range g.ep.RecvFromEach(g.calcRanks, transport.TagRenderBatch) {
-					if err := ingestBlob(msg.Payload); err != nil {
-						return err
-					}
-				}
-			}
-		}
-		g.rec.Phase(-1, "render-collect", g.ep.Clock.Now())
-		g.ep.Clock.AdvanceWork(scn.Render.FrameOverhead, g.rate)
-		if fb != nil {
-			frameSum = fb.Checksum()
-			if err := maybeWriteFrame(scn, frame, fb); err != nil {
-				return err
-			}
-		}
-		g.checksums = append(g.checksums, frameSum)
-		g.frameTimes = append(g.frameTimes, g.ep.Clock.Now())
-		if scn.Trace {
-			g.events = append(g.events, Event{Frame: frame, System: -1, Proc: rankImageGen,
-				Phase: "image-generation", T: g.ep.Clock.Now()})
-		}
-		g.rec.Phase(-1, "image-generation", g.ep.Clock.Now())
-		g.rec.FrameDelivered(g.ep.Clock.Now())
-		if !scn.PipelineFrames {
-			g.ep.Send(rankManager, transport.TagFrameDone, nil)
-			for _, r := range g.calcRanks {
-				g.ep.Send(r, transport.TagFrameDone, nil)
-			}
-		}
-		g.rec.EndFrame(g.ep.Clock.Now())
-	}
-	return nil
+	return runProgram(g, scn.Schedule.plan().compileImage(g))
 }

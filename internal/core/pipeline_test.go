@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"pscluster/internal/cluster"
+)
+
+// The pipeline engine's central claim: every compiled program — any
+// Schedule crossed with any LB policy, at several calculator counts —
+// is bit-equivalent to the sequential engine. One table drives the
+// whole cross-product; the invalid batched × decentralized cell is the
+// only hole (Validate rejects it, covered below).
+func TestScheduleLBCrossProduct(t *testing.T) {
+	for _, sched := range []Schedule{PerSystemSchedule, BatchedSchedule} {
+		for _, lb := range []LBMode{StaticLB, DynamicLB, DecentralizedLB} {
+			if sched == BatchedSchedule && lb == DecentralizedLB {
+				continue // rejected by Validate; see TestBatchedRejectsDecentralized
+			}
+			for _, nCalc := range []int{2, 3, 5} {
+				name := fmt.Sprintf("%v/%v/%dcalc", sched, lb, nCalc)
+				t.Run(name, func(t *testing.T) {
+					scn := miniSnow(lb, FiniteSpace)
+					scn.Schedule = sched
+					seq, err := RunSequential(scn, cluster.TypeB, cluster.GCC)
+					if err != nil {
+						t.Fatal(err)
+					}
+					par, err := RunParallel(scn, testCluster(5), nCalc)
+					if err != nil {
+						t.Fatal(err)
+					}
+					compareResults(t, seq, par)
+				})
+			}
+		}
+	}
+}
+
+// The two schedules must also agree with each other on everything the
+// sequential baseline cannot see: virtual time structure and traffic
+// must be deterministic per (schedule, policy) cell.
+func TestCrossProductDeterministic(t *testing.T) {
+	for _, sched := range []Schedule{PerSystemSchedule, BatchedSchedule} {
+		scn := miniSnow(DynamicLB, InfiniteSpace)
+		scn.Schedule = sched
+		r1, err := RunParallel(scn, testCluster(3), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := RunParallel(scn, testCluster(3), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Time != r2.Time || r1.MsgsSent != r2.MsgsSent || r1.BytesSent != r2.BytesSent {
+			t.Errorf("%v: identical runs diverged", sched)
+		}
+	}
+}

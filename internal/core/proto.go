@@ -26,8 +26,12 @@ func decodeLoadReport(b []byte) (loadbalance.Report, error) {
 	if len(b) != 16 {
 		return loadbalance.Report{}, fmt.Errorf("core: load report is %d bytes, want 16", len(b))
 	}
+	load := binary.LittleEndian.Uint64(b)
+	if load > math.MaxInt64 {
+		return loadbalance.Report{}, fmt.Errorf("core: load report carries negative load")
+	}
 	return loadbalance.Report{
-		Load: int(binary.LittleEndian.Uint64(b)),
+		Load: int(load),
 		Time: math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
 	}, nil
 }
@@ -62,17 +66,19 @@ func decodeOrder(b []byte) (*loadbalance.Order, error) {
 	if len(b) != 9 {
 		return nil, fmt.Errorf("core: order is %d bytes, want 9", len(b))
 	}
-	if b[0] == opNone {
-		return nil, nil
-	}
 	o := &loadbalance.Order{
 		Peer:  int(binary.LittleEndian.Uint32(b[1:])),
 		Count: int(binary.LittleEndian.Uint32(b[5:])),
 	}
-	if b[0] == opSend {
+	switch b[0] {
+	case opNone:
+		return nil, nil
+	case opSend:
 		o.Op = loadbalance.Send
-	} else {
+	case opReceive:
 		o.Op = loadbalance.Receive
+	default:
+		return nil, fmt.Errorf("core: order has unknown opcode %d", b[0])
 	}
 	return o, nil
 }
@@ -117,128 +123,151 @@ func decodeEdges(b []byte) ([]float64, error) {
 
 // ---------------------------------------------------------------------
 // Batched-schedule codecs (§3.3): one message carries all systems.
+// Every multi-system codec is a generic wrapper over its single-system
+// codec — a fixed-width sequence for the control records, a counted
+// sequence of self-sizing slots for the particle payloads.
 // ---------------------------------------------------------------------
 
-// encodeMultiBatch concatenates particle batches (one per (system,
-// create-action) slot, or one per system) behind a count prefix.
-func encodeMultiBatch(batches [][]particle.Particle) []byte {
-	size := 4
-	for _, b := range batches {
-		size += particle.BatchBytes(len(b))
-	}
-	buf := make([]byte, 4, size)
-	binary.LittleEndian.PutUint32(buf, uint32(len(batches)))
-	for _, b := range batches {
-		buf = append(buf, particle.EncodeBatch(b)...)
+// encodeFixedSeq concatenates fixed-width records encoded by enc.
+func encodeFixedSeq[T any](items []T, enc func(T) []byte) []byte {
+	var buf []byte
+	for _, it := range items {
+		buf = append(buf, enc(it)...)
 	}
 	return buf
 }
 
-// decodeMultiBatch splits a multi-batch back into its per-slot batches.
-func decodeMultiBatch(b []byte) ([][]particle.Particle, error) {
+// decodeFixedSeq splits b into n records of width bytes each and
+// decodes them with dec, rejecting any length mismatch.
+func decodeFixedSeq[T any](b []byte, n, width int, what string, dec func([]byte) (T, error)) ([]T, error) {
+	if n < 0 || len(b) != n*width {
+		return nil, fmt.Errorf("core: %s of %d bytes, want %d", what, len(b), n*width)
+	}
+	out := make([]T, n)
+	for i := range out {
+		v, err := dec(b[i*width : (i+1)*width])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// encodeCountedSeq concatenates variable-width slots behind a u32
+// count. Every slot must carry its own size (see decodeCountedSeq).
+func encodeCountedSeq(slots [][]byte) []byte {
+	size := 4
+	for _, s := range slots {
+		size += len(s)
+	}
+	buf := make([]byte, 4, size)
+	binary.LittleEndian.PutUint32(buf, uint32(len(slots)))
+	for _, s := range slots {
+		buf = append(buf, s...)
+	}
+	return buf
+}
+
+// decodeCountedSeq splits a counted payload back into its slots. size
+// reads the full width of the slot at the head of its argument (which
+// is guaranteed at least 4 bytes). Corrupt input — short headers,
+// truncated slots, trailing bytes — returns an error, never garbage.
+func decodeCountedSeq(b []byte, what string, size func([]byte) int) ([][]byte, error) {
 	if len(b) < 4 {
-		return nil, fmt.Errorf("core: multi-batch of %d bytes has no header", len(b))
+		return nil, fmt.Errorf("core: %s of %d bytes has no header", what, len(b))
 	}
 	n := int(binary.LittleEndian.Uint32(b))
 	b = b[4:]
-	out := make([][]particle.Particle, n)
+	// Every slot needs at least its 4-byte count, which bounds a sane n;
+	// capping the allocation keeps a corrupt count from exhausting
+	// memory before the truncation check rejects it.
+	capHint := n
+	if maxSlots := len(b) / 4; capHint > maxSlots {
+		capHint = maxSlots
+	}
+	out := make([][]byte, 0, capHint)
 	for i := 0; i < n; i++ {
 		if len(b) < 4 {
-			return nil, fmt.Errorf("core: multi-batch truncated at slot %d", i)
+			return nil, fmt.Errorf("core: %s truncated at slot %d", what, i)
 		}
-		count := int(binary.LittleEndian.Uint32(b))
-		size := particle.BatchBytes(count)
-		if len(b) < size {
-			return nil, fmt.Errorf("core: multi-batch slot %d needs %d bytes, have %d", i, size, len(b))
+		sz := size(b)
+		if sz < 4 || sz > len(b) {
+			return nil, fmt.Errorf("core: %s slot %d needs %d bytes, have %d", what, i, sz, len(b))
 		}
-		ps, err := particle.DecodeBatch(b[:size])
+		out = append(out, b[:sz])
+		b = b[sz:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("core: %s has %d trailing bytes", what, len(b))
+	}
+	return out, nil
+}
+
+// encodeMultiBatch concatenates particle batches (one per (system,
+// create-action) slot, or one per system) behind a count prefix.
+func encodeMultiBatch(batches [][]particle.Particle) []byte {
+	return encodeCountedSeq(encodeFixedSeqSlots(batches, particle.EncodeBatch))
+}
+
+// encodeFixedSeqSlots maps a slice through a per-item encoder, giving
+// encodeCountedSeq its slots.
+func encodeFixedSeqSlots[T any](items []T, enc func(T) []byte) [][]byte {
+	slots := make([][]byte, len(items))
+	for i, it := range items {
+		slots[i] = enc(it)
+	}
+	return slots
+}
+
+// decodeMultiBatch splits a multi-batch back into its per-slot batches.
+func decodeMultiBatch(b []byte) ([][]particle.Particle, error) {
+	slots, err := decodeCountedSeq(b, "multi-batch", func(rest []byte) int {
+		return particle.BatchBytes(int(binary.LittleEndian.Uint32(rest)))
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]particle.Particle, len(slots))
+	for i, s := range slots {
+		ps, err := particle.DecodeBatch(s)
 		if err != nil {
 			return nil, err
 		}
 		out[i] = ps
-		b = b[size:]
-	}
-	if len(b) != 0 {
-		return nil, fmt.Errorf("core: multi-batch has %d trailing bytes", len(b))
 	}
 	return out, nil
 }
 
 // encodeMultiReports packs one load report per system.
 func encodeMultiReports(rs []loadbalance.Report) []byte {
-	buf := make([]byte, 0, 16*len(rs))
-	for _, r := range rs {
-		buf = append(buf, encodeLoadReport(r)...)
-	}
-	return buf
+	return encodeFixedSeq(rs, encodeLoadReport)
 }
 
 // decodeMultiReports unpacks nSys load reports.
 func decodeMultiReports(b []byte, nSys int) ([]loadbalance.Report, error) {
-	if len(b) != 16*nSys {
-		return nil, fmt.Errorf("core: multi-report of %d bytes, want %d", len(b), 16*nSys)
-	}
-	out := make([]loadbalance.Report, nSys)
-	for i := range out {
-		r, err := decodeLoadReport(b[16*i : 16*i+16])
-		if err != nil {
-			return nil, err
-		}
-		out[i] = r
-	}
-	return out, nil
+	return decodeFixedSeq(b, nSys, 16, "multi-report", decodeLoadReport)
 }
 
 // encodeMultiOrders packs one (possibly nil) order per system.
 func encodeMultiOrders(os []*loadbalance.Order) []byte {
-	buf := make([]byte, 0, 9*len(os))
-	for _, o := range os {
-		buf = append(buf, encodeOrder(o)...)
-	}
-	return buf
+	return encodeFixedSeq(os, encodeOrder)
 }
 
 // decodeMultiOrders unpacks nSys orders.
 func decodeMultiOrders(b []byte, nSys int) ([]*loadbalance.Order, error) {
-	if len(b) != 9*nSys {
-		return nil, fmt.Errorf("core: multi-order of %d bytes, want %d", len(b), 9*nSys)
-	}
-	out := make([]*loadbalance.Order, nSys)
-	for i := range out {
-		o, err := decodeOrder(b[9*i : 9*i+9])
-		if err != nil {
-			return nil, err
-		}
-		out[i] = o
-	}
-	return out, nil
+	return decodeFixedSeq(b, nSys, 9, "multi-order", decodeOrder)
 }
 
 // encodeMultiEdges packs every system's edge table (all tables have the
 // same length, nCalc+1).
 func encodeMultiEdges(tables [][]float64) []byte {
-	var buf []byte
-	for _, e := range tables {
-		buf = append(buf, encodeEdges(e)...)
-	}
-	return buf
+	return encodeFixedSeq(tables, encodeEdges)
 }
 
 // decodeMultiEdges unpacks nSys edge tables of edgeLen entries each.
 func decodeMultiEdges(b []byte, nSys, edgeLen int) ([][]float64, error) {
-	want := nSys * edgeLen * 8
-	if len(b) != want {
-		return nil, fmt.Errorf("core: multi-edges of %d bytes, want %d", len(b), want)
-	}
-	out := make([][]float64, nSys)
-	for i := range out {
-		e, err := decodeEdges(b[i*edgeLen*8 : (i+1)*edgeLen*8])
-		if err != nil {
-			return nil, err
-		}
-		out[i] = e
-	}
-	return out, nil
+	return decodeFixedSeq(b, nSys, edgeLen*8, "multi-edges", decodeEdges)
 }
 
 // encodeBoundarySys tags a donor boundary with its system index for the
@@ -262,43 +291,15 @@ func decodeBoundarySys(b []byte) (sys, edge int, value float64, err error) {
 // encodeMultiRender concatenates per-system render batches behind a
 // count prefix.
 func encodeMultiRender(blobs [][]byte) []byte {
-	size := 4
-	for _, blob := range blobs {
-		size += len(blob)
-	}
-	buf := make([]byte, 4, size)
-	binary.LittleEndian.PutUint32(buf, uint32(len(blobs)))
-	for _, blob := range blobs {
-		buf = append(buf, blob...)
-	}
-	return buf
+	return encodeCountedSeq(blobs)
 }
 
 // decodeMultiRender splits a multi-render payload into its per-system
 // render batches.
 func decodeMultiRender(b []byte) ([][]byte, error) {
-	if len(b) < 4 {
-		return nil, fmt.Errorf("core: multi-render of %d bytes has no header", len(b))
-	}
-	n := int(binary.LittleEndian.Uint32(b))
-	b = b[4:]
-	out := make([][]byte, n)
-	for i := 0; i < n; i++ {
-		if len(b) < 4 {
-			return nil, fmt.Errorf("core: multi-render truncated at slot %d", i)
-		}
-		count := int(binary.LittleEndian.Uint32(b))
-		size := 4 + count*renderRecordSize
-		if len(b) < size {
-			return nil, fmt.Errorf("core: multi-render slot %d needs %d bytes, have %d", i, size, len(b))
-		}
-		out[i] = b[:size]
-		b = b[size:]
-	}
-	if len(b) != 0 {
-		return nil, fmt.Errorf("core: multi-render has %d trailing bytes", len(b))
-	}
-	return out, nil
+	return decodeCountedSeq(b, "multi-render", func(rest []byte) int {
+		return 4 + int(binary.LittleEndian.Uint32(rest))*renderRecordSize
+	})
 }
 
 // renderRecordSize is the compact on-wire size of one particle sent to

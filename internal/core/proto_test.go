@@ -1,0 +1,251 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"pscluster/internal/geom"
+	"pscluster/internal/loadbalance"
+	"pscluster/internal/particle"
+)
+
+func mkParticle(seed float64) particle.Particle {
+	var p particle.Particle
+	p.Pos = geom.V(seed, seed+1, seed+2)
+	p.Vel = geom.V(-seed, 0.5, 2*seed)
+	p.Color = geom.V(0.25, 0.5, 0.75)
+	p.Alpha = 0.8
+	p.Size = 0.4
+	p.Age = seed / 10
+	return p
+}
+
+// Round-trips for every single-system codec.
+func TestCodecRoundTrips(t *testing.T) {
+	t.Run("load-report", func(t *testing.T) {
+		want := loadbalance.Report{Load: 12345, Time: 6.75}
+		got, err := decodeLoadReport(encodeLoadReport(want))
+		if err != nil || got != want {
+			t.Fatalf("got %+v, %v", got, err)
+		}
+	})
+	t.Run("order", func(t *testing.T) {
+		for _, want := range []*loadbalance.Order{
+			nil,
+			{Op: loadbalance.Send, Peer: 3, Count: 250},
+			{Op: loadbalance.Receive, Peer: 0, Count: 1},
+		} {
+			got, err := decodeOrder(encodeOrder(want))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (got == nil) != (want == nil) {
+				t.Fatalf("nil-ness differs: got %+v want %+v", got, want)
+			}
+			if got != nil && *got != *want {
+				t.Fatalf("got %+v want %+v", got, want)
+			}
+		}
+	})
+	t.Run("boundary", func(t *testing.T) {
+		edge, val, err := decodeBoundary(encodeBoundary(2, -7.25))
+		if err != nil || edge != 2 || val != -7.25 {
+			t.Fatalf("got %d %v %v", edge, val, err)
+		}
+	})
+	t.Run("boundary-sys", func(t *testing.T) {
+		sys, edge, val, err := decodeBoundarySys(encodeBoundarySys(1, 3, 0.5))
+		if err != nil || sys != 1 || edge != 3 || val != 0.5 {
+			t.Fatalf("got %d %d %v %v", sys, edge, val, err)
+		}
+	})
+	t.Run("edges", func(t *testing.T) {
+		want := []float64{-60, -20, 20, 60}
+		got, err := decodeEdges(encodeEdges(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("edge %d: got %v want %v", i, got[i], want[i])
+			}
+		}
+	})
+	t.Run("render-batch", func(t *testing.T) {
+		ps := []particle.Particle{mkParticle(1), mkParticle(2)}
+		got, err := decodeRenderBatch(encodeRenderBatch(ps))
+		if err != nil || len(got) != 2 {
+			t.Fatalf("got %d records, %v", len(got), err)
+		}
+		// Render records quantize to f32; compare through the same path.
+		if float64(float32(ps[1].Pos.X)) != got[1].Pos.X {
+			t.Fatalf("position mangled: %v vs %v", ps[1].Pos.X, got[1].Pos.X)
+		}
+	})
+}
+
+// Round-trips for every multi-system codec.
+func TestMultiCodecRoundTrips(t *testing.T) {
+	t.Run("multi-batch", func(t *testing.T) {
+		want := [][]particle.Particle{
+			{mkParticle(1), mkParticle(2)},
+			nil,
+			{mkParticle(3)},
+		}
+		got, err := decodeMultiBatch(encodeMultiBatch(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%d slots, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("slot %d: %d particles, want %d", i, len(got[i]), len(want[i]))
+			}
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("slot %d particle %d differs", i, j)
+				}
+			}
+		}
+	})
+	t.Run("multi-reports", func(t *testing.T) {
+		want := []loadbalance.Report{{Load: 1, Time: 2}, {Load: 3, Time: 4}}
+		got, err := decodeMultiReports(encodeMultiReports(want), 2)
+		if err != nil || got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("got %+v, %v", got, err)
+		}
+	})
+	t.Run("multi-orders", func(t *testing.T) {
+		want := []*loadbalance.Order{nil, {Op: loadbalance.Send, Peer: 1, Count: 7}}
+		got, err := decodeMultiOrders(encodeMultiOrders(want), 2)
+		if err != nil || got[0] != nil || *got[1] != *want[1] {
+			t.Fatalf("got %+v, %v", got, err)
+		}
+	})
+	t.Run("multi-edges", func(t *testing.T) {
+		want := [][]float64{{0, 1, 2}, {3, 4, 5}}
+		got, err := decodeMultiEdges(encodeMultiEdges(want), 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si := range want {
+			for i := range want[si] {
+				if got[si][i] != want[si][i] {
+					t.Fatalf("table %d edge %d differs", si, i)
+				}
+			}
+		}
+	})
+	t.Run("multi-render", func(t *testing.T) {
+		blobs := [][]byte{
+			encodeRenderBatch([]particle.Particle{mkParticle(1)}),
+			encodeRenderBatch(nil),
+		}
+		got, err := decodeMultiRender(encodeMultiRender(blobs))
+		if err != nil || len(got) != 2 {
+			t.Fatalf("got %d blobs, %v", len(got), err)
+		}
+		for i := range blobs {
+			if !bytes.Equal(got[i], blobs[i]) {
+				t.Fatalf("blob %d differs", i)
+			}
+		}
+	})
+}
+
+// Every decode path must return an error — never panic or fabricate
+// records — on truncated or corrupt payloads.
+func TestDecodeRejectsCorruptPayloads(t *testing.T) {
+	okBatch := encodeMultiBatch([][]particle.Particle{{mkParticle(1)}, {mkParticle(2)}})
+	okRender := encodeMultiRender([][]byte{encodeRenderBatch([]particle.Particle{mkParticle(1)})})
+	overcount := append([]byte(nil), okBatch...)
+	binary.LittleEndian.PutUint32(overcount, math.MaxUint32) // count says 4G slots
+
+	cases := []struct {
+		name   string
+		decode func([]byte) error
+		bad    [][]byte
+	}{
+		{"load-report", func(b []byte) error { _, err := decodeLoadReport(b); return err },
+			[][]byte{nil, make([]byte, 15), make([]byte, 17),
+				{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0}}},
+		{"order", func(b []byte) error { _, err := decodeOrder(b); return err },
+			[][]byte{nil, make([]byte, 8), make([]byte, 10),
+				{3, 0, 0, 0, 0, 0, 0, 0, 0},      // unknown opcode
+				{0xff, 0, 0, 0, 0, 0, 0, 0, 0}}}, // unknown opcode
+		{"boundary", func(b []byte) error { _, _, err := decodeBoundary(b); return err },
+			[][]byte{nil, make([]byte, 11), make([]byte, 13)}},
+		{"boundary-sys", func(b []byte) error { _, _, _, err := decodeBoundarySys(b); return err },
+			[][]byte{nil, make([]byte, 15), make([]byte, 17)}},
+		{"edges", func(b []byte) error { _, err := decodeEdges(b); return err },
+			[][]byte{make([]byte, 7), make([]byte, 9)}},
+		{"multi-reports", func(b []byte) error { _, err := decodeMultiReports(b, 2); return err },
+			[][]byte{nil, make([]byte, 31), make([]byte, 33)}},
+		{"multi-orders", func(b []byte) error { _, err := decodeMultiOrders(b, 2); return err },
+			[][]byte{nil, make([]byte, 17), make([]byte, 19), bytes.Repeat([]byte{9}, 18)}},
+		{"multi-edges", func(b []byte) error { _, err := decodeMultiEdges(b, 2, 3); return err },
+			[][]byte{nil, make([]byte, 47), make([]byte, 49)}},
+		{"render-batch", func(b []byte) error { _, err := decodeRenderBatch(b); return err },
+			[][]byte{nil, {1}, {1, 0, 0, 0}, append([]byte{1, 0, 0, 0}, make([]byte, 31)...)}},
+		{"multi-batch", func(b []byte) error { _, err := decodeMultiBatch(b); return err },
+			[][]byte{nil, {2}, {2, 0, 0, 0}, okBatch[:len(okBatch)-1],
+				append(okBatch, 0), overcount}},
+		{"multi-render", func(b []byte) error { _, err := decodeMultiRender(b); return err },
+			[][]byte{nil, {1}, {1, 0, 0, 0}, okRender[:len(okRender)-1],
+				append(append([]byte(nil), okRender...), 0)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for i, b := range tc.bad {
+				if err := tc.decode(b); err == nil {
+					t.Errorf("corrupt payload %d (%d bytes) decoded without error", i, len(b))
+				}
+			}
+		})
+	}
+}
+
+// FuzzDecodeMultiBatch drives the counted-sequence decoder (and the
+// nested particle batch decoder) with arbitrary bytes: it must never
+// panic, and on valid-looking input must re-encode to the same bytes.
+func FuzzDecodeMultiBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeMultiBatch(nil))
+	f.Add(encodeMultiBatch([][]particle.Particle{nil}))
+	f.Add(encodeMultiBatch([][]particle.Particle{{mkParticle(1)}, {mkParticle(2), mkParticle(3)}}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		batches, err := decodeMultiBatch(b)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(encodeMultiBatch(batches), b) {
+			t.Fatalf("re-encode mismatch for %x", b)
+		}
+	})
+}
+
+// FuzzDecodeOrder checks the order codec never panics and only ever
+// yields the two real opcodes.
+func FuzzDecodeOrder(f *testing.F) {
+	f.Add(encodeOrder(nil))
+	f.Add(encodeOrder(&loadbalance.Order{Op: loadbalance.Send, Peer: 1, Count: 2}))
+	f.Add(encodeOrder(&loadbalance.Order{Op: loadbalance.Receive, Peer: 2, Count: 9}))
+	f.Add([]byte{7, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		o, err := decodeOrder(b)
+		if err != nil || o == nil {
+			return
+		}
+		if o.Op != loadbalance.Send && o.Op != loadbalance.Receive {
+			t.Fatalf("decoded impossible op %v from %x", o.Op, b)
+		}
+		if !bytes.Equal(encodeOrder(o), b) {
+			t.Fatalf("re-encode mismatch for %x", b)
+		}
+	})
+}

@@ -1,0 +1,501 @@
+package core
+
+import (
+	"fmt"
+
+	"pscluster/internal/actions"
+	"pscluster/internal/particle"
+	"pscluster/internal/transport"
+)
+
+// This file holds the Schedule strategies: how the phases of Figure 2
+// are laid out across the particle systems of one frame. A schedulePlan
+// compiles each role's frame into a []step program for the runner in
+// pipeline.go; the LB policy (lbpolicy.go) contributes the balancing
+// steps. PerSystemSchedule walks the full phase sequence once per
+// system; BatchedSchedule (§3.3) runs every phase once per frame for
+// all systems together, so the n² exchange messages, the balancing
+// round-trips and the render sends are paid once per frame instead of
+// once per system. Physics is identical either way — the schedules
+// remain bit-equivalent.
+
+// schedulePlan compiles one frame's step program per process role.
+type schedulePlan interface {
+	compileManager(m *managerProc, pol lbPolicy) []step
+	compileCalc(c *calcProc, pol lbPolicy) []step
+	compileImage(g *imageGenProc) []step
+}
+
+// plan returns the strategy implementing this schedule.
+func (s Schedule) plan() schedulePlan {
+	if s == BatchedSchedule {
+		return batchedPlan{}
+	}
+	return perSystemPlan{}
+}
+
+// ---------------------------------------------------------------------
+// Per-system schedule
+// ---------------------------------------------------------------------
+
+type perSystemPlan struct{}
+
+func (perSystemPlan) compileManager(m *managerProc, pol lbPolicy) []step {
+	scn := m.scn
+	var prog []step
+	for si := range scn.Systems {
+		// Particle creation (§3.2.1): generate, then scatter by domain
+		// with one batch per calculator; the batch itself is the
+		// end-of-transmission notification. One step per creating
+		// action, matching the sequential engine's action order.
+		for _, a := range scn.Systems[si].Actions {
+			ca, ok := a.(actions.CreateAction)
+			if !ok {
+				continue
+			}
+			cost := a.Cost()
+			prog = append(prog, step{phase: "particle-creation", sys: si, traced: true,
+				run: always(func() error {
+					ps := ca.Generate(m.ctxs[si])
+					m.ep.Clock.AdvanceWork(cost*float64(len(ps))*scn.Ratio, m.rate)
+					groups := groupByOwner(ps, m.tables[si], m.nCalc)
+					for c := 0; c < m.nCalc; c++ {
+						payload := particle.EncodeBatch(groups[c])
+						m.ep.SendSized(rankCalc0+c, transport.TagParticles, payload,
+							billed(len(payload), scn.Ratio))
+					}
+					return nil
+				})})
+		}
+		prog = append(prog, pol.managerSystemSteps(m, si)...)
+	}
+	if !scn.PipelineFrames {
+		prog = append(prog, frameBarrierStep(m))
+	}
+	return prog
+}
+
+func (perSystemPlan) compileCalc(c *calcProc, pol lbPolicy) []step {
+	scn := c.scn
+	var prog []step
+	for si := range scn.Systems {
+		// Compute phase: the action list of Algorithm 1. Each creating
+		// action closes an "addition" step (any non-create actions since
+		// the previous one run first, then the manager's batch arrives);
+		// the actions after the last creation fold into "calculus".
+		var pending []actions.Action
+		for _, a := range scn.Systems[si].Actions {
+			if _, ok := a.(actions.CreateAction); !ok {
+				pending = append(pending, a)
+				continue
+			}
+			pre := pending
+			pending = nil
+			prog = append(prog, step{phase: "addition", sys: si, traced: true,
+				run: always(func() error {
+					if err := c.runActions(si, pre); err != nil {
+						return err
+					}
+					msg := c.ep.Recv(rankManager, transport.TagParticles)
+					ps, err := particle.DecodeBatch(msg.Payload)
+					if err != nil {
+						return err
+					}
+					c.stores[si].AddSlice(ps)
+					return nil
+				})})
+		}
+		tail := pending
+		prog = append(prog, step{phase: "calculus", sys: si, traced: true,
+			run: always(func() error {
+				if err := c.runActions(si, tail); err != nil {
+					return err
+				}
+				c.runScripted(si)
+				st := c.stores[si]
+				st.RemoveDead()
+				c.fs.oldLoad[si] = st.Len()
+				return nil
+			})})
+		prog = append(prog, step{phase: "exchange", sys: si, traced: true,
+			run: always(func() error { return c.exchangeSystem(si) })})
+		prog = append(prog, pol.calcReportSteps(c, si)...)
+		prog = append(prog, step{phase: "render-send", sys: si, traced: true,
+			run: always(func() error { c.renderSend(si); return nil })})
+		prog = append(prog, pol.calcBalanceSteps(c, si)...)
+	}
+	if !scn.PipelineFrames {
+		prog = append(prog, frameBarrierStep(c))
+	}
+	return prog
+}
+
+func (perSystemPlan) compileImage(g *imageGenProc) []step {
+	return imageSteps(g, func() error {
+		for range g.scn.Systems {
+			for _, msg := range g.ep.RecvFromEach(g.calcRanks, transport.TagRenderBatch) {
+				if err := g.ingestBlob(msg.Payload); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// ---------------------------------------------------------------------
+// Batched schedule (§3.3)
+// ---------------------------------------------------------------------
+
+type batchedPlan struct{}
+
+func (batchedPlan) compileManager(m *managerProc, pol lbPolicy) []step {
+	scn := m.scn
+	// Creation: generate every system's new particles (in the same
+	// (system, action) order as the sequential engine) and scatter one
+	// combined message per calculator.
+	prog := []step{{phase: "particle-creation", sys: -1, run: func() (bool, error) {
+		perCalc := make([][][]particle.Particle, m.nCalc)
+		slots := 0
+		for si := range scn.Systems {
+			for _, a := range scn.Systems[si].Actions {
+				ca, ok := a.(actions.CreateAction)
+				if !ok {
+					continue
+				}
+				ps := ca.Generate(m.ctxs[si])
+				m.ep.Clock.AdvanceWork(a.Cost()*float64(len(ps))*scn.Ratio, m.rate)
+				groups := groupByOwner(ps, m.tables[si], m.nCalc)
+				for c := 0; c < m.nCalc; c++ {
+					perCalc[c] = append(perCalc[c], groups[c])
+				}
+				slots++
+			}
+		}
+		if slots == 0 {
+			return false, nil
+		}
+		for c := 0; c < m.nCalc; c++ {
+			payload := encodeMultiBatch(perCalc[c])
+			m.ep.SendSized(rankCalc0+c, transport.TagParticles, payload,
+				billed(len(payload), scn.Ratio))
+		}
+		return true, nil
+	}}}
+	prog = append(prog, pol.managerBatchSteps(m)...)
+	if !scn.PipelineFrames {
+		prog = append(prog, frameBarrierStep(m))
+	}
+	return prog
+}
+
+func (batchedPlan) compileCalc(c *calcProc, pol lbPolicy) []step {
+	scn := c.scn
+	hasCreate := false
+	for si := range scn.Systems {
+		for _, a := range scn.Systems[si].Actions {
+			if a.Kind() == actions.KindCreate {
+				hasCreate = true
+			}
+		}
+	}
+	prog := []step{
+		{phase: "calculus", sys: -1,
+			run: always(func() error { return c.batchedCompute(hasCreate) })},
+		{phase: "exchange", sys: -1,
+			run: always(func() error { return c.batchedExchange() })},
+	}
+	prog = append(prog, pol.calcBatchReportSteps(c)...)
+	prog = append(prog, step{phase: "render-send", sys: -1,
+		run: always(func() error { c.batchedRenderSend(); return nil })})
+	prog = append(prog, pol.calcBatchBalanceSteps(c)...)
+	if !scn.PipelineFrames {
+		prog = append(prog, frameBarrierStep(c))
+	}
+	return prog
+}
+
+func (batchedPlan) compileImage(g *imageGenProc) []step {
+	return imageSteps(g, func() error {
+		// One combined message per calculator carries every system.
+		for _, msg := range g.ep.RecvFromEach(g.calcRanks, transport.TagRenderBatch) {
+			blobs, err := decodeMultiRender(msg.Payload)
+			if err != nil {
+				return err
+			}
+			for _, blob := range blobs {
+				if err := g.ingestBlob(blob); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// ---------------------------------------------------------------------
+// Calculator phase bodies shared by the plans
+// ---------------------------------------------------------------------
+
+// applyAction runs one non-creating action of system si, advancing the
+// clock and accumulating the frame's work for the load report.
+func (c *calcProc) applyAction(si int, a actions.Action) error {
+	scn := c.scn
+	st := c.stores[si]
+	switch act := a.(type) {
+	case actions.StoreAction:
+		w, err := c.applyStoreAction(si, act, c.ctxs[si])
+		if err != nil {
+			return err
+		}
+		w *= scn.Ratio
+		c.ep.Clock.AdvanceWork(w, c.rate)
+		c.fs.work[si] += w
+	case actions.ParticleAction:
+		st.ForEach(func(p *particle.Particle) { act.Apply(c.ctxs[si], p) })
+		w := a.Cost() * float64(st.Len()) * scn.Ratio
+		c.ep.Clock.AdvanceWork(w, c.rate)
+		c.fs.work[si] += w
+	default:
+		return fmt.Errorf("core: system %d action %q has unknown shape", si, a.Name())
+	}
+	return nil
+}
+
+func (c *calcProc) runActions(si int, acts []actions.Action) error {
+	for _, a := range acts {
+		if err := c.applyAction(si, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runScripted applies the steering script entries due this frame.
+func (c *calcProc) runScripted(si int) {
+	scn := c.scn
+	st := c.stores[si]
+	for _, pa := range scn.scriptedFor(c.fs.frame, si) {
+		st.ForEach(func(p *particle.Particle) { pa.Apply(c.ctxs[si], p) })
+		w := pa.Cost() * float64(st.Len()) * scn.Ratio
+		c.ep.Clock.AdvanceWork(w, c.rate)
+		c.fs.work[si] += w
+	}
+}
+
+// exchangeSystem is the particle exchange of §3.2.4 for one system:
+// out-of-domain particles go straight to their owner; one message per
+// peer, empty batches doubling as end-of-transmission. It opens with
+// the preparation of the structures (Figure 2): out-of-domain
+// detection, sub-domain re-binning and exchange packing, a per-particle
+// cost the sequential baseline does not pay.
+func (c *calcProc) exchangeSystem(si int) error {
+	scn := c.scn
+	st := c.stores[si]
+	scanWork := scn.ExchangeScanWork * float64(st.Len()) * scn.Ratio
+	c.ep.Clock.AdvanceWork(scanWork, c.rate)
+	c.fs.work[si] += scanWork
+
+	out := st.Partition()
+	groups := groupByOwner(out, c.tables[si], c.nCalc)
+	if len(groups[c.idx]) > 0 {
+		// Out-of-space particles clamp back to the outermost domains,
+		// which may be our own.
+		st.AddSlice(groups[c.idx])
+	}
+	for i := 0; i < c.nCalc; i++ {
+		if i == c.idx {
+			continue
+		}
+		payload := particle.EncodeBatch(groups[i])
+		c.exchangedStored += len(groups[i])
+		c.ep.SendSized(rankCalc0+i, transport.TagParticles, payload,
+			billed(len(payload), scn.Ratio))
+	}
+	for _, msg := range c.ep.RecvFromEach(c.others, transport.TagParticles) {
+		ps, err := particle.DecodeBatch(msg.Payload)
+		if err != nil {
+			return err
+		}
+		st.AddSlice(ps)
+	}
+	return nil
+}
+
+// renderSend ships one system's particles to the image generator: it
+// overlaps the manager's evaluation ("while the manager evaluates the
+// load balancing, the calculators send the particles to the image
+// generator"). Billed at the scenario's per-particle render wire size.
+func (c *calcProc) renderSend(si int) {
+	scn := c.scn
+	st := c.stores[si]
+	payload := encodeRenderBatch(st.All())
+	bill := 4 + int(float64(st.Len()*scn.Render.BytesPerParticle)*scn.Ratio)
+	if bill < len(payload) {
+		bill = len(payload)
+	}
+	c.ep.SendSized(rankImageGen, transport.TagRenderBatch, payload, bill)
+}
+
+// batchedCompute is the batched schedule's whole compute phase: one
+// combined creation message (slots in (system, action) order), then
+// every system's action list, script entries and exchange scan.
+func (c *calcProc) batchedCompute(hasCreate bool) error {
+	scn := c.scn
+	var created [][]particle.Particle
+	if hasCreate {
+		msg := c.ep.Recv(rankManager, transport.TagParticles)
+		var err error
+		created, err = decodeMultiBatch(msg.Payload)
+		if err != nil {
+			return err
+		}
+	}
+	slot := 0
+	for si := range scn.Systems {
+		st := c.stores[si]
+		for _, a := range scn.Systems[si].Actions {
+			if _, ok := a.(actions.CreateAction); ok {
+				if slot >= len(created) {
+					return fmt.Errorf("core: creation slot %d out of range", slot)
+				}
+				st.AddSlice(created[slot])
+				slot++
+				continue
+			}
+			if err := c.applyAction(si, a); err != nil {
+				return err
+			}
+		}
+		c.runScripted(si)
+		st.RemoveDead()
+		c.fs.oldLoad[si] = st.Len()
+		scanWork := scn.ExchangeScanWork * float64(st.Len()) * scn.Ratio
+		c.ep.Clock.AdvanceWork(scanWork, c.rate)
+		c.fs.work[si] += scanWork
+	}
+	return nil
+}
+
+// batchedExchange is one combined exchange: per peer, a multi-batch
+// with one slot per system.
+func (c *calcProc) batchedExchange() error {
+	scn := c.scn
+	nSys := len(scn.Systems)
+	perPeer := make([][][]particle.Particle, c.nCalc)
+	for p := range perPeer {
+		perPeer[p] = make([][]particle.Particle, nSys)
+	}
+	for si := range scn.Systems {
+		st := c.stores[si]
+		out := st.Partition()
+		groups := groupByOwner(out, c.tables[si], c.nCalc)
+		if len(groups[c.idx]) > 0 {
+			st.AddSlice(groups[c.idx])
+		}
+		for p := 0; p < c.nCalc; p++ {
+			if p != c.idx {
+				perPeer[p][si] = groups[p]
+				c.exchangedStored += len(groups[p])
+			}
+		}
+	}
+	for p := 0; p < c.nCalc; p++ {
+		if p == c.idx {
+			continue
+		}
+		payload := encodeMultiBatch(perPeer[p])
+		c.ep.SendSized(rankCalc0+p, transport.TagParticles, payload,
+			billed(len(payload), scn.Ratio))
+	}
+	for _, msg := range c.ep.RecvFromEach(c.others, transport.TagParticles) {
+		batches, err := decodeMultiBatch(msg.Payload)
+		if err != nil {
+			return err
+		}
+		if len(batches) != nSys {
+			return fmt.Errorf("core: exchange carried %d systems, want %d", len(batches), nSys)
+		}
+		for si, ps := range batches {
+			c.stores[si].AddSlice(ps)
+		}
+	}
+	return nil
+}
+
+// batchedRenderSend is one combined render send with one blob per
+// system, billed as the sum of the per-system render wire sizes.
+func (c *calcProc) batchedRenderSend() {
+	scn := c.scn
+	nSys := len(scn.Systems)
+	blobs := make([][]byte, nSys)
+	bill := 4
+	for si := range scn.Systems {
+		blobs[si] = encodeRenderBatch(c.stores[si].All())
+		bill += 4 + int(float64(c.stores[si].Len()*scn.Render.BytesPerParticle)*scn.Ratio)
+	}
+	payload := encodeMultiRender(blobs)
+	if bill < len(payload) {
+		bill = len(payload)
+	}
+	c.ep.SendSized(rankImageGen, transport.TagRenderBatch, payload, bill)
+}
+
+// ---------------------------------------------------------------------
+// Image generator program
+// ---------------------------------------------------------------------
+
+// imageSteps builds the image generator's frame program around a
+// schedule-specific collect body: gather and splat every render batch,
+// generate the image, then deliver the frame (and, for synchronous
+// frames, release everyone's barrier).
+func imageSteps(g *imageGenProc, collect func() error) []step {
+	scn := g.scn
+	return []step{
+		{phase: "render-collect", sys: -1, run: always(func() error {
+			if g.fb != nil {
+				g.fb.Clear()
+			}
+			return collect()
+		})},
+		{phase: "image-generation", sys: -1, traced: true, run: always(func() error {
+			g.ep.Clock.AdvanceWork(scn.Render.FrameOverhead, g.rate)
+			if g.fb != nil {
+				g.fs.frameSum = g.fb.Checksum()
+				if err := maybeWriteFrame(scn, g.fs.frame, g.fb); err != nil {
+					return err
+				}
+			}
+			g.checksums = append(g.checksums, g.fs.frameSum)
+			g.frameTimes = append(g.frameTimes, g.ep.Clock.Now())
+			return nil
+		})},
+		{run: always(func() error {
+			g.rec.FrameDelivered(g.ep.Clock.Now())
+			if !scn.PipelineFrames {
+				g.ep.Send(rankManager, transport.TagFrameDone, nil)
+				for _, r := range g.calcRanks {
+					g.ep.Send(r, transport.TagFrameDone, nil)
+				}
+			}
+			return nil
+		})},
+	}
+}
+
+// ingestBlob accounts, hashes and (when rasterizing) splats one
+// system's render batch from one calculator.
+func (g *imageGenProc) ingestBlob(blob []byte) error {
+	scn := g.scn
+	count := (len(blob) - 4) / renderRecordSize
+	g.ep.Clock.AdvanceWork(scn.Render.CostPerParticle*float64(count)*scn.Ratio, g.rate)
+	g.fs.frameSum += hashRenderRecords(blob)
+	if g.fb != nil {
+		ps, err := decodeRenderBatch(blob)
+		if err != nil {
+			return err
+		}
+		g.fb.SplatBatch(g.cam, ps)
+	}
+	return nil
+}
