@@ -3,7 +3,11 @@ GO ?= go
 # Coverage floor (percent of statements) for the engine package.
 CORE_COVER_FLOOR ?= 85
 
-.PHONY: all build vet test race race-obs bench cover ci
+# Fixed iteration count for the data-plane benchmarks, so BENCH_dataplane.json
+# is regenerated under comparable conditions across machines.
+BENCHTIME ?= 100x
+
+.PHONY: all build vet test race race-obs bench bench-tables bench-smoke cover ci
 
 all: ci
 
@@ -25,8 +29,22 @@ race:
 race-obs:
 	$(GO) test -race ./internal/core/ -run 'Profile|Profiled|Figure2'
 
+# Data-plane benchmark harness: runs the AoS-vs-SoA kernel and wire
+# codec benchmarks at a fixed -benchtime and writes the machine-readable
+# BENCH_dataplane.json (ns/op + allocs/op) that is committed with the repo.
 bench:
+	$(GO) test -run '^$$' -bench 'KernelsAoSvsSoA|ExchangeEncode|ExchangeDecode|AblationColumnStore' \
+	  -benchtime $(BENCHTIME) -benchmem ./internal/actions/ ./internal/particle/ . | \
+	  tee /dev/stderr | $(GO) run ./cmd/psbench -benchjson BENCH_dataplane.json
+
+# Full paper-table benchmark suite (slow; regenerates every experiment).
+bench-tables:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# One-iteration sweep over every benchmark in the repo — the CI smoke
+# check that keeps the benchmarks compiling and running.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
 # Coverage report, gated: internal/core (the engine) must stay at or
 # above CORE_COVER_FLOOR percent of statements.

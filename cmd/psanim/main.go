@@ -7,7 +7,7 @@
 //	psanim [-scenario snow|fountain] [-procs N] [-nodes N] [-net myrinet|fast-ethernet]
 //	       [-lb static|dynamic] [-space finite|infinite] [-frames N]
 //	       [-out DIR] [-seq] [-config scenario.json] [-dump scenario.json]
-//	       [-trace trace.json] [-metrics out.prom] [-timeline]
+//	       [-trace trace.json] [-metrics out.prom] [-timeline] [-aos]
 //
 // Scenarios can also be described declaratively: -dump writes the
 // selected built-in scenario as JSON, -config runs one from a file (see
@@ -48,6 +48,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
 	metricsOut := flag.String("metrics", "", "write run metrics in Prometheus text exposition format")
 	timeline := flag.Bool("timeline", false, "print the per-calculator compute/comm/idle timeline")
+	aos := flag.Bool("aos", false,
+		"data-plane ablation: use the record (AoS) particle store instead of the columnar one")
 	flag.Parse()
 
 	lb := core.DynamicLB
@@ -93,6 +95,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	scn.AoSStore = *aos
 	if *dump != "" {
 		data, err := scenariojson.Encode(scn)
 		if err != nil {

@@ -1,0 +1,121 @@
+package actions
+
+import "pscluster/internal/particle"
+
+// BatchAction is a ParticleAction with a columnar kernel: ApplyBatch
+// runs the action over a whole particle.Batch, streaming the columns it
+// touches instead of paying a virtual call and a record copy per
+// particle. A kernel must perform the exact per-particle float
+// operations of Apply, in index order, so the two paths stay
+// bit-identical — the engines assert this across the full schedule ×
+// balancing matrix.
+type BatchAction interface {
+	ParticleAction
+	ApplyBatch(ctx *Context, b *particle.Batch)
+}
+
+// ApplyToBatch runs a over every particle of b: through the columnar
+// kernel when a implements BatchAction, otherwise through the
+// AoS-compat adapter that materializes each particle, applies the
+// per-particle Apply, and scatters it back. The adapter is what lets
+// the 18+ actions migrate to kernels incrementally.
+func ApplyToBatch(ctx *Context, a ParticleAction, b *particle.Batch) {
+	if ba, ok := a.(BatchAction); ok {
+		ba.ApplyBatch(ctx, b)
+		return
+	}
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		p := b.At(i)
+		a.Apply(ctx, &p)
+		b.Set(i, p)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Columnar kernels for the hot actions. Each loop body is the matching
+// Apply body verbatim, expressed over columns.
+// ---------------------------------------------------------------------
+
+// ApplyBatch implements BatchAction. The acceleration G·DT is loop
+// invariant; adding the hoisted value per particle performs the same
+// float operations as Apply.
+func (a *Gravity) ApplyBatch(ctx *Context, b *particle.Batch) {
+	g := a.G.Scale(ctx.DT)
+	for i := range b.Vel {
+		b.Vel[i] = b.Vel[i].Add(g)
+	}
+}
+
+// ApplyBatch implements BatchAction.
+func (a *Damping) ApplyBatch(ctx *Context, b *particle.Batch) {
+	f := 1 - a.Coeff*ctx.DT
+	if f < 0 {
+		f = 0
+	}
+	for i := range b.Vel {
+		b.Vel[i] = b.Vel[i].Scale(f)
+	}
+}
+
+// ApplyBatch implements BatchAction.
+func (a *Bounce) ApplyBatch(ctx *Context, b *particle.Batch) {
+	n := a.Plane.Normal
+	for i := range b.Vel {
+		d := a.Plane.SignedDist(b.Pos[i])
+		vn := b.Vel[i].Dot(n)
+		if d < 0 || vn >= 0 || d+vn*ctx.DT > 0 {
+			continue
+		}
+		normal := n.Scale(vn)
+		tangent := b.Vel[i].Sub(normal)
+		b.Vel[i] = tangent.Scale(1 - a.Friction).Sub(normal.Scale(a.Elasticity))
+	}
+}
+
+// ApplyBatch implements BatchAction.
+func (a *Sink) ApplyBatch(_ *Context, b *particle.Batch) {
+	for i := range b.Pos {
+		if a.Domain.Within(b.Pos[i]) == a.KillInside {
+			b.Dead[i] = true
+		}
+	}
+}
+
+// ApplyBatch implements BatchAction.
+func (a *SinkBelow) ApplyBatch(_ *Context, b *particle.Batch) {
+	for i := range b.Pos {
+		if b.Pos[i].Component(a.Axis) < a.Threshold {
+			b.Dead[i] = true
+		}
+	}
+}
+
+// ApplyBatch implements BatchAction.
+func (a *KillOld) ApplyBatch(_ *Context, b *particle.Batch) {
+	for i := range b.Age {
+		if b.Age[i] > a.MaxAge {
+			b.Dead[i] = true
+		}
+	}
+}
+
+// ApplyBatch implements BatchAction.
+func (a *Fade) ApplyBatch(ctx *Context, b *particle.Batch) {
+	step := a.Rate * ctx.DT
+	for i := range b.Alpha {
+		b.Alpha[i] -= step
+		if b.Alpha[i] <= 0 {
+			b.Alpha[i] = 0
+			b.Dead[i] = true
+		}
+	}
+}
+
+// ApplyBatch implements BatchAction.
+func (a *Move) ApplyBatch(ctx *Context, b *particle.Batch) {
+	for i := range b.Pos {
+		b.Pos[i] = b.Pos[i].Add(b.Vel[i].Scale(ctx.DT))
+		b.Age[i] += ctx.DT
+	}
+}

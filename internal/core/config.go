@@ -10,6 +10,7 @@ import (
 
 	"pscluster/internal/actions"
 	"pscluster/internal/geom"
+	"pscluster/internal/particle"
 )
 
 // InfiniteExtent is the half-width of the default decomposition interval
@@ -201,6 +202,12 @@ type Scenario struct {
 	// paper's heterogeneity mechanism.
 	IgnorePower bool
 
+	// AoSStore makes both engines run on the array-of-structs Store
+	// instead of the default columnar ColumnStore — the data-plane
+	// ablation. The two layouts are bit-for-bit equivalent (checksums,
+	// clocks, traffic); only host wall-clock differs.
+	AoSStore bool
+
 	// PipelineFrames lets calculators start frame f+1 before the image
 	// generator finishes frame f. The paper's frames are synchronous —
 	// each frame ends when its image is generated — so this defaults to
@@ -330,4 +337,13 @@ func (s *Scenario) SpaceInterval() (lo, hi float64) {
 		return -InfiniteExtent, InfiniteExtent
 	}
 	return s.Space.Min.Component(s.Axis), s.Space.Max.Component(s.Axis)
+}
+
+// newStore builds one (system, process) particle store over [lo, hi)
+// in the scenario's configured data-plane layout.
+func (s *Scenario) newStore(lo, hi float64) particle.Set {
+	if s.AoSStore {
+		return particle.NewStore(s.Axis, lo, hi, s.Bins)
+	}
+	return particle.NewColumnStore(s.Axis, lo, hi, s.Bins)
 }

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pscluster/internal/cluster"
+)
+
+// The data-plane ablation: flipping AoSStore swaps every store in the
+// run between the columnar ColumnStore and the record-based Store, and
+// nothing observable may change — checksums, particles, virtual times,
+// traffic, and trace events are all bit-identical. This is the
+// equivalence proof behind defaulting to the columnar plane.
+func TestColumnStoreBitNeutral(t *testing.T) {
+	for _, sched := range []Schedule{PerSystemSchedule, BatchedSchedule} {
+		for _, lb := range []LBMode{StaticLB, DynamicLB, DecentralizedLB} {
+			if sched == BatchedSchedule && lb == DecentralizedLB {
+				continue
+			}
+			t.Run(fmt.Sprintf("%v/%v", sched, lb), func(t *testing.T) {
+				soa := miniSnow(lb, InfiniteSpace)
+				soa.Schedule = sched
+				soa.Trace = true
+				aos := soa
+				aos.AoSStore = true
+
+				rs, err := RunParallel(soa, testCluster(4), 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ra, err := RunParallel(aos, testCluster(4), 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareResults(t, ra, rs)
+				if rs.Time != ra.Time {
+					t.Errorf("virtual time: soa %v vs aos %v", rs.Time, ra.Time)
+				}
+				if !reflect.DeepEqual(rs.PerProcTime, ra.PerProcTime) {
+					t.Errorf("per-proc times diverge:\nsoa %v\naos %v", rs.PerProcTime, ra.PerProcTime)
+				}
+				if rs.MsgsSent != ra.MsgsSent || rs.BytesSent != ra.BytesSent ||
+					rs.MsgsRecv != ra.MsgsRecv || rs.BytesRecv != ra.BytesRecv {
+					t.Errorf("traffic: soa %d msgs/%d B vs aos %d msgs/%d B",
+						rs.MsgsSent, rs.BytesSent, ra.MsgsSent, ra.BytesSent)
+				}
+				if rs.ExchangedParticles != ra.ExchangedParticles ||
+					rs.ExchangedBytes != ra.ExchangedBytes ||
+					rs.LBMoved != ra.LBMoved || rs.LBRounds != ra.LBRounds {
+					t.Errorf("exchange/LB counters diverge: soa %d/%d/%d/%d vs aos %d/%d/%d/%d",
+						rs.ExchangedParticles, rs.ExchangedBytes, rs.LBMoved, rs.LBRounds,
+						ra.ExchangedParticles, ra.ExchangedBytes, ra.LBMoved, ra.LBRounds)
+				}
+				if !reflect.DeepEqual(rs.CalcLoads, ra.CalcLoads) {
+					t.Errorf("calc loads diverge: soa %v vs aos %v", rs.CalcLoads, ra.CalcLoads)
+				}
+				if !reflect.DeepEqual(rs.Events, ra.Events) {
+					t.Errorf("trace events diverge (%d vs %d)", len(rs.Events), len(ra.Events))
+				}
+			})
+		}
+	}
+}
+
+// The sequential engine honors the same ablation flag.
+func TestColumnStoreBitNeutralSequential(t *testing.T) {
+	soa := miniSnow(StaticLB, FiniteSpace)
+	soa.Trace = true
+	aos := soa
+	aos.AoSStore = true
+	rs, err := RunSequential(soa, cluster.TypeB, cluster.GCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := RunSequential(aos, cluster.TypeB, cluster.GCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, ra, rs)
+	if rs.Time != ra.Time {
+		t.Errorf("virtual time: soa %v vs aos %v", rs.Time, ra.Time)
+	}
+	if !reflect.DeepEqual(rs.Events, ra.Events) {
+		t.Errorf("trace events diverge")
+	}
+}

@@ -23,13 +23,17 @@ func (c *calcProc) applyStoreAction(si int, act actions.StoreAction,
 	st := c.stores[si]
 	col, ok := act.(*actions.CollideParticles)
 	if !c.scn.GhostCollisions || !ok {
-		return act.ApplyStore(ctx, st), nil
+		var w float64
+		st.WithStore(func(s *particle.Store) { w = act.ApplyStore(ctx, s) })
+		return w, nil
 	}
 	ghosts, err := c.exchangeGhostBand(si, col.Radius)
 	if err != nil {
 		return 0, err
 	}
-	return col.ApplyWithGhosts(ctx, st, ghosts), nil
+	var w float64
+	st.WithStore(func(s *particle.Store) { w = col.ApplyWithGhosts(ctx, s, ghosts) })
+	return w, nil
 }
 
 // exchangeGhostBand trades boundary bands with both domain neighbors
@@ -53,14 +57,12 @@ func (c *calcProc) exchangeGhostBand(si int, radius float64) ([]particle.Particl
 	hasLeft := c.idx > 0
 	hasRight := c.idx < c.nCalc-1
 	if hasLeft {
-		payload := particle.EncodeBatch(low)
-		c.ep.SendSized(rankCalc0+c.idx-1, transport.TagGhosts, payload,
-			billed(len(payload), c.scn.Ratio))
+		c.ep.SendScaled(rankCalc0+c.idx-1, transport.TagGhosts,
+			particle.EncodeBatch(low), c.scn.Ratio)
 	}
 	if hasRight {
-		payload := particle.EncodeBatch(high)
-		c.ep.SendSized(rankCalc0+c.idx+1, transport.TagGhosts, payload,
-			billed(len(payload), c.scn.Ratio))
+		c.ep.SendScaled(rankCalc0+c.idx+1, transport.TagGhosts,
+			particle.EncodeBatch(high), c.scn.Ratio)
 	}
 	var ghosts []particle.Particle
 	if hasLeft {

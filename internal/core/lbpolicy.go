@@ -148,7 +148,7 @@ func (dynamicLB) calcBalanceSteps(c *calcProc, si int) []step {
 			if order != nil && order.Op == loadbalance.Send {
 				side, edge := donationSide(c.idx, order.Peer)
 				var boundary float64
-				c.fs.donated, boundary = st.SelectDonation(order.Count, side)
+				c.fs.donated, boundary = st.DonateBatch(order.Count, side)
 				c.ep.Send(rankManager, transport.TagNewDims, encodeBoundary(edge, boundary))
 			}
 			dimsMsg := c.ep.Recv(rankManager, transport.TagNewDims)
@@ -174,17 +174,15 @@ func (dynamicLB) calcBalanceSteps(c *calcProc, si int) []step {
 			st := c.stores[si]
 			peerRank := rankCalc0 + order.Peer
 			if order.Op == loadbalance.Send {
-				payload := particle.EncodeBatch(c.fs.donated)
-				c.ep.SendSized(peerRank, transport.TagLBParticles, payload,
-					billed(len(payload), c.scn.Ratio))
+				c.ep.SendScaled(peerRank, transport.TagLBParticles,
+					c.fs.donated.EncodeWire(), c.scn.Ratio)
 				return true, nil
 			}
 			msg := c.ep.Recv(peerRank, transport.TagLBParticles)
-			ps, err := particle.DecodeBatch(msg.Payload)
-			if err != nil {
+			if err := c.wire.DecodeWireInto(msg.Payload); err != nil {
 				return false, err
 			}
-			st.AddSlice(ps)
+			st.AddBatch(&c.wire)
 			return true, nil
 		}},
 	}
@@ -295,7 +293,7 @@ func (dynamicLB) calcBatchBalanceSteps(c *calcProc) []step {
 				return err
 			}
 			c.fs.orders = orders
-			c.fs.donations = make([][]particle.Particle, nSys)
+			c.fs.donations = make([]*particle.Batch, nSys)
 			for si, o := range orders {
 				if o == nil || o.Op != loadbalance.Send {
 					continue
@@ -303,7 +301,7 @@ func (dynamicLB) calcBatchBalanceSteps(c *calcProc) []step {
 				st := c.stores[si]
 				side, edge := donationSide(c.idx, o.Peer)
 				var boundary float64
-				c.fs.donations[si], boundary = st.SelectDonation(o.Count, side)
+				c.fs.donations[si], boundary = st.DonateBatch(o.Count, side)
 				c.ep.Send(rankManager, transport.TagNewDims, encodeBoundarySys(si, edge, boundary))
 			}
 			dimsMsg := c.ep.Recv(rankManager, transport.TagNewDims)
@@ -330,17 +328,15 @@ func (dynamicLB) calcBatchBalanceSteps(c *calcProc) []step {
 				}
 				peerRank := rankCalc0 + o.Peer
 				if o.Op == loadbalance.Send {
-					payload := particle.EncodeBatch(c.fs.donations[si])
-					c.ep.SendSized(peerRank, transport.TagLBParticles, payload,
-						billed(len(payload), scn.Ratio))
+					c.ep.SendScaled(peerRank, transport.TagLBParticles,
+						c.fs.donations[si].EncodeWire(), scn.Ratio)
 					continue
 				}
 				pm := c.ep.Recv(peerRank, transport.TagLBParticles)
-				ps, err := particle.DecodeBatch(pm.Payload)
-				if err != nil {
+				if err := c.wire.DecodeWireInto(pm.Payload); err != nil {
 					return err
 				}
-				c.stores[si].AddSlice(ps)
+				c.stores[si].AddBatch(&c.wire)
 			}
 			return nil
 		})},
@@ -450,15 +446,14 @@ func (c *calcProc) tradeWithNeighbor(si, peer, move int) error {
 	peerRank := rankCalc0 + peer
 	if move > 0 {
 		side, edge := donationSide(c.idx, peer)
-		donated, boundary := st.SelectDonation(move, side)
-		c.lbMovedStored += len(donated)
+		donated, boundary := st.DonateBatch(move, side)
+		c.lbMovedStored += donated.Len()
 		if err := c.tables[si].SetBoundary(edge, boundary); err != nil {
 			return err
 		}
 		c.ep.Send(peerRank, transport.TagNewDims, encodeBoundary(edge, boundary))
-		payload := particle.EncodeBatch(donated)
-		c.ep.SendSized(peerRank, transport.TagLBParticles, payload,
-			billed(len(payload), c.scn.Ratio))
+		c.ep.SendScaled(peerRank, transport.TagLBParticles,
+			donated.EncodeWire(), c.scn.Ratio)
 		return nil
 	}
 	// Receiving side: install the shared boundary first, then take the
@@ -474,10 +469,9 @@ func (c *calcProc) tradeWithNeighbor(si, peer, move int) error {
 	lo, hi := c.tables[si].Bounds(c.idx)
 	st.Resize(lo, hi)
 	pm := c.ep.Recv(peerRank, transport.TagLBParticles)
-	ps, err := particle.DecodeBatch(pm.Payload)
-	if err != nil {
+	if err := c.wire.DecodeWireInto(pm.Payload); err != nil {
 		return err
 	}
-	st.AddSlice(ps)
+	st.AddBatch(&c.wire)
 	return nil
 }

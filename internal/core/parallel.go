@@ -109,10 +109,10 @@ func runParallel(scn Scenario, cl *cluster.Cluster, nCalc int, profiled bool) (*
 			rate: place.Rate(rankCalc0 + i), tables: tables, nCalc: nCalc,
 			power: power,
 		}
-		c.stores = make([]*particle.Store, len(scn.Systems))
+		c.stores = make([]particle.Set, len(scn.Systems))
 		for si := range c.stores {
 			slo, shi := tables[si].Bounds(i)
-			c.stores[si] = particle.NewStore(scn.Axis, slo, shi, scn.Bins)
+			c.stores[si] = scn.newStore(slo, shi)
 		}
 		calcs[i] = c
 	}
@@ -284,11 +284,7 @@ func assembleResult(scn *Scenario, mgr *managerProc, img *imageGenProc, calcs []
 
 // billed inflates a payload size by the representation ratio.
 func billed(payloadLen int, ratio float64) int {
-	b := int(float64(payloadLen) * ratio)
-	if b < payloadLen {
-		b = payloadLen
-	}
-	return b
+	return transport.Billed(payloadLen, ratio)
 }
 
 // groupByOwner splits particles by their owning calculator.
@@ -297,6 +293,21 @@ func groupByOwner(ps []particle.Particle, t *domain.Table, nCalc int) [][]partic
 	for i := range ps {
 		o := t.OwnerOf(ps[i].Pos)
 		groups[o] = append(groups[o], ps[i])
+	}
+	return groups
+}
+
+// groupOwnerBatches splits a batch by owning calculator, scanning the
+// position column in order (the same particle order groupByOwner
+// produces from the equivalent slice).
+func groupOwnerBatches(b *particle.Batch, t *domain.Table, nCalc int) []*particle.Batch {
+	groups := make([]*particle.Batch, nCalc)
+	for i := range groups {
+		groups[i] = &particle.Batch{}
+	}
+	for i := range b.Pos {
+		o := t.OwnerOf(b.Pos[i])
+		groups[o].AppendIndex(b, i)
 	}
 	return groups
 }
@@ -364,7 +375,7 @@ type calcProc struct {
 	ep     *transport.Endpoint
 	rate   float64
 	tables []*domain.Table
-	stores []*particle.Store
+	stores []particle.Set
 	nCalc  int
 	power  []float64
 
@@ -375,6 +386,11 @@ type calcProc struct {
 	lbMovedStored   int
 	events          []Event
 	rec             *obs.Recorder // nil unless the run is profiled
+
+	// wire is the reusable decode scratch for inbound particle batches:
+	// payloads decode into its columns (no per-message allocation) and
+	// are copied into the target store by AddBatch.
+	wire particle.Batch
 
 	fs calcFrame
 }
@@ -389,11 +405,11 @@ type calcFrame struct {
 
 	// Per-system schedule: the current system's balancing order.
 	order   *loadbalance.Order
-	donated []particle.Particle
+	donated *particle.Batch
 
 	// Batched schedule: one order and donation per system.
 	orders    []*loadbalance.Order
-	donations [][]particle.Particle
+	donations []*particle.Batch
 }
 
 func (c *calcProc) scenario() *Scenario           { return c.scn }

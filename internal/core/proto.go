@@ -220,11 +220,18 @@ func encodeFixedSeqSlots[T any](items []T, enc func(T) []byte) [][]byte {
 	return slots
 }
 
-// decodeMultiBatch splits a multi-batch back into its per-slot batches.
-func decodeMultiBatch(b []byte) ([][]particle.Particle, error) {
-	slots, err := decodeCountedSeq(b, "multi-batch", func(rest []byte) int {
+// splitMultiBatch splits a multi-batch payload into its raw per-slot
+// batch payloads without decoding them — callers stream each slot
+// through a reusable columnar decode scratch.
+func splitMultiBatch(b []byte) ([][]byte, error) {
+	return decodeCountedSeq(b, "multi-batch", func(rest []byte) int {
 		return particle.BatchBytes(int(binary.LittleEndian.Uint32(rest)))
 	})
+}
+
+// decodeMultiBatch splits a multi-batch back into its per-slot batches.
+func decodeMultiBatch(b []byte) ([][]particle.Particle, error) {
+	slots, err := splitMultiBatch(b)
 	if err != nil {
 		return nil, err
 	}
@@ -237,6 +244,17 @@ func decodeMultiBatch(b []byte) ([][]particle.Particle, error) {
 		out[i] = ps
 	}
 	return out, nil
+}
+
+// encodeMultiWire packs columnar batches (one per system) behind a
+// count prefix — byte-identical to encodeMultiBatch of the equivalent
+// slices.
+func encodeMultiWire(batches []*particle.Batch) []byte {
+	slots := make([][]byte, len(batches))
+	for i := range batches {
+		slots[i] = batches[i].EncodeWire()
+	}
+	return encodeCountedSeq(slots)
 }
 
 // encodeMultiReports packs one load report per system.
@@ -330,6 +348,60 @@ func encodeRenderBatch(ps []particle.Particle) []byte {
 		b = append(b, rec[:]...)
 	}
 	return b
+}
+
+// encodeRenderSet packs a store's particles into compact render
+// records straight from its bin columns, in store iteration order —
+// byte-identical to encodeRenderBatch(st.All()) without materializing
+// the particle slice.
+func encodeRenderSet(st particle.Set) []byte {
+	b := make([]byte, 4, 4+st.Len()*renderRecordSize)
+	binary.LittleEndian.PutUint32(b, uint32(st.Len()))
+	var rec [renderRecordSize]byte
+	st.EachBatch(func(batch *particle.Batch) {
+		for i := range batch.Pos {
+			putF32 := func(off int, v float64) {
+				binary.LittleEndian.PutUint32(rec[off:], math.Float32bits(float32(v)))
+			}
+			putF32(0, batch.Pos[i].X)
+			putF32(4, batch.Pos[i].Y)
+			putF32(8, batch.Pos[i].Z)
+			putF32(12, batch.Color[i].X)
+			putF32(16, batch.Color[i].Y)
+			putF32(20, batch.Color[i].Z)
+			putF32(24, batch.Alpha[i])
+			putF32(28, batch.Size[i])
+			b = append(b, rec[:]...)
+		}
+	})
+	return b
+}
+
+// decodeRenderColumns unpacks compact render records straight into
+// batch columns (only the rendering columns are populated).
+func decodeRenderColumns(b []byte) (*particle.Batch, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("core: render batch of %d bytes has no header", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if len(b) != n*renderRecordSize {
+		return nil, fmt.Errorf("core: render batch of %d records needs %d bytes, have %d",
+			n, n*renderRecordSize, len(b))
+	}
+	cols := &particle.Batch{}
+	cols.Grow(n)
+	for i := 0; i < n; i++ {
+		rec := b[i*renderRecordSize:]
+		getF32 := func(off int) float64 {
+			return float64(math.Float32frombits(binary.LittleEndian.Uint32(rec[off:])))
+		}
+		cols.Pos[i] = geom.V(getF32(0), getF32(4), getF32(8))
+		cols.Color[i] = geom.V(getF32(12), getF32(16), getF32(20))
+		cols.Alpha[i] = getF32(24)
+		cols.Size[i] = getF32(28)
+	}
+	return cols, nil
 }
 
 // decodeRenderBatch unpacks compact render records into particles (only

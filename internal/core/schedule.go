@@ -60,9 +60,8 @@ func (perSystemPlan) compileManager(m *managerProc, pol lbPolicy) []step {
 					m.ep.Clock.AdvanceWork(cost*float64(len(ps))*scn.Ratio, m.rate)
 					groups := groupByOwner(ps, m.tables[si], m.nCalc)
 					for c := 0; c < m.nCalc; c++ {
-						payload := particle.EncodeBatch(groups[c])
-						m.ep.SendSized(rankCalc0+c, transport.TagParticles, payload,
-							billed(len(payload), scn.Ratio))
+						m.ep.SendScaled(rankCalc0+c, transport.TagParticles,
+							particle.EncodeBatch(groups[c]), scn.Ratio)
 					}
 					return nil
 				})})
@@ -97,11 +96,10 @@ func (perSystemPlan) compileCalc(c *calcProc, pol lbPolicy) []step {
 						return err
 					}
 					msg := c.ep.Recv(rankManager, transport.TagParticles)
-					ps, err := particle.DecodeBatch(msg.Payload)
-					if err != nil {
+					if err := c.wire.DecodeWireInto(msg.Payload); err != nil {
 						return err
 					}
-					c.stores[si].AddSlice(ps)
+					c.stores[si].AddBatch(&c.wire)
 					return nil
 				})})
 		}
@@ -176,9 +174,8 @@ func (batchedPlan) compileManager(m *managerProc, pol lbPolicy) []step {
 			return false, nil
 		}
 		for c := 0; c < m.nCalc; c++ {
-			payload := encodeMultiBatch(perCalc[c])
-			m.ep.SendSized(rankCalc0+c, transport.TagParticles, payload,
-				billed(len(payload), scn.Ratio))
+			m.ep.SendScaled(rankCalc0+c, transport.TagParticles,
+				encodeMultiBatch(perCalc[c]), scn.Ratio)
 		}
 		return true, nil
 	}}}
@@ -252,7 +249,7 @@ func (c *calcProc) applyAction(si int, a actions.Action) error {
 		c.ep.Clock.AdvanceWork(w, c.rate)
 		c.fs.work[si] += w
 	case actions.ParticleAction:
-		st.ForEach(func(p *particle.Particle) { act.Apply(c.ctxs[si], p) })
+		applyToSet(st, c.ctxs[si], act)
 		w := a.Cost() * float64(st.Len()) * scn.Ratio
 		c.ep.Clock.AdvanceWork(w, c.rate)
 		c.fs.work[si] += w
@@ -276,7 +273,7 @@ func (c *calcProc) runScripted(si int) {
 	scn := c.scn
 	st := c.stores[si]
 	for _, pa := range scn.scriptedFor(c.fs.frame, si) {
-		st.ForEach(func(p *particle.Particle) { pa.Apply(c.ctxs[si], p) })
+		applyToSet(st, c.ctxs[si], pa)
 		w := pa.Cost() * float64(st.Len()) * scn.Ratio
 		c.ep.Clock.AdvanceWork(w, c.rate)
 		c.fs.work[si] += w
@@ -296,28 +293,25 @@ func (c *calcProc) exchangeSystem(si int) error {
 	c.ep.Clock.AdvanceWork(scanWork, c.rate)
 	c.fs.work[si] += scanWork
 
-	out := st.Partition()
-	groups := groupByOwner(out, c.tables[si], c.nCalc)
-	if len(groups[c.idx]) > 0 {
+	out := st.PartitionBatch()
+	groups := groupOwnerBatches(out, c.tables[si], c.nCalc)
+	if groups[c.idx].Len() > 0 {
 		// Out-of-space particles clamp back to the outermost domains,
 		// which may be our own.
-		st.AddSlice(groups[c.idx])
+		st.AddBatch(groups[c.idx])
 	}
 	for i := 0; i < c.nCalc; i++ {
 		if i == c.idx {
 			continue
 		}
-		payload := particle.EncodeBatch(groups[i])
-		c.exchangedStored += len(groups[i])
-		c.ep.SendSized(rankCalc0+i, transport.TagParticles, payload,
-			billed(len(payload), scn.Ratio))
+		c.exchangedStored += groups[i].Len()
+		c.ep.SendScaled(rankCalc0+i, transport.TagParticles, groups[i].EncodeWire(), scn.Ratio)
 	}
 	for _, msg := range c.ep.RecvFromEach(c.others, transport.TagParticles) {
-		ps, err := particle.DecodeBatch(msg.Payload)
-		if err != nil {
+		if err := c.wire.DecodeWireInto(msg.Payload); err != nil {
 			return err
 		}
-		st.AddSlice(ps)
+		st.AddBatch(&c.wire)
 	}
 	return nil
 }
@@ -329,7 +323,7 @@ func (c *calcProc) exchangeSystem(si int) error {
 func (c *calcProc) renderSend(si int) {
 	scn := c.scn
 	st := c.stores[si]
-	payload := encodeRenderBatch(st.All())
+	payload := encodeRenderSet(st)
 	bill := 4 + int(float64(st.Len()*scn.Render.BytesPerParticle)*scn.Ratio)
 	if bill < len(payload) {
 		bill = len(payload)
@@ -342,11 +336,11 @@ func (c *calcProc) renderSend(si int) {
 // every system's action list, script entries and exchange scan.
 func (c *calcProc) batchedCompute(hasCreate bool) error {
 	scn := c.scn
-	var created [][]particle.Particle
+	var created [][]byte
 	if hasCreate {
 		msg := c.ep.Recv(rankManager, transport.TagParticles)
 		var err error
-		created, err = decodeMultiBatch(msg.Payload)
+		created, err = splitMultiBatch(msg.Payload)
 		if err != nil {
 			return err
 		}
@@ -359,7 +353,10 @@ func (c *calcProc) batchedCompute(hasCreate bool) error {
 				if slot >= len(created) {
 					return fmt.Errorf("core: creation slot %d out of range", slot)
 				}
-				st.AddSlice(created[slot])
+				if err := c.wire.DecodeWireInto(created[slot]); err != nil {
+					return err
+				}
+				st.AddBatch(&c.wire)
 				slot++
 				continue
 			}
@@ -382,21 +379,21 @@ func (c *calcProc) batchedCompute(hasCreate bool) error {
 func (c *calcProc) batchedExchange() error {
 	scn := c.scn
 	nSys := len(scn.Systems)
-	perPeer := make([][][]particle.Particle, c.nCalc)
+	perPeer := make([][]*particle.Batch, c.nCalc)
 	for p := range perPeer {
-		perPeer[p] = make([][]particle.Particle, nSys)
+		perPeer[p] = make([]*particle.Batch, nSys)
 	}
 	for si := range scn.Systems {
 		st := c.stores[si]
-		out := st.Partition()
-		groups := groupByOwner(out, c.tables[si], c.nCalc)
-		if len(groups[c.idx]) > 0 {
-			st.AddSlice(groups[c.idx])
+		out := st.PartitionBatch()
+		groups := groupOwnerBatches(out, c.tables[si], c.nCalc)
+		if groups[c.idx].Len() > 0 {
+			st.AddBatch(groups[c.idx])
 		}
 		for p := 0; p < c.nCalc; p++ {
 			if p != c.idx {
 				perPeer[p][si] = groups[p]
-				c.exchangedStored += len(groups[p])
+				c.exchangedStored += groups[p].Len()
 			}
 		}
 	}
@@ -404,20 +401,21 @@ func (c *calcProc) batchedExchange() error {
 		if p == c.idx {
 			continue
 		}
-		payload := encodeMultiBatch(perPeer[p])
-		c.ep.SendSized(rankCalc0+p, transport.TagParticles, payload,
-			billed(len(payload), scn.Ratio))
+		c.ep.SendScaled(rankCalc0+p, transport.TagParticles, encodeMultiWire(perPeer[p]), scn.Ratio)
 	}
 	for _, msg := range c.ep.RecvFromEach(c.others, transport.TagParticles) {
-		batches, err := decodeMultiBatch(msg.Payload)
+		slots, err := splitMultiBatch(msg.Payload)
 		if err != nil {
 			return err
 		}
-		if len(batches) != nSys {
-			return fmt.Errorf("core: exchange carried %d systems, want %d", len(batches), nSys)
+		if len(slots) != nSys {
+			return fmt.Errorf("core: exchange carried %d systems, want %d", len(slots), nSys)
 		}
-		for si, ps := range batches {
-			c.stores[si].AddSlice(ps)
+		for si, s := range slots {
+			if err := c.wire.DecodeWireInto(s); err != nil {
+				return err
+			}
+			c.stores[si].AddBatch(&c.wire)
 		}
 	}
 	return nil
@@ -431,7 +429,7 @@ func (c *calcProc) batchedRenderSend() {
 	blobs := make([][]byte, nSys)
 	bill := 4
 	for si := range scn.Systems {
-		blobs[si] = encodeRenderBatch(c.stores[si].All())
+		blobs[si] = encodeRenderSet(c.stores[si])
 		bill += 4 + int(float64(c.stores[si].Len()*scn.Render.BytesPerParticle)*scn.Ratio)
 	}
 	payload := encodeMultiRender(blobs)
@@ -491,11 +489,19 @@ func (g *imageGenProc) ingestBlob(blob []byte) error {
 	g.ep.Clock.AdvanceWork(scn.Render.CostPerParticle*float64(count)*scn.Ratio, g.rate)
 	g.fs.frameSum += hashRenderRecords(blob)
 	if g.fb != nil {
-		ps, err := decodeRenderBatch(blob)
+		cols, err := decodeRenderColumns(blob)
 		if err != nil {
 			return err
 		}
-		g.fb.SplatBatch(g.cam, ps)
+		g.fb.SplatColumns(g.cam, cols)
 	}
 	return nil
+}
+
+// applyToSet runs one per-particle action over every bin batch of st:
+// migrated actions stream their columnar kernels, the rest go through
+// the AoS-compat adapter. Either way the per-particle operations and
+// their order match the historical ForEach+Apply loop exactly.
+func applyToSet(st particle.Set, ctx *actions.Context, act actions.ParticleAction) {
+	st.EachBatch(func(b *particle.Batch) { actions.ApplyToBatch(ctx, act, b) })
 }

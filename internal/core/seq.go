@@ -27,10 +27,10 @@ func RunSequential(scn Scenario, node cluster.NodeType, comp cluster.Compiler) (
 	var clock cluster.Clock
 	lo, hi := scn.SpaceInterval()
 
-	stores := make([]*particle.Store, len(scn.Systems))
+	stores := make([]particle.Set, len(scn.Systems))
 	ctxs := make([]*actions.Context, len(scn.Systems))
 	for i := range scn.Systems {
-		stores[i] = particle.NewStore(scn.Axis, lo, hi, scn.Bins)
+		stores[i] = scn.newStore(lo, hi)
 		ctxs[i] = &actions.Context{RNG: geom.NewRNG(scn.Systems[i].Seed), DT: scn.DT}
 	}
 
@@ -70,32 +70,33 @@ func RunSequential(scn Scenario, node cluster.NodeType, comp cluster.Compiler) (
 					st.AddSlice(ps)
 					emit(frame, si, "create")
 				case actions.StoreAction:
-					work := act.ApplyStore(ctx, st)
+					var work float64
+					st.WithStore(func(s *particle.Store) { work = act.ApplyStore(ctx, s) })
 					clock.AdvanceWork(work*scn.Ratio, rate)
 				case actions.ParticleAction:
-					st.ForEach(func(p *particle.Particle) { act.Apply(ctx, p) })
+					applyToSet(st, ctx, act)
 					clock.AdvanceWork(a.Cost()*float64(st.Len())*scn.Ratio, rate)
 				default:
 					return nil, fmt.Errorf("core: system %d action %q has unknown shape", si, a.Name())
 				}
 			}
 			for _, pa := range scn.scriptedFor(frame, si) {
-				st.ForEach(func(p *particle.Particle) { pa.Apply(ctxs[si], p) })
+				applyToSet(st, ctxs[si], pa)
 				clock.AdvanceWork(pa.Cost()*float64(st.Len())*scn.Ratio, rate)
 			}
 			st.RemoveDead()
 			emit(frame, si, "calculus")
 
 			// Render this system's particles.
-			batch := encodeRenderBatch(st.All())
+			batch := encodeRenderSet(st)
 			clock.AdvanceWork(scn.Render.CostPerParticle*float64(st.Len())*scn.Ratio, rate)
 			frameSum += hashRenderRecords(batch)
 			if fb != nil {
-				ps, err := decodeRenderBatch(batch)
+				cols, err := decodeRenderColumns(batch)
 				if err != nil {
 					return nil, err
 				}
-				fb.SplatBatch(cam, ps)
+				fb.SplatColumns(cam, cols)
 			}
 			emit(frame, si, "render")
 		}

@@ -58,6 +58,56 @@ func BenchmarkStorePartition(b *testing.B) {
 	}
 }
 
+// BenchmarkExchangeEncode compares the exchange-path serializers: the
+// record codec copies each particle into a 140-byte staging record and
+// appends it; the columnar codec streams whole columns into one
+// preallocated buffer — exactly one allocation per batch.
+func BenchmarkExchangeEncode(b *testing.B) {
+	ps := benchParticles(1000)
+	cols := BatchOf(ps)
+	b.Run("aos", func(b *testing.B) {
+		b.SetBytes(int64(BatchBytes(len(ps))))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			EncodeBatch(ps)
+		}
+	})
+	b.Run("soa", func(b *testing.B) {
+		b.SetBytes(int64(BatchBytes(len(ps))))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cols.EncodeWire()
+		}
+	})
+}
+
+// BenchmarkExchangeDecode compares the receive paths: the record codec
+// allocates a fresh particle slice per message; DecodeWireInto reuses
+// the scratch batch's column capacity — zero allocations at steady
+// state.
+func BenchmarkExchangeDecode(b *testing.B) {
+	buf := EncodeBatch(benchParticles(1000))
+	b.Run("aos", func(b *testing.B) {
+		b.SetBytes(int64(len(buf)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeBatch(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("soa", func(b *testing.B) {
+		var scratch Batch
+		b.SetBytes(int64(len(buf)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := scratch.DecodeWireInto(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkSelectDonation(b *testing.B) {
 	s := NewStore(geom.AxisX, 0, 100, 16)
 	s.AddSlice(benchParticles(10000))

@@ -41,6 +41,61 @@ func FuzzDecodeBatch(f *testing.F) {
 	})
 }
 
+// FuzzDecodeParticleBatch differentially fuzzes the two wire decoders:
+// the columnar DecodeWire must accept exactly the inputs the record
+// DecodeBatch accepts, produce the identical particles, and re-encode
+// via EncodeWire to the identical bytes — never panicking on either
+// path.
+func FuzzDecodeParticleBatch(f *testing.F) {
+	r := geom.NewRNG(11)
+	ps := make([]Particle, 6)
+	for i := range ps {
+		ps[i].Pos = r.UnitVec().Scale(30)
+		ps[i].Up = r.UnitVec()
+		ps[i].Vel = r.UnitVec()
+		ps[i].Color = geom.V(r.Float64(), r.Float64(), r.Float64())
+		ps[i].Age, ps[i].Alpha, ps[i].Size = r.Float64(), r.Float64(), r.Float64()
+		ps[i].Rand = r.Uint64()
+		ps[i].Dead = i%2 == 0
+	}
+	f.Add(EncodeBatch(nil))
+	f.Add(EncodeBatch(ps))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255, 1})
+	for _, payload := range corruptPayloads() {
+		f.Add(payload)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, errRec := DecodeBatch(data)
+		cols, errCol := DecodeWire(data)
+		if (errRec == nil) != (errCol == nil) {
+			t.Fatalf("decoders disagree: record err=%v, columnar err=%v", errRec, errCol)
+		}
+		if errRec != nil {
+			return
+		}
+		if len(rec) != cols.Len() {
+			t.Fatalf("decoded lengths differ: %d vs %d", len(rec), cols.Len())
+		}
+		for i := range rec {
+			if rec[i] != cols.At(i) {
+				t.Fatalf("decoded particle %d differs", i)
+			}
+		}
+		re := cols.EncodeWire()
+		if len(re) != len(data) {
+			t.Fatalf("re-encode changed size: %d -> %d", len(data), len(re))
+		}
+		for i := range re {
+			if re[i] != data[i] {
+				t.Fatalf("re-encode differs at byte %d", i)
+			}
+		}
+	})
+}
+
 // FuzzStoreOperations drives the sub-domain store with arbitrary
 // particle coordinates and donation sizes: invariants must hold for any
 // input.

@@ -74,15 +74,7 @@ func (s *Store) BinCounts() []int {
 // binIndex maps an axis coordinate to a bin, clamping coordinates at the
 // domain edges into the edge bins so that Add never loses a particle.
 func (s *Store) binIndex(c float64) int {
-	f := (c - s.lo) / (s.hi - s.lo)
-	i := int(f * float64(len(s.bins)))
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(s.bins) {
-		i = len(s.bins) - 1
-	}
-	return i
+	return binIndexIn(s.lo, s.hi, len(s.bins), c)
 }
 
 // Add stores one particle, binning it by its axis coordinate.

@@ -101,11 +101,17 @@ func (f *Framebuffer) add(x, y int, color geom.Vec3, w float64) {
 
 // Splat renders one particle as a Gaussian-ish additive disc.
 func (f *Framebuffer) Splat(cam Camera, p *particle.Particle) {
-	x, y, scale, ok := cam.Project(p.Pos)
+	f.splatPoint(cam, p.Pos, p.Color, p.Alpha, p.Size)
+}
+
+// splatPoint is the splat body shared by the record and columnar entry
+// points.
+func (f *Framebuffer) splatPoint(cam Camera, pos, color geom.Vec3, alpha, size float64) {
+	x, y, scale, ok := cam.Project(pos)
 	if !ok {
 		return
 	}
-	r := p.Size * scale
+	r := size * scale
 	if r < 0.5 {
 		r = 0.5
 	}
@@ -118,9 +124,9 @@ func (f *Framebuffer) Splat(cam Camera, p *particle.Particle) {
 	for dy := -ir; dy <= ir; dy++ {
 		for dx := -ir; dx <= ir; dx++ {
 			d2 := float64(dx*dx + dy*dy)
-			w := (1 - d2*inv) * p.Alpha
+			w := (1 - d2*inv) * alpha
 			if w > 0 {
-				f.add(cx+dx, cy+dy, p.Color, w)
+				f.add(cx+dx, cy+dy, color, w)
 			}
 		}
 	}
@@ -130,6 +136,15 @@ func (f *Framebuffer) Splat(cam Camera, p *particle.Particle) {
 func (f *Framebuffer) SplatBatch(cam Camera, ps []particle.Particle) {
 	for i := range ps {
 		f.Splat(cam, &ps[i])
+	}
+}
+
+// SplatColumns renders a columnar batch, reading only the rendering
+// columns — the image generator's ingest path for decoded render
+// records.
+func (f *Framebuffer) SplatColumns(cam Camera, b *particle.Batch) {
+	for i := range b.Pos {
+		f.splatPoint(cam, b.Pos[i], b.Color[i], b.Alpha[i], b.Size[i])
 	}
 }
 

@@ -256,6 +256,7 @@ type jsonScenario struct {
 	Schedule         string       `json:"schedule,omitempty"` // "per-system" | "batched"
 	GhostCollisions  bool         `json:"ghost_collisions,omitempty"`
 	PipelineFrames   bool         `json:"pipeline_frames,omitempty"`
+	AoSStore         bool         `json:"aos_store,omitempty"`
 	ExchangeScanWork float64      `json:"exchange_scan_work,omitempty"`
 }
 
@@ -272,6 +273,7 @@ func Encode(scn core.Scenario) ([]byte, error) {
 		LBMinBatch:       scn.LBMinBatch,
 		GhostCollisions:  scn.GhostCollisions,
 		PipelineFrames:   scn.PipelineFrames,
+		AoSStore:         scn.AoSStore,
 		ExchangeScanWork: scn.ExchangeScanWork,
 	}
 	if scn.Mode == core.FiniteSpace {
@@ -334,6 +336,7 @@ func Decode(data []byte) (core.Scenario, error) {
 		LBMinBatch:       js.LBMinBatch,
 		GhostCollisions:  js.GhostCollisions,
 		PipelineFrames:   js.PipelineFrames,
+		AoSStore:         js.AoSStore,
 		ExchangeScanWork: js.ExchangeScanWork,
 	}
 	switch js.Mode {

@@ -184,6 +184,23 @@ func (e *Endpoint) Send(to int, tag Tag, payload []byte) {
 	e.SendSized(to, tag, payload, len(payload))
 }
 
+// Billed inflates a payload size by a representation ratio, flooring at
+// the physical size: each stored particle stands for ratio real ones,
+// so the virtual traffic scales while the payload does not.
+func Billed(payloadLen int, ratio float64) int {
+	b := int(float64(payloadLen) * ratio)
+	if b < payloadLen {
+		b = payloadLen
+	}
+	return b
+}
+
+// SendScaled transmits payload billed at Billed(len(payload), ratio) —
+// the send every particle-carrying message of the model uses.
+func (e *Endpoint) SendScaled(to int, tag Tag, payload []byte, ratio float64) {
+	e.SendSized(to, tag, payload, Billed(len(payload), ratio))
+}
+
 // SendSized transmits payload billed as bytes (bytes >= len(payload)
 // when a representation ratio inflates the virtual traffic). The
 // sender's clock advances by the packing cost; Send never blocks.
