@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The -benchjson parser turns `go test -bench` text into the committed
+// BENCH_dataplane.json; until now it only ever ran inside `make bench`.
+// These tables pin its behavior on well-formed, malformed and empty
+// input.
+
+// benchDoc mirrors the document writeBenchJSON emits.
+type benchDoc struct {
+	Goos    string        `json:"Goos"`
+	Goarch  string        `json:"Goarch"`
+	Pkg     string        `json:"Pkg"`
+	CPU     string        `json:"CPU"`
+	Results []benchResult `json:"results"`
+}
+
+func runBenchJSON(t *testing.T, input string) (benchDoc, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	err := writeBenchJSON(strings.NewReader(input), path)
+	if err != nil {
+		return benchDoc{}, err
+	}
+	data, readErr := os.ReadFile(path)
+	if readErr != nil {
+		t.Fatalf("reading output: %v", readErr)
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, data)
+	}
+	return doc, nil
+}
+
+func TestWriteBenchJSONWellFormed(t *testing.T) {
+	const input = `goos: linux
+goarch: amd64
+pkg: pscluster/internal/particle
+cpu: Intel(R) Xeon(R)
+BenchmarkExchangeEncode/n=1024-8   	   12345	      9876 ns/op	     512 B/op	       1 allocs/op
+BenchmarkExchangeDecode-8          	     678	   1234567 ns/op	  88.21 MB/s
+BenchmarkKernelsAoSvsSoA/soa-8     	 1000000	      42.5 ns/op
+PASS
+ok  	pscluster/internal/particle	2.345s
+`
+	doc, err := runBenchJSON(t, input)
+	if err != nil {
+		t.Fatalf("writeBenchJSON: %v", err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" ||
+		doc.Pkg != "pscluster/internal/particle" || doc.CPU != "Intel(R) Xeon(R)" {
+		t.Errorf("header fields wrong: %+v", doc)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if r.Name != "BenchmarkExchangeEncode/n=1024-8" || r.Iterations != 12345 || r.NsPerOp != 9876 {
+		t.Errorf("result 0 wrong: %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 512 || r.AllocsPerOp == nil || *r.AllocsPerOp != 1 {
+		t.Errorf("result 0 memory stats wrong: %+v", r)
+	}
+	if r.MBPerSec != nil {
+		t.Errorf("result 0 has MB/s it never reported: %+v", r)
+	}
+	if r := doc.Results[1]; r.MBPerSec == nil || *r.MBPerSec != 88.21 {
+		t.Errorf("result 1 MB/s wrong: %+v", r)
+	}
+	if r := doc.Results[2]; r.NsPerOp != 42.5 || r.AllocsPerOp != nil {
+		t.Errorf("result 2 wrong: %+v", r)
+	}
+}
+
+func TestWriteBenchJSONSkipsNoise(t *testing.T) {
+	// Non-benchmark lines — test output, blank lines, short Benchmark
+	// lines without results, non-numeric iteration counts — are skipped
+	// without failing the parse.
+	const input = `goos: linux
+=== RUN   TestSomething
+--- PASS: TestSomething (0.00s)
+BenchmarkOnlyName
+BenchmarkShort 2
+BenchmarkBadIters notanint 5 ns/op
+BenchmarkGood-4 	 100 	 7.5 ns/op
+`
+	doc, err := runBenchJSON(t, input)
+	if err != nil {
+		t.Fatalf("writeBenchJSON: %v", err)
+	}
+	if len(doc.Results) != 1 || doc.Results[0].Name != "BenchmarkGood-4" {
+		t.Fatalf("got %+v, want the single BenchmarkGood-4 result", doc.Results)
+	}
+}
+
+func TestWriteBenchJSONMalformedValue(t *testing.T) {
+	// A Benchmark line with a parseable iteration count but a garbage
+	// measurement value is a hard error: silently dropping it would
+	// commit a BENCH_dataplane.json missing a tracked kernel.
+	const input = "BenchmarkBroken-8 	 100 	 garbage ns/op\n"
+	if _, err := runBenchJSON(t, input); err == nil {
+		t.Fatal("want error for malformed value, got nil")
+	} else if !strings.Contains(err.Error(), "bad value") {
+		t.Fatalf("want 'bad value' error, got: %v", err)
+	}
+}
+
+func TestWriteBenchJSONEmptyInput(t *testing.T) {
+	for _, input := range []string{"", "goos: linux\nPASS\n"} {
+		path := filepath.Join(t.TempDir(), "bench.json")
+		err := writeBenchJSON(strings.NewReader(input), path)
+		if err == nil || !strings.Contains(err.Error(), "no benchmark result") {
+			t.Errorf("input %q: want 'no benchmark result lines' error, got %v", input, err)
+		}
+		if _, statErr := os.Stat(path); statErr == nil {
+			t.Errorf("input %q: output file created despite empty input", input)
+		}
+	}
+}
+
+func TestWriteBenchJSONUnwritablePath(t *testing.T) {
+	err := writeBenchJSON(strings.NewReader("BenchmarkX-1 10 5 ns/op\n"),
+		filepath.Join(t.TempDir(), "missing-dir", "bench.json"))
+	if err == nil {
+		t.Fatal("want error for unwritable output path, got nil")
+	}
+}

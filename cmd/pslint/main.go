@@ -1,0 +1,264 @@
+// Command pslint is the engine's static-analysis multichecker: it runs
+// the four pslint analyzers (determinism, hotpathalloc,
+// clockdiscipline, spanpairing — see internal/analyzers and the
+// "Static invariants" section of DESIGN.md) over every package of the
+// build, driven by the Go toolchain:
+//
+//	go build -o bin/pslint ./cmd/pslint
+//	go vet -vettool=bin/pslint ./...
+//
+// which is what `make lint` does. pslint speaks the vet tool protocol —
+// the same contract golang.org/x/tools/go/analysis/unitchecker
+// implements — reimplemented here on the standard library so the repo
+// stays dependency-free:
+//
+//   - `pslint -V=full` prints a content-hashed version line the build
+//     cache keys vet results on;
+//   - `pslint -flags` prints the JSON list of tool flags (none);
+//   - `pslint <dir>/vet.cfg` analyzes one package: the cfg names the
+//     package's files and the export data of its dependencies, the tool
+//     parses and type-checks, runs the suite, prints findings as
+//     file:line:col lines and exits 2 when any were found.
+//
+// Dependencies are visited by `go vet` in fact-gathering mode
+// (VetxOnly); the pslint suite uses no cross-package facts, so those
+// invocations write an empty facts file and exit immediately — only
+// the packages named on the vet command line are analyzed.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"pscluster/internal/analyzers"
+)
+
+// vetConfig is the subset of the vet tool protocol's per-package JSON
+// config pslint consumes (cmd/go writes more fields; unknown ones are
+// ignored by encoding/json).
+type vetConfig struct {
+	ID                        string            // package ID, e.g. "pscluster/internal/core [pscluster/internal/core.test]"
+	Compiler                  string            // "gc"
+	Dir                       string            // package directory
+	ImportPath                string            // canonical import path
+	GoVersion                 string            // language version for types.Config
+	GoFiles                   []string          // absolute paths of the package's Go files
+	ImportMap                 map[string]string // source import path -> canonical path
+	PackageFile               map[string]string // canonical path -> export data file
+	VetxOnly                  bool              // fact-gathering visit of a dependency
+	VetxOutput                string            // facts output file the driver expects
+	SucceedOnTypecheckFailure bool              // cgo etc.: exit 0 on type errors
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	versionFlag := flag.String("V", "", "print version (-V=full, for the build cache)")
+	flagsFlag := flag.Bool("flags", false, "print the tool's flag list as JSON")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: go vet -vettool=pslint [packages]  (or: pslint <vet.cfg>)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *versionFlag != "" {
+		return printVersion(*versionFlag)
+	}
+	if *flagsFlag {
+		// No tool-specific flags: the suite always runs whole.
+		fmt.Println("[]")
+		return 0
+	}
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		flag.Usage()
+		return 1
+	}
+	return checkPackage(args[0])
+}
+
+// printVersion implements the -V=full handshake: cmd/go keys its vet
+// result cache on this line, so it embeds a hash of the executable —
+// rebuilding pslint invalidates prior results.
+func printVersion(mode string) int {
+	if mode != "full" {
+		fmt.Fprintf(os.Stderr, "pslint: unsupported flag value -V=%s\n", mode)
+		return 1
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pslint: %v\n", err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pslint: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(os.Stderr, "pslint: %v\n", err)
+		return 1
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, h.Sum(nil))
+	return 0
+}
+
+// checkPackage analyzes the one package described by the cfg file.
+func checkPackage(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pslint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "pslint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The driver requires the facts file regardless of outcome; pslint
+	// keeps no cross-package facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "pslint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency visited only for facts: nothing to do.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "pslint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "pslint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags := runSuite(fset, files, pkg, info)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheck builds the package's types using the gc export data the
+// driver listed in PackageFile, resolved through ImportMap (vendoring,
+// test variants).
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *vetConfig) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			if canonical, ok := cfg.ImportMap[importPath]; ok {
+				importPath = canonical
+			}
+			return base.Import(importPath)
+		}),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(compiler, buildArch()),
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	// Strip any " [pkg.test]" variant suffix so test builds of the
+	// engine packages keep their canonical path for the scope checks.
+	path := cfg.ImportPath
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	return pkg, info, err
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// buildArch returns the architecture the driver is building for: vet
+// inherits the build's GOARCH in the environment, defaulting to the
+// host's.
+func buildArch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
+// runSuite applies every analyzer and returns rendered, position-sorted
+// diagnostic lines. The package path handed to the analyzers is the
+// import path with any " [pkg.test]" variant suffix stripped, so test
+// builds of the engine packages stay in scope for the engine-only
+// checks (their _test.go files are skipped inside the analyzers).
+func runSuite(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []string {
+	var diags []string
+	for _, a := range analyzers.Suite() {
+		pass := &analyzers.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analyzers.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				diags = append(diags, fmt.Sprintf("%s: %s", pos, d.Message))
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, fmt.Sprintf("pslint: analyzer %s: %v", a.Name, err))
+		}
+	}
+	sort.Strings(diags)
+	return diags
+}

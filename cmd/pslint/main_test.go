@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestVetToolCatchesWallClock is the suite's end-to-end proof: it
+// builds pslint, assembles a throwaway module whose internal/core
+// package deliberately calls time.Now(), and runs the real
+// `go vet -vettool=` pipeline over it. The vet run must fail and carry
+// the determinism diagnostic — exactly what `make lint` would do to a
+// PR that reintroduced a wall-clock read into the engine.
+func TestVetToolCatchesWallClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets a module; skipped in -short")
+	}
+	goTool := filepath.Join(runtime.GOROOT(), "bin", "go")
+	if _, err := os.Stat(goTool); err != nil {
+		t.Skipf("go tool not found: %v", err)
+	}
+
+	tmp := t.TempDir()
+	pslint := filepath.Join(tmp, "pslint")
+	build := exec.Command(goTool, "build", "-o", pslint, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pslint: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "mod")
+	corePkg := filepath.Join(mod, "internal", "core")
+	if err := os.MkdirAll(corePkg, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(mod, "go.mod"), "module pscluster\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(corePkg, "core.go"), `package core
+
+import "time"
+
+// Frame deliberately reads the wall clock: pslint must refuse it.
+func Frame() float64 {
+	return float64(time.Now().UnixNano())
+}
+`)
+
+	vet := exec.Command(goTool, "vet", "-vettool="+pslint, "./...")
+	vet.Dir = mod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed; want the determinism analyzer to fail the build\noutput:\n%s", out)
+	}
+	if !strings.Contains(string(out), "determinism: time.Now reads the host wall clock") {
+		t.Fatalf("vet failed without the expected diagnostic:\n%s", out)
+	}
+}
+
+// TestVetToolCleanPackage is the negative control: a compliant engine
+// package passes the full vet pipeline with exit status 0.
+func TestVetToolCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets a module; skipped in -short")
+	}
+	goTool := filepath.Join(runtime.GOROOT(), "bin", "go")
+	if _, err := os.Stat(goTool); err != nil {
+		t.Skipf("go tool not found: %v", err)
+	}
+
+	tmp := t.TempDir()
+	pslint := filepath.Join(tmp, "pslint")
+	build := exec.Command(goTool, "build", "-o", pslint, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pslint: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "mod")
+	corePkg := filepath.Join(mod, "internal", "core")
+	if err := os.MkdirAll(corePkg, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(mod, "go.mod"), "module pscluster\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(corePkg, "core.go"), `package core
+
+// Step advances pure state: nothing for the suite to flag.
+func Step(t, dt float64) float64 { return t + dt }
+`)
+
+	vet := exec.Command(goTool, "vet", "-vettool="+pslint, "./...")
+	vet.Dir = mod
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet failed on a clean package: %v\n%s", err, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -19,6 +19,8 @@ type BatchAction interface {
 // AoS-compat adapter that materializes each particle, applies the
 // per-particle Apply, and scatters it back. The adapter is what lets
 // the 18+ actions migrate to kernels incrementally.
+//
+//pslint:hotpath
 func ApplyToBatch(ctx *Context, a ParticleAction, b *particle.Batch) {
 	if ba, ok := a.(BatchAction); ok {
 		ba.ApplyBatch(ctx, b)
@@ -40,6 +42,8 @@ func ApplyToBatch(ctx *Context, a ParticleAction, b *particle.Batch) {
 // ApplyBatch implements BatchAction. The acceleration G·DT is loop
 // invariant; adding the hoisted value per particle performs the same
 // float operations as Apply.
+//
+//pslint:hotpath
 func (a *Gravity) ApplyBatch(ctx *Context, b *particle.Batch) {
 	g := a.G.Scale(ctx.DT)
 	for i := range b.Vel {
@@ -48,6 +52,8 @@ func (a *Gravity) ApplyBatch(ctx *Context, b *particle.Batch) {
 }
 
 // ApplyBatch implements BatchAction.
+//
+//pslint:hotpath
 func (a *Damping) ApplyBatch(ctx *Context, b *particle.Batch) {
 	f := 1 - a.Coeff*ctx.DT
 	if f < 0 {
@@ -59,6 +65,8 @@ func (a *Damping) ApplyBatch(ctx *Context, b *particle.Batch) {
 }
 
 // ApplyBatch implements BatchAction.
+//
+//pslint:hotpath
 func (a *Bounce) ApplyBatch(ctx *Context, b *particle.Batch) {
 	n := a.Plane.Normal
 	for i := range b.Vel {
@@ -74,6 +82,8 @@ func (a *Bounce) ApplyBatch(ctx *Context, b *particle.Batch) {
 }
 
 // ApplyBatch implements BatchAction.
+//
+//pslint:hotpath
 func (a *Sink) ApplyBatch(_ *Context, b *particle.Batch) {
 	for i := range b.Pos {
 		if a.Domain.Within(b.Pos[i]) == a.KillInside {
@@ -83,6 +93,8 @@ func (a *Sink) ApplyBatch(_ *Context, b *particle.Batch) {
 }
 
 // ApplyBatch implements BatchAction.
+//
+//pslint:hotpath
 func (a *SinkBelow) ApplyBatch(_ *Context, b *particle.Batch) {
 	for i := range b.Pos {
 		if b.Pos[i].Component(a.Axis) < a.Threshold {
@@ -92,6 +104,8 @@ func (a *SinkBelow) ApplyBatch(_ *Context, b *particle.Batch) {
 }
 
 // ApplyBatch implements BatchAction.
+//
+//pslint:hotpath
 func (a *KillOld) ApplyBatch(_ *Context, b *particle.Batch) {
 	for i := range b.Age {
 		if b.Age[i] > a.MaxAge {
@@ -101,6 +115,8 @@ func (a *KillOld) ApplyBatch(_ *Context, b *particle.Batch) {
 }
 
 // ApplyBatch implements BatchAction.
+//
+//pslint:hotpath
 func (a *Fade) ApplyBatch(ctx *Context, b *particle.Batch) {
 	step := a.Rate * ctx.DT
 	for i := range b.Alpha {
@@ -113,6 +129,8 @@ func (a *Fade) ApplyBatch(ctx *Context, b *particle.Batch) {
 }
 
 // ApplyBatch implements BatchAction.
+//
+//pslint:hotpath
 func (a *Move) ApplyBatch(ctx *Context, b *particle.Batch) {
 	for i := range b.Pos {
 		b.Pos[i] = b.Pos[i].Add(b.Vel[i].Scale(ctx.DT))

@@ -1,0 +1,158 @@
+// Package analyzers is the engine's static-analysis suite: four
+// checkers that mechanically enforce the invariants the paper's model
+// depends on — bit-deterministic runs (virtual Clock advancement, no
+// wall-clock reads, ordered iteration), allocation-free hot paths, and
+// paired observability spans. The suite is run over the whole tree by
+// cmd/pslint through `go vet -vettool=` (see `make lint`), and each
+// analyzer carries its own testdata tree exercised by the analyzertest
+// harness.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis —
+// an Analyzer with a Run(*Pass) hook reporting position-tagged
+// diagnostics — but is built on the standard library alone
+// (go/ast, go/types, go/token), so the repo stays dependency-free.
+//
+// Deliberate violations are suppressed in source with pslint
+// directives, each of which must carry a reason:
+//
+//	//pslint:nondeterministic-ok <reason>   (determinism)
+//	//pslint:clock-ok <reason>              (clockdiscipline)
+//	//pslint:span-ok <reason>               (spanpairing)
+//
+// and hot-path functions opt in to the allocation checks with a
+// //pslint:hotpath line in their doc comment.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one static check: a name (the diagnostic prefix and the
+// documentation key), a one-paragraph doc string stating the invariant
+// it encodes, and the Run hook applied once per package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state through an
+// analyzer run. Report appends a diagnostic; the driver (cmd/pslint or
+// the analyzertest harness) decides how diagnostics are rendered.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+
+	// directives caches the per-file pslint directive index.
+	directives map[*ast.File]*directiveIndex
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Suite returns every analyzer of the pslint suite, in the order they
+// are documented in DESIGN.md.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		HotpathAlloc,
+		ClockDiscipline,
+		SpanPairing,
+	}
+}
+
+// enginePackages are the packages whose code drives the simulation
+// model itself; the determinism and clock-discipline invariants apply
+// only here. Matched by the path tail so both the real module paths
+// (pscluster/internal/core) and the bare testdata paths (core) qualify.
+var enginePackages = map[string]bool{
+	"core":        true,
+	"particle":    true,
+	"actions":     true,
+	"loadbalance": true,
+}
+
+// isEnginePackage reports whether path names one of the engine
+// packages. Vet runs analyzers over test variants too, whose IDs carry
+// a " [pkg.test]" suffix; that suffix never reaches here because the
+// driver strips it, but a trailing ".test" or "_test" package is
+// rejected so synthesized test-main packages stay out of scope.
+func isEnginePackage(path string) bool {
+	if strings.HasSuffix(path, ".test") || strings.HasSuffix(path, "_test") {
+		return false
+	}
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if !enginePackages[base] {
+		return false
+	}
+	return path == base || strings.HasPrefix(path, "pscluster/internal/")
+}
+
+// isTestFile reports whether the file behind pos is a _test.go file.
+// The suite checks production code only: tests freely use maps, wall
+// time and closures, and flagging them would bury the real findings.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	f := fset.File(pos)
+	return f == nil || strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// calleeFunc resolves a call expression to the function or method
+// object it invokes, or nil for calls through function values,
+// conversions and built-ins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package a function object
+// belongs to ("" for builtins and error.Error).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// recvTypeName returns the bare type name of a method's receiver
+// ("Clock" for func (c *Clock) AdvanceWork), or "" for plain functions.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}

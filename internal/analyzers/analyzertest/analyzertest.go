@@ -1,0 +1,181 @@
+// Package analyzertest is the pslint counterpart of
+// golang.org/x/tools/go/analysis/analysistest, built on the standard
+// library alone: it loads a testdata package from source, type-checks
+// it with the stdlib "source" importer (so testdata may import fmt,
+// time, math/rand, ...), runs one analyzer, and diffs the reported
+// diagnostics against `// want` expectations in the testdata.
+//
+// Expectations use the analysistest convention: a line that should
+// produce a diagnostic carries a trailing comment
+//
+//	x := time.Now() // want `wall clock`
+//
+// whose back-quoted (or double-quoted) argument is a regexp that must
+// match a diagnostic reported on that line. Multiple `// want` clauses
+// on one line expect multiple diagnostics. Diagnostics on lines with no
+// expectation, and expectations with no diagnostic, both fail the test.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"pscluster/internal/analyzers"
+)
+
+// wantRe matches one expectation clause: want `regexp` or want "regexp".
+var wantRe = regexp.MustCompile("// want (`[^`]*`|\"[^\"]*\")")
+
+// Run loads the package in dir (its base name becomes the import path,
+// so a directory named "core" type-checks as engine package "core"),
+// runs the analyzer over it and reports any mismatch against the
+// `// want` expectations as test errors.
+func Run(t *testing.T, a *analyzers.Analyzer, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, src := parseDir(t, fset, dir)
+
+	pkgPath := filepath.Base(dir)
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { t.Errorf("typecheck: %v", err) },
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+
+	var got []analyzers.Diagnostic
+	pass := &analyzers.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analyzers.Diagnostic) { got = append(got, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	checkDiagnostics(t, fset, src, got)
+}
+
+// parseDir parses every non-test .go file of dir, returning the syntax
+// trees and the raw sources keyed by filename.
+func parseDir(t *testing.T, fset *token.FileSet, dir string) ([]*ast.File, map[string][]byte) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read testdata dir: %v", err)
+	}
+	var files []*ast.File
+	src := map[string][]byte{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		f, err := parser.ParseFile(fset, path, data, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		src[path] = data
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files in %s", dir)
+	}
+	return files, src
+}
+
+// expectation is one `// want` clause.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// checkDiagnostics diffs reported diagnostics against expectations.
+func checkDiagnostics(t *testing.T, fset *token.FileSet, src map[string][]byte, got []analyzers.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, src)
+
+	type key struct {
+		file string
+		line int
+	}
+	unmatched := map[key][]string{}
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		unmatched[k] = append(unmatched[k], d.Message)
+	}
+	for _, w := range wants {
+		k := key{w.file, w.line}
+		msgs := unmatched[k]
+		idx := -1
+		for i, m := range msgs {
+			if w.re.MatchString(m) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got %v", w.file, w.line, w.re, msgs)
+			continue
+		}
+		unmatched[k] = append(msgs[:idx], msgs[idx+1:]...)
+	}
+	var leftovers []string
+	for k, msgs := range unmatched {
+		for _, m := range msgs {
+			leftovers = append(leftovers, fmt.Sprintf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m))
+		}
+	}
+	sort.Strings(leftovers)
+	for _, l := range leftovers {
+		t.Error(l)
+	}
+}
+
+// collectWants scans the raw sources for `// want` clauses line by
+// line, so expectations live exactly where analysistest puts them.
+func collectWants(t *testing.T, src map[string][]byte) []expectation {
+	t.Helper()
+	var wants []expectation
+	for path, data := range src {
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				pat := m[1][1 : len(m[1])-1] // strip quotes/backquotes
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, pat, err)
+				}
+				wants = append(wants, expectation{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,197 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ClockDiscipline enforces the virtual-time model of the paper's §3
+// parallel phases: every second of simulated work is charged to a
+// per-process virtual Clock via AdvanceWork(work, rate), and receives
+// fuse clocks to message arrival. Three rules:
+//
+//  1. Engine code may not call Clock.Advance or Clock.Fuse directly —
+//     Advance bypasses the node's speed rate and Fuse is the transport
+//     layer's receive rule; both would silently skew the model's time
+//     accounting. (The cluster and transport packages themselves own
+//     those primitives.)
+//  2. A function in internal/core that runs a particle kernel
+//     (ApplyToBatch / ApplyBatch) must also advance the clock in the
+//     same function, or carry //pslint:clock-ok naming the call site
+//     that charges the cost — otherwise measurable work becomes free
+//     and the load balancer's inputs drift from the paper's model.
+//  3. Engine code may not convert host time values (time.Duration /
+//     time.Time) into the float64 seconds of virtual time: mixing the
+//     two time bases breaks bit-reproducibility and the Figure-2 span
+//     semantics.
+var ClockDiscipline = &Analyzer{
+	Name: "clockdiscipline",
+	Doc: "require rate-scaled Clock.AdvanceWork for measurable particle work " +
+		"and forbid mixing host wall time into virtual time",
+	Run: runClockDiscipline,
+}
+
+func runClockDiscipline(pass *Pass) error {
+	if !isEnginePackage(pass.Pkg.Path()) {
+		return nil
+	}
+	core := packageBase(pass.Pkg.Path()) == "core"
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkClockPrimitives(pass, fd)
+			checkWallTimeMixing(pass, fd)
+			if core {
+				checkKernelCharges(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func packageBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// clockMethod reports whether the call invokes the named method on a
+// Clock receiver (the cluster.Clock virtual clock; matched by receiver
+// type name so testdata stubs qualify too).
+func clockMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || recvTypeName(fn) != "Clock" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// checkClockPrimitives flags direct Advance/Fuse calls (rule 1).
+func checkClockPrimitives(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := clockMethod(pass.TypesInfo, call)
+		if !ok || (name != "Advance" && name != "Fuse") {
+			return true
+		}
+		if pass.suppressed(call.Pos(), "clock-ok") {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"clockdiscipline: engine code must not call Clock.%s directly; "+
+				"use Clock.AdvanceWork so the node's rate scales the cost", name)
+		return true
+	})
+}
+
+// kernelCallNames are the particle-kernel entry points: invoking one
+// means the function performed measurable per-particle work.
+var kernelCallNames = map[string]bool{
+	"ApplyToBatch": true,
+	"ApplyBatch":   true,
+}
+
+// checkKernelCharges flags core functions that run a kernel but never
+// advance the clock (rule 2).
+func checkKernelCharges(pass *Pass, fd *ast.FuncDecl) {
+	var kernelCall *ast.CallExpr
+	advances := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := clockMethod(pass.TypesInfo, call); ok && name == "AdvanceWork" {
+			advances = true
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn != nil && kernelCallNames[fn.Name()] && kernelCall == nil {
+			kernelCall = call
+		}
+		return true
+	})
+	if kernelCall == nil || advances {
+		return
+	}
+	if hasDirective(fd, "clock-ok") || pass.suppressed(kernelCall.Pos(), "clock-ok") {
+		return
+	}
+	pass.Reportf(kernelCall.Pos(),
+		"clockdiscipline: %s runs a particle kernel but never calls Clock.AdvanceWork; "+
+			"charge the work or annotate //pslint:clock-ok <who charges it>", fd.Name.Name)
+}
+
+// checkWallTimeMixing flags expressions that coerce host time into the
+// engine's float64 virtual seconds (rule 3): float64(d) for a
+// time.Duration, or calling Duration.Seconds / Time.Unix* inside engine
+// code.
+func checkWallTimeMixing(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Conversions float64(x) with x from package time.
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			if isFloat(tv.Type) && isHostTime(pass.TypesInfo.TypeOf(call.Args[0])) {
+				report := func() {
+					pass.Reportf(call.Pos(),
+						"clockdiscipline: converting host %s into virtual-time seconds mixes time bases",
+						pass.TypesInfo.TypeOf(call.Args[0]).String())
+				}
+				if !pass.suppressed(call.Pos(), "clock-ok") {
+					report()
+				}
+			}
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || funcPkgPath(fn) != "time" {
+			return true
+		}
+		switch fn.Name() {
+		case "Seconds", "Milliseconds", "Microseconds", "Nanoseconds",
+			"Unix", "UnixNano", "UnixMilli", "UnixMicro":
+			if !pass.suppressed(call.Pos(), "clock-ok") {
+				pass.Reportf(call.Pos(),
+					"clockdiscipline: %s.%s turns host time into a number; "+
+						"virtual time comes from Clock.Now only",
+					recvTypeName(fn), fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isHostTime reports whether t is time.Duration or time.Time.
+func isHostTime(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return false
+	}
+	return obj.Name() == "Duration" || obj.Name() == "Time"
+}

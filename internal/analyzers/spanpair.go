@@ -1,0 +1,159 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SpanPairing enforces the observability layer's pairing invariant:
+// every Begin-style call (Recorder.BeginFrame, and any future
+// BeginSpan-shaped API) must be matched by its End counterpart on the
+// same receiver within the same function — deferred, or placed so that
+// no return statement can leave the function with the span open. An
+// unclosed frame corrupts the merged Profile: the rank's timeline keeps
+// accruing spans into a frame that never ends, and the Figure-2
+// breakdowns silently mis-attribute wait and comm time.
+//
+// Sites where leaking on early return is intended (e.g. an error abort
+// that discards the whole profile) carry //pslint:span-ok <reason>.
+var SpanPairing = &Analyzer{
+	Name: "spanpairing",
+	Doc: "every obs Begin* call needs a matching End* on the same receiver, " +
+		"deferred or on all return paths",
+	Run: runSpanPairing,
+}
+
+func runSpanPairing(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSpanPairs(pass, fd)
+		}
+	}
+	return nil
+}
+
+// pairCall is one Begin*/End* call site inside a function.
+type pairCall struct {
+	call     *ast.CallExpr
+	recv     string // receiver expression, textually ("rec", "c.ep")
+	suffix   string // "" for Begin/End, "Frame" for BeginFrame/EndFrame
+	deferred bool
+}
+
+func checkSpanPairs(pass *Pass, fd *ast.FuncDecl) {
+	var begins, ends []pairCall
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if pc, ok := spanCall(n.Call, "End"); ok {
+				pc.deferred = true
+				ends = append(ends, pc)
+			}
+			return true
+		case *ast.CallExpr:
+			if pc, ok := spanCall(n, "Begin"); ok {
+				begins = append(begins, pc)
+			} else if pc, ok := spanCall(n, "End"); ok {
+				ends = append(ends, pc)
+			}
+		}
+		return true
+	})
+
+	for _, b := range begins {
+		checkSpanClosed(pass, fd, b, ends)
+	}
+}
+
+// spanCall matches a method call whose name is kind ("Begin"/"End") or
+// kind+Suffix with an upper-case suffix, on any receiver expression.
+// Bare identifiers (package-level Begin functions) are out of scope:
+// the pairing is per-receiver.
+func spanCall(call *ast.CallExpr, kind string) (pairCall, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return pairCall{}, false
+	}
+	name := sel.Sel.Name
+	if !strings.HasPrefix(name, kind) {
+		return pairCall{}, false
+	}
+	suffix := name[len(kind):]
+	if suffix != "" && (suffix[0] < 'A' || suffix[0] > 'Z') {
+		return pairCall{}, false // "Ending", "Beginner": different words
+	}
+	return pairCall{
+		call:   call,
+		recv:   types.ExprString(sel.X),
+		suffix: suffix,
+	}, true
+}
+
+// checkSpanClosed verifies one Begin call against the function's End
+// calls: a deferred matching End always closes it; a plain matching End
+// closes it only when no return statement sits between the two (an
+// early return would leave the span open).
+func checkSpanClosed(pass *Pass, fd *ast.FuncDecl, b pairCall, ends []pairCall) {
+	var plain *pairCall
+	for i := range ends {
+		e := &ends[i]
+		if e.recv != b.recv || e.suffix != b.suffix {
+			continue
+		}
+		if e.deferred {
+			return // closed on every path
+		}
+		if e.call.Pos() > b.call.Pos() && (plain == nil || e.call.Pos() < plain.call.Pos()) {
+			plain = e
+		}
+	}
+	name := "Begin" + b.suffix
+	endName := "End" + b.suffix
+	if plain == nil {
+		if pass.suppressed(b.call.Pos(), "span-ok") {
+			return
+		}
+		pass.Reportf(b.call.Pos(),
+			"spanpairing: %s.%s has no matching %s.%s in %s; the span never closes",
+			b.recv, name, b.recv, endName, fd.Name.Name)
+		return
+	}
+	if ret := returnBetween(fd, b.call.End(), plain.call.Pos()); ret != nil {
+		if pass.suppressed(b.call.Pos(), "span-ok") {
+			return
+		}
+		pass.Reportf(b.call.Pos(),
+			"spanpairing: %s can return before %s.%s runs, leaving the %s span open; "+
+				"defer the %s or annotate //pslint:span-ok <reason>",
+			fd.Name.Name, b.recv, endName, name, endName)
+	}
+}
+
+// returnBetween finds a return statement positioned strictly between lo
+// and hi in the function body, which makes a non-deferred End skippable.
+func returnBetween(fd *ast.FuncDecl, lo, hi token.Pos) *ast.ReturnStmt {
+	var found *ast.ReturnStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if ret.Pos() > lo && ret.End() < hi {
+			found = ret
+		}
+		return true
+	})
+	return found
+}

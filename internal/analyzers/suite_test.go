@@ -1,0 +1,54 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"pscluster/internal/analyzers"
+	"pscluster/internal/analyzers/analyzertest"
+)
+
+// Each analyzer is exercised over two kinds of testdata packages:
+// engine-named ones ("core") where the invariant binds, and neutral
+// ones ("util") proving the scope rules. The trees contain flagged,
+// clean, and annotation-suppressed sites; see analyzertest for the
+// `// want` convention.
+
+func TestDeterminismEngine(t *testing.T) {
+	analyzertest.Run(t, analyzers.Determinism, "testdata/determinism/core")
+}
+
+func TestDeterminismNonEngine(t *testing.T) {
+	analyzertest.Run(t, analyzers.Determinism, "testdata/determinism/util")
+}
+
+func TestHotpathAlloc(t *testing.T) {
+	analyzertest.Run(t, analyzers.HotpathAlloc, "testdata/hotpath/hot")
+}
+
+func TestClockDisciplineEngine(t *testing.T) {
+	analyzertest.Run(t, analyzers.ClockDiscipline, "testdata/clock/core")
+}
+
+func TestClockDisciplineNonEngine(t *testing.T) {
+	analyzertest.Run(t, analyzers.ClockDiscipline, "testdata/clock/util")
+}
+
+func TestSpanPairing(t *testing.T) {
+	analyzertest.Run(t, analyzers.SpanPairing, "testdata/spanpair/sp")
+}
+
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range analyzers.Suite() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q: incomplete definition", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("suite has %d analyzers, want 4", len(seen))
+	}
+}

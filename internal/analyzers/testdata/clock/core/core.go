@@ -1,0 +1,78 @@
+// Package core is clockdiscipline-analyzer testdata posing as the
+// engine package "core": virtual time advances only through
+// Clock.AdvanceWork, kernels must be charged, and host time never
+// mixes into virtual seconds.
+package core
+
+import "time"
+
+// Clock mirrors the cluster package's virtual clock surface.
+type Clock struct{ t float64 }
+
+func (c *Clock) Now() float64                   { return c.t }
+func (c *Clock) Advance(d float64)              { c.t += d }
+func (c *Clock) AdvanceWork(work, rate float64) { c.t += work / rate }
+func (c *Clock) Fuse(t float64) {
+	if t > c.t {
+		c.t = t
+	}
+}
+
+type batch struct{ pos []float64 }
+
+type ctx struct{}
+
+// ApplyToBatch mirrors the actions kernel dispatcher.
+func ApplyToBatch(c *ctx, b *batch) {
+	for i := range b.pos {
+		b.pos[i]++
+	}
+}
+
+var clock Clock
+
+// rawAdvance bypasses the rate scaling.
+func rawAdvance(work float64) {
+	clock.Advance(work) // want `clockdiscipline: engine code must not call Clock.Advance directly`
+}
+
+// rawFuse applies the transport layer's receive rule in engine code.
+func rawFuse(t float64) {
+	clock.Fuse(t) // want `clockdiscipline: engine code must not call Clock.Fuse directly`
+}
+
+// allowedAdvance documents why the primitive is safe at this site.
+func allowedAdvance(d float64) {
+	clock.Advance(d) //pslint:clock-ok replaying a recorded per-frame delta that was rate-scaled when captured
+}
+
+// chargedKernel advances the clock for the work it runs: compliant.
+func chargedKernel(c *ctx, b *batch, rate float64) {
+	ApplyToBatch(c, b)
+	clock.AdvanceWork(float64(len(b.pos)), rate)
+}
+
+// freeKernel runs particle work that never reaches the clock.
+func freeKernel(c *ctx, b *batch) {
+	ApplyToBatch(c, b) // want `clockdiscipline: freeKernel runs a particle kernel but never calls Clock.AdvanceWork`
+}
+
+// helperKernel's cost is charged by its only caller.
+//
+//pslint:clock-ok the applyAction caller charges Cost×len×Ratio for this helper
+func helperKernel(c *ctx, b *batch) {
+	ApplyToBatch(c, b)
+}
+
+// mixedBases coerces host durations into virtual seconds.
+func mixedBases(d time.Duration) float64 {
+	virtual := float64(d)  // want `clockdiscipline: converting host time.Duration into virtual-time seconds`
+	virtual += d.Seconds() // want `clockdiscipline: Duration.Seconds turns host time into a number`
+	return virtual
+}
+
+// durationArithmetic stays inside the host-time domain: allowed (the
+// engine never does this, but it mixes nothing).
+func durationArithmetic(d time.Duration) time.Duration {
+	return d * 2
+}

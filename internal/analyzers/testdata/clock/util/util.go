@@ -1,0 +1,13 @@
+// Package util is clockdiscipline testdata for a non-engine package:
+// the discipline binds the engine only, so nothing here is a finding.
+package util
+
+type Clock struct{ t float64 }
+
+func (c *Clock) Advance(d float64) { c.t += d }
+
+var clock Clock
+
+func outsideTheEngine(d float64) {
+	clock.Advance(d) // no finding: util is not an engine package
+}

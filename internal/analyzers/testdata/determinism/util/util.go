@@ -1,0 +1,19 @@
+// Package util is determinism-analyzer testdata for a non-engine
+// package: the same constructs that are findings in "core" are allowed
+// here — the determinism invariant binds the engine packages only.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+var sink float64
+
+func outsideTheEngine(m map[string]float64) {
+	_ = time.Now()         // no finding: util is not an engine package
+	sink += rand.Float64() // no finding
+	for _, v := range m {  // no finding
+		sink += v
+	}
+}

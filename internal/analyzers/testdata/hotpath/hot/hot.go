@@ -1,0 +1,77 @@
+// Package hot is hotpathalloc-analyzer testdata: the checks fire only
+// inside functions annotated //pslint:hotpath, and flag the allocation
+// shapes that would break the data plane's 0-allocs/op budget.
+package hot
+
+import "fmt"
+
+type vec struct{ x, y, z float64 }
+
+type batch struct {
+	pos []vec
+	vel []vec
+}
+
+func consume(v any)          { _ = v }
+func observe(vs ...any)      { _ = vs }
+func consumePtr(v *vec)      { _ = v }
+func visit(fn func(i int))   { fn(0) }
+func global(b *batch) string { return fmt.Sprintf("%d", len(b.pos)) } // unannotated: allowed
+
+// applyKernel is a clean hot-path function: index loops over
+// pre-existing columns, pre-sized scratch, no formatting, no boxing.
+//
+//pslint:hotpath
+func applyKernel(b *batch, dt float64) {
+	scratch := make([]float64, 0, len(b.pos))
+	for i := range b.pos {
+		b.pos[i].x += b.vel[i].x * dt
+		scratch = append(scratch, b.pos[i].x)
+	}
+	_ = scratch
+}
+
+// formatInKernel allocates a string per call.
+//
+//pslint:hotpath
+func formatInKernel(b *batch) string {
+	return fmt.Sprintf("batch of %d", len(b.pos)) // want `hotpathalloc: fmt.Sprintf allocates`
+}
+
+// growInLoop reallocates the backing array as it grows.
+//
+//pslint:hotpath
+func growInLoop(b *batch) []float64 {
+	var xs []float64
+	ys := make([]float64, 0, len(b.pos)) // capacity reserved: allowed
+	for i := range b.pos {
+		xs = append(xs, b.pos[i].x) // want `hotpathalloc: append grows xs inside a loop without reserved capacity`
+		ys = append(ys, b.pos[i].y)
+	}
+	return append(xs, ys...) // outside the loop: a single final growth is allowed
+}
+
+// captureInClosure heap-allocates the closure and its captures.
+//
+//pslint:hotpath
+func captureInClosure(b *batch, dt float64) {
+	visit(func(i int) { // want `hotpathalloc: closure captures 2 enclosing variable\(s\)`
+		b.pos[i].x += dt
+	})
+	visit(func(i int) { _ = i }) // captures nothing: allowed
+	visit(func(i int) {          //pslint:alloc-ok one closure per call, required by the visit API's shape
+		b.pos[i].y += dt
+	})
+}
+
+// boxValues boxes concrete values into interfaces.
+//
+//pslint:hotpath
+func boxValues(b *batch) {
+	consume(b.pos[0])   // want `hotpathalloc: passing hot.vec as any boxes the value on the heap`
+	consume(&b.pos[0])  // pointer fits the interface word: allowed
+	observe(len(b.pos)) // want `hotpathalloc: passing int as any boxes the value on the heap`
+	v := any(b.pos[0])  // want `hotpathalloc: conversion to any boxes the value on the heap`
+	_ = v
+	consumePtr(&b.pos[0]) // concrete parameter: allowed
+}

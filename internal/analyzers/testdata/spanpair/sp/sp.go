@@ -1,0 +1,72 @@
+// Package sp is spanpairing-analyzer testdata: Begin-style calls on a
+// recorder must be closed by the matching End call on the same
+// receiver — deferred, or with no return statement able to skip it.
+package sp
+
+// Recorder mirrors the obs package's Begin/End surface.
+type Recorder struct{ open int }
+
+func (r *Recorder) BeginFrame(f int, t float64) { r.open++ }
+func (r *Recorder) EndFrame(t float64)          { r.open-- }
+func (r *Recorder) Begin()                      { r.open++ }
+func (r *Recorder) End()                        { r.open-- }
+
+func work() error { return nil }
+
+// deferredClose closes the span on every path: compliant.
+func deferredClose(r *Recorder) error {
+	r.Begin()
+	defer r.End()
+	if err := work(); err != nil {
+		return err
+	}
+	return work()
+}
+
+// straightLine has no return between the pair: compliant.
+func straightLine(r *Recorder, frame int, t float64) {
+	r.BeginFrame(frame, t)
+	_ = work()
+	r.EndFrame(t)
+}
+
+// earlyReturn can leave the frame open.
+func earlyReturn(r *Recorder, frame int, t float64) error {
+	r.BeginFrame(frame, t) // want `spanpairing: earlyReturn can return before r.EndFrame runs`
+	if err := work(); err != nil {
+		return err
+	}
+	r.EndFrame(t)
+	return nil
+}
+
+// neverClosed opens a span that nothing ends.
+func neverClosed(r *Recorder) {
+	r.Begin() // want `spanpairing: r.Begin has no matching r.End in neverClosed`
+	_ = work()
+}
+
+// twoRecorders pairs per receiver: a's End cannot close b's Begin.
+func twoRecorders(a, b *Recorder) {
+	a.Begin() // want `spanpairing: a.Begin has no matching a.End in twoRecorders`
+	b.Begin()
+	b.End()
+}
+
+// mixedSuffixes pairs per method suffix: EndFrame cannot close Begin.
+func mixedSuffixes(r *Recorder, t float64) {
+	r.Begin() // want `spanpairing: r.Begin has no matching r.End in mixedSuffixes`
+	r.BeginFrame(0, t)
+	r.EndFrame(t)
+}
+
+// abortDiscardsProfile documents the deliberate leak: on error the
+// whole profile is thrown away, so the open span is unobservable.
+func abortDiscardsProfile(r *Recorder, frame int, t float64) error {
+	r.BeginFrame(frame, t) //pslint:span-ok on error the run aborts and the profile is discarded
+	if err := work(); err != nil {
+		return err
+	}
+	r.EndFrame(t)
+	return nil
+}

@@ -40,12 +40,14 @@ func (c *calcProc) applyStoreAction(si int, act actions.StoreAction,
 // and returns the received ghosts, left neighbor's first (determinism).
 // Both neighbors reach this point in the same (frame, system, action)
 // position, so the protocol needs no further coordination.
+//
+//pslint:hotpath
 func (c *calcProc) exchangeGhostBand(si int, radius float64) ([]particle.Particle, error) {
 	st := c.stores[si]
 	lo, hi := st.Bounds()
 	axis := c.scn.Axis
 	var low, high []particle.Particle
-	st.ForEach(func(p *particle.Particle) {
+	st.ForEach(func(p *particle.Particle) { //pslint:alloc-ok one closure per exchange (not per particle); the store's ForEach API requires it
 		x := p.Pos.Component(axis)
 		if x < lo+radius {
 			low = append(low, *p)

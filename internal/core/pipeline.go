@@ -52,7 +52,8 @@ func runProgram(p proc, prog []step) error {
 	ep := p.endpoint()
 	rec := p.recorder()
 	for frame := 0; frame < scn.Frames; frame++ {
-		rec.BeginFrame(frame, ep.Clock.Now())
+		rec.BeginFrame(frame, ep.Clock.Now()) //pslint:span-ok a step error aborts the whole run and the profile is discarded
+
 		p.beginFrame(frame)
 		for i := range prog {
 			s := &prog[i]

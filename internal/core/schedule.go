@@ -502,6 +502,8 @@ func (g *imageGenProc) ingestBlob(blob []byte) error {
 // migrated actions stream their columnar kernels, the rest go through
 // the AoS-compat adapter. Either way the per-particle operations and
 // their order match the historical ForEach+Apply loop exactly.
+//
+//pslint:clock-ok every caller (applyAction, runScripted) charges Cost×len×Ratio right after the kernel
 func applyToSet(st particle.Set, ctx *actions.Context, act actions.ParticleAction) {
 	st.EachBatch(func(b *particle.Batch) { actions.ApplyToBatch(ctx, act, b) })
 }

@@ -98,6 +98,8 @@ func (p *Particle) Decode(buf []byte) ([]byte, error) {
 }
 
 // EncodeBatch encodes a slice of particles with a 4-byte count prefix.
+//
+//pslint:hotpath
 func EncodeBatch(ps []Particle) []byte {
 	buf := make([]byte, 4, 4+len(ps)*WireSize)
 	binary.LittleEndian.PutUint32(buf, uint32(len(ps)))

@@ -15,6 +15,8 @@ import (
 
 // putF64Col writes one float64 column at byte offset off of every
 // record in buf (stride WireSize past the 4-byte header).
+//
+//pslint:hotpath
 func putF64Col(buf []byte, off int, col []float64) {
 	for i, v := range col {
 		binary.LittleEndian.PutUint64(buf[4+i*WireSize+off:], math.Float64bits(v))
@@ -24,6 +26,8 @@ func putF64Col(buf []byte, off int, col []float64) {
 // EncodeWire encodes the batch into one freshly allocated buffer in the
 // EncodeBatch wire format; the bytes are identical to
 // EncodeBatch(b.All()).
+//
+//pslint:hotpath
 func (b *Batch) EncodeWire() []byte {
 	n := b.Len()
 	buf := make([]byte, BatchBytes(n))
@@ -84,6 +88,8 @@ func DecodeWire(buf []byte) (*Batch, error) {
 // DecodeWireInto decodes an EncodeBatch/EncodeWire payload into b,
 // reusing b's column capacity. The validation — exact length, known
 // flag bits, zero padding — matches DecodeBatch bit for bit.
+//
+//pslint:hotpath
 func (b *Batch) DecodeWireInto(buf []byte) error {
 	if len(buf) < 4 {
 		return fmt.Errorf("particle: short batch header: %d bytes", len(buf))
