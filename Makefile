@@ -33,17 +33,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Focused race check over traced/profiled parallel runs only.
+# Focused race check over traced/profiled parallel runs and the
+# host-parallel width cross-product.
 race-obs:
-	$(GO) test -race ./internal/core/ -run 'Profile|Profiled|Figure2'
+	$(GO) test -race ./internal/core/ -run 'Profile|Profiled|Figure2|HostParallel|FusedKernels|WorkerPool'
 
-# Data-plane benchmark harness: runs the AoS-vs-SoA kernel and wire
-# codec benchmarks at a fixed -benchtime and writes the machine-readable
-# BENCH_dataplane.json (ns/op + allocs/op) that is committed with the repo.
+# Benchmark harness: runs the AoS-vs-SoA kernel and wire codec
+# benchmarks into BENCH_dataplane.json, then the host-parallel suite
+# (worker scaling at widths 1/2/4/8, fused-vs-unfused kernels, pooled
+# wire encode) into BENCH_hostparallel.json. Both machine-readable
+# artifacts (ns/op + allocs/op) are committed with the repo.
 bench:
 	$(GO) test -run '^$$' -bench 'KernelsAoSvsSoA|ExchangeEncode|ExchangeDecode|AblationColumnStore' \
 	  -benchtime $(BENCHTIME) -benchmem ./internal/actions/ ./internal/particle/ . | \
 	  tee /dev/stderr | $(GO) run ./cmd/psbench -benchjson BENCH_dataplane.json
+	$(GO) test -run '^$$' -bench 'WorkerScaling|FusedVsUnfused|PooledEncode' \
+	  -benchtime $(BENCHTIME) -benchmem ./internal/core/ ./internal/actions/ ./internal/particle/ | \
+	  tee /dev/stderr | $(GO) run ./cmd/psbench -benchjson BENCH_hostparallel.json
 
 # Full paper-table benchmark suite (slow; regenerates every experiment).
 bench-tables:

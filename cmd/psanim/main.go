@@ -8,6 +8,7 @@
 //	       [-lb static|dynamic] [-space finite|infinite] [-frames N]
 //	       [-out DIR] [-seq] [-config scenario.json] [-dump scenario.json]
 //	       [-trace trace.json] [-metrics out.prom] [-timeline] [-aos]
+//	       [-workers N] [-unfused]
 //
 // Scenarios can also be described declaratively: -dump writes the
 // selected built-in scenario as JSON, -config runs one from a file (see
@@ -50,6 +51,10 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print the per-calculator compute/comm/idle timeline")
 	aos := flag.Bool("aos", false,
 		"data-plane ablation: use the record (AoS) particle store instead of the columnar one")
+	workers := flag.Int("workers", 0,
+		"host worker goroutines per compute pass (0 = scenario value, -1 = GOMAXPROCS); bit-identical at any width")
+	unfused := flag.Bool("unfused", false,
+		"kernel ablation: run each action as its own column pass instead of the fused kernels")
 	flag.Parse()
 
 	lb := core.DynamicLB
@@ -96,6 +101,12 @@ func main() {
 		}
 	}
 	scn.AoSStore = *aos
+	if *workers != 0 {
+		scn.Workers = *workers
+	}
+	if *unfused {
+		scn.Unfused = true
+	}
 	if *dump != "" {
 		data, err := scenariojson.Encode(scn)
 		if err != nil {

@@ -1,0 +1,90 @@
+// Package bufpool recycles wire-format send buffers through
+// capacity-keyed sync.Pools, so the steady-state send path of the
+// simulated transport — creation scatters, particle exchanges,
+// balancing donations, ghost bands — performs zero heap allocations.
+//
+// Ownership follows the message: the encoder Gets a buffer, the
+// transport carries it, and the unique receiver Puts it back (via
+// transport.Message.Release) once the payload is fully decoded. A
+// missed Put is safe (the buffer is garbage collected); a double Put
+// is not (two users would share backing memory), so payloads shared
+// between several receivers are never released.
+//
+// Buffers come back dirty: Get does not zero the returned slice, so
+// encoders must write every byte they claim, including padding.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Capacity classes are powers of two: class c holds buffers whose
+// capacity is at least 1<<c bytes. minClass keeps tiny buffers (empty
+// batches are 4 bytes) from fragmenting into useless classes; anything
+// beyond maxClass is left to the garbage collector.
+const (
+	minClass = 6  // 64 B
+	maxClass = 26 // 64 MiB
+)
+
+// entry is the pooled slice-header box. sync.Pool stores interface
+// values, and putting a raw []byte in one allocates a fresh header box
+// on every Put; cycling *entry boxes through their own pool keeps the
+// whole Get/Put round trip allocation-free.
+type entry struct{ b []byte }
+
+var headers = sync.Pool{New: func() any { return new(entry) }}
+
+var classes [maxClass + 1]sync.Pool
+
+// Get returns a buffer of length n with dirty contents. The buffer
+// comes from the smallest capacity class that holds n bytes, or is
+// freshly allocated when that class is empty or n is out of the pooled
+// range.
+func Get(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	c := sizeClass(n)
+	if c > maxClass {
+		return make([]byte, n)
+	}
+	if e, ok := classes[c].Get().(*entry); ok {
+		b := e.b[:n]
+		e.b = nil
+		headers.Put(e)
+		return b
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// Put files buf by its capacity for reuse. Buffers outside the pooled
+// capacity range (including nil) are dropped. The caller must not use
+// buf after Put, and must never Put the same buffer twice.
+func Put(buf []byte) {
+	c := capClass(cap(buf))
+	if c < minClass || c > maxClass {
+		return
+	}
+	e := headers.Get().(*entry)
+	e.b = buf[:0]
+	classes[c].Put(e)
+}
+
+// sizeClass returns the smallest class whose capacity 1<<c holds n
+// bytes: every buffer filed under class c has cap >= 1<<c >= n, so a
+// class hit always satisfies the request.
+func sizeClass(n int) int {
+	c := bits.Len(uint(n - 1)) // ceil(log2 n); 0 for n == 1
+	if c < minClass {
+		c = minClass
+	}
+	return c
+}
+
+// capClass returns the largest class whose capacity a buffer of the
+// given cap can serve: floor(log2 cap).
+func capClass(c int) int {
+	return bits.Len(uint(c)) - 1
+}

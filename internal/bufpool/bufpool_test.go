@@ -1,0 +1,84 @@
+package bufpool
+
+import "testing"
+
+func TestGetLengthAndCapacity(t *testing.T) {
+	for _, n := range []int{1, 4, 63, 64, 65, 140, 4096, 4097, 1 << 20} {
+		b := Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d) returned len %d", n, len(b))
+		}
+		if cap(b) < n {
+			t.Fatalf("Get(%d) returned cap %d < n", n, cap(b))
+		}
+		Put(b)
+	}
+}
+
+func TestGetZeroAndNegative(t *testing.T) {
+	if b := Get(0); b != nil {
+		t.Fatalf("Get(0) = %v, want nil", b)
+	}
+	if b := Get(-3); b != nil {
+		t.Fatalf("Get(-3) = %v, want nil", b)
+	}
+	Put(nil) // must not panic
+}
+
+func TestPutGetReusesBuffer(t *testing.T) {
+	// A buffer filed under class c must come back for any request the
+	// class serves. Stamp the backing array to prove identity.
+	b := Get(1000) // class 10, cap 1024
+	b[0] = 0xAB
+	Put(b)
+	got := Get(600) // class 10 as well (ceil log2 600 = 10)
+	if got[0] != 0xAB {
+		t.Fatalf("Get after Put returned a fresh buffer (byte %#x), want the pooled one", got[0])
+	}
+	if len(got) != 600 {
+		t.Fatalf("reused buffer has len %d, want 600", len(got))
+	}
+	Put(got)
+}
+
+func TestClassInvariant(t *testing.T) {
+	// Put files by floor(log2 cap); Get asks ceil(log2 n). Any buffer a
+	// class hands out must have cap >= the request.
+	small := make([]byte, 0, 100) // floor class 6 (64)
+	Put(small)
+	got := Get(64) // ceil class 6
+	if cap(got) < 64 {
+		t.Fatalf("class 6 served cap %d < 64", cap(got))
+	}
+	Put(got)
+}
+
+func TestOutOfRangeCapsAreDropped(t *testing.T) {
+	tiny := make([]byte, 0, 8) // below minClass: dropped, must not panic
+	Put(tiny)
+	if b := Get(8); cap(b) < 8 {
+		t.Fatalf("Get(8) returned cap %d", cap(b))
+	}
+}
+
+// TestSteadyStateZeroAllocs is the pool's core guarantee: once warm, a
+// Get/Put cycle performs no heap allocation — neither for the buffer
+// nor for the sync.Pool interface box (the *entry header trick).
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	Put(Get(4096)) // warm the class and the header pool
+	allocs := testing.AllocsPerRun(200, func() {
+		b := Get(4096)
+		Put(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Get/Put allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkGetPut(b *testing.B) {
+	Put(Get(4096))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Put(Get(4096))
+	}
+}

@@ -208,6 +208,20 @@ type Scenario struct {
 	// clocks, traffic); only host wall-clock differs.
 	AoSStore bool
 
+	// Workers is the host-parallel compute width: each calculator (and
+	// the sequential engine) fans its per-bin kernel applications across
+	// this many goroutines. 0 or 1 runs sequentially; negative means
+	// GOMAXPROCS. Parallel runs are bit-identical to sequential —
+	// checksums, virtual clocks, traces and metrics do not change with
+	// the width — only host wall-clock differs. Requires the columnar
+	// store; under AoSStore the width is ignored.
+	Workers int
+
+	// Unfused disables kernel fusion, running each per-particle action
+	// as its own column pass — the ablation for the fused single-pass
+	// kernels. Fused and unfused runs are bit-for-bit equivalent.
+	Unfused bool
+
 	// PipelineFrames lets calculators start frame f+1 before the image
 	// generator finishes frame f. The paper's frames are synchronous —
 	// each frame ends when its image is generated — so this defaults to

@@ -74,6 +74,7 @@ func (c *calcProc) exchangeGhostBand(si int, radius float64) ([]particle.Particl
 			return nil, err
 		}
 		ghosts = append(ghosts, ps...)
+		msg.Release()
 	}
 	if hasRight {
 		msg := c.ep.Recv(rankCalc0+c.idx+1, transport.TagGhosts)
@@ -82,6 +83,7 @@ func (c *calcProc) exchangeGhostBand(si int, radius float64) ([]particle.Particl
 			return nil, err
 		}
 		ghosts = append(ghosts, ps...)
+		msg.Release()
 	}
 	return ghosts, nil
 }

@@ -183,6 +183,7 @@ func (dynamicLB) calcBalanceSteps(c *calcProc, si int) []step {
 				return false, err
 			}
 			st.AddBatch(&c.wire)
+			msg.Release()
 			return true, nil
 		}},
 	}
@@ -337,6 +338,7 @@ func (dynamicLB) calcBatchBalanceSteps(c *calcProc) []step {
 					return err
 				}
 				c.stores[si].AddBatch(&c.wire)
+				pm.Release()
 			}
 			return nil
 		})},
@@ -473,5 +475,6 @@ func (c *calcProc) tradeWithNeighbor(si, peer, move int) error {
 		return err
 	}
 	st.AddBatch(&c.wire)
+	pm.Release()
 	return nil
 }

@@ -215,6 +215,19 @@ func assembleProfile(res *Result, mgr *managerProc, img *imageGenProc, calcs []*
 			"final stored particles per calculator",
 			"rank", strconv.Itoa(rankCalc0+i)).Set(float64(load))
 	}
+	// Per-rank compute-plane aggregates. Only width-independent totals
+	// are exported: the multiset of (bin, kernel) applications is fixed
+	// by the scenario, so these counters — unlike any per-worker-slot
+	// breakdown — are bit-identical at every Workers setting.
+	for i, c := range calcs {
+		bins, parts := c.pool.totals()
+		reg.Counter("pscluster_compute_bin_passes_total",
+			"bin-batch kernel applications per calculator",
+			"rank", strconv.Itoa(rankCalc0+i)).Add(float64(bins))
+		reg.Counter("pscluster_compute_particle_passes_total",
+			"particle kernel applications per calculator (stored scale)",
+			"rank", strconv.Itoa(rankCalc0+i)).Add(float64(parts))
+	}
 	for rank, t := range res.PerProcTime {
 		reg.Gauge("pscluster_proc_time_seconds",
 			"final virtual clock per process",
@@ -382,6 +395,11 @@ type calcProc struct {
 	ctxs   []*actions.Context
 	others []int // every calculator rank except this one, ascending
 
+	// pool fans per-bin kernel applications across host goroutines;
+	// plans is the compiled (and possibly fused) run program per system.
+	pool  *workerPool
+	plans [][]actions.Run
+
 	exchangedStored int
 	lbMovedStored   int
 	events          []Event
@@ -456,6 +474,13 @@ func (c *calcProc) run() error {
 	c.others = c.otherCalcRanks()
 	c.fs.work = make([]float64, len(scn.Systems))
 	c.fs.oldLoad = make([]int, len(scn.Systems))
+	width := scn.Workers
+	if width == 0 {
+		width = 1
+	}
+	c.pool = newWorkerPool(width)
+	defer c.pool.Close()
+	c.plans = compilePlans(scn)
 	return runProgram(c, scn.Schedule.plan().compileCalc(c, scn.LB.policy()))
 }
 

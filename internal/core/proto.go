@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"math"
 
+	"pscluster/internal/bufpool"
 	"pscluster/internal/geom"
 	"pscluster/internal/loadbalance"
 	"pscluster/internal/particle"
@@ -204,10 +205,31 @@ func decodeCountedSeq(b []byte, what string, size func([]byte) int) ([][]byte, e
 	return out, nil
 }
 
+// encodeCountedSeqPooled is encodeCountedSeq for slots that were
+// themselves drawn from the wire pool: the combined payload comes from
+// the pool (its receiver releases it) and every consumed slot buffer
+// goes straight back.
+//
+//pslint:hotpath
+func encodeCountedSeqPooled(slots [][]byte) []byte {
+	size := 4
+	for _, s := range slots {
+		size += len(s)
+	}
+	buf := bufpool.Get(size)
+	binary.LittleEndian.PutUint32(buf, uint32(len(slots)))
+	off := 4
+	for _, s := range slots {
+		off += copy(buf[off:], s)
+		bufpool.Put(s)
+	}
+	return buf
+}
+
 // encodeMultiBatch concatenates particle batches (one per (system,
 // create-action) slot, or one per system) behind a count prefix.
 func encodeMultiBatch(batches [][]particle.Particle) []byte {
-	return encodeCountedSeq(encodeFixedSeqSlots(batches, particle.EncodeBatch))
+	return encodeCountedSeqPooled(encodeFixedSeqSlots(batches, particle.EncodeBatch))
 }
 
 // encodeFixedSeqSlots maps a slice through a per-item encoder, giving
@@ -254,7 +276,7 @@ func encodeMultiWire(batches []*particle.Batch) []byte {
 	for i := range batches {
 		slots[i] = batches[i].EncodeWire()
 	}
-	return encodeCountedSeq(slots)
+	return encodeCountedSeqPooled(slots)
 }
 
 // encodeMultiReports packs one load report per system.

@@ -78,21 +78,22 @@ func (perSystemPlan) compileCalc(c *calcProc, pol lbPolicy) []step {
 	scn := c.scn
 	var prog []step
 	for si := range scn.Systems {
-		// Compute phase: the action list of Algorithm 1. Each creating
-		// action closes an "addition" step (any non-create actions since
-		// the previous one run first, then the manager's batch arrives);
-		// the actions after the last creation fold into "calculus".
-		var pending []actions.Action
-		for _, a := range scn.Systems[si].Actions {
-			if _, ok := a.(actions.CreateAction); !ok {
-				pending = append(pending, a)
+		// Compute phase: the compiled run program of Algorithm 1 (see
+		// compilePlans). Each creation run closes an "addition" step (the
+		// runs since the previous creation execute first, then the
+		// manager's batch arrives); the runs after the last creation fold
+		// into "calculus".
+		var pending []actions.Run
+		for _, r := range c.plans[si] {
+			if r.Create == nil {
+				pending = append(pending, r)
 				continue
 			}
 			pre := pending
 			pending = nil
 			prog = append(prog, step{phase: "addition", sys: si, traced: true,
 				run: always(func() error {
-					if err := c.runActions(si, pre); err != nil {
+					if err := c.runRuns(si, pre); err != nil {
 						return err
 					}
 					msg := c.ep.Recv(rankManager, transport.TagParticles)
@@ -100,13 +101,14 @@ func (perSystemPlan) compileCalc(c *calcProc, pol lbPolicy) []step {
 						return err
 					}
 					c.stores[si].AddBatch(&c.wire)
+					msg.Release()
 					return nil
 				})})
 		}
 		tail := pending
 		prog = append(prog, step{phase: "calculus", sys: si, traced: true,
 			run: always(func() error {
-				if err := c.runActions(si, tail); err != nil {
+				if err := c.runRuns(si, tail); err != nil {
 					return err
 				}
 				c.runScripted(si)
@@ -234,34 +236,49 @@ func (batchedPlan) compileImage(g *imageGenProc) []step {
 // Calculator phase bodies shared by the plans
 // ---------------------------------------------------------------------
 
-// applyAction runs one non-creating action of system si, advancing the
-// clock and accumulating the frame's work for the load report.
-func (c *calcProc) applyAction(si int, a actions.Action) error {
+// applyRun executes one compiled run of system si — a store action, a
+// fused kernel, or a single per-particle action — advancing the clock
+// and accumulating the frame's work for the load report. The clock is
+// charged per source action, after the kernel, in action-list order:
+// neither fusion nor the worker pool perturbs the sequential charge
+// sequence.
+func (c *calcProc) applyRun(si int, r *actions.Run) error {
 	scn := c.scn
 	st := c.stores[si]
-	switch act := a.(type) {
-	case actions.StoreAction:
-		w, err := c.applyStoreAction(si, act, c.ctxs[si])
+	switch {
+	case r.Store != nil:
+		w, err := c.applyStoreAction(si, r.Store, c.ctxs[si])
 		if err != nil {
 			return err
 		}
 		w *= scn.Ratio
 		c.ep.Clock.AdvanceWork(w, c.rate)
 		c.fs.work[si] += w
-	case actions.ParticleAction:
-		applyToSet(st, c.ctxs[si], act)
-		w := a.Cost() * float64(st.Len()) * scn.Ratio
+	case r.Fused != nil:
+		applyKernelToSet(st, c.ctxs[si], r.Fused, c.pool)
+		for _, a := range r.Acts {
+			w := a.Cost() * float64(st.Len()) * scn.Ratio
+			c.ep.Clock.AdvanceWork(w, c.rate)
+			c.fs.work[si] += w
+		}
+	case len(r.Acts) == 1:
+		applyToSet(st, c.ctxs[si], r.Acts[0], c.pool)
+		w := r.Acts[0].Cost() * float64(st.Len()) * scn.Ratio
 		c.ep.Clock.AdvanceWork(w, c.rate)
 		c.fs.work[si] += w
 	default:
-		return fmt.Errorf("core: system %d action %q has unknown shape", si, a.Name())
+		name := "nil"
+		if r.Unknown != nil {
+			name = r.Unknown.Name()
+		}
+		return fmt.Errorf("core: system %d action %q has unknown shape", si, name)
 	}
 	return nil
 }
 
-func (c *calcProc) runActions(si int, acts []actions.Action) error {
-	for _, a := range acts {
-		if err := c.applyAction(si, a); err != nil {
+func (c *calcProc) runRuns(si int, runs []actions.Run) error {
+	for i := range runs {
+		if err := c.applyRun(si, &runs[i]); err != nil {
 			return err
 		}
 	}
@@ -273,11 +290,23 @@ func (c *calcProc) runScripted(si int) {
 	scn := c.scn
 	st := c.stores[si]
 	for _, pa := range scn.scriptedFor(c.fs.frame, si) {
-		applyToSet(st, c.ctxs[si], pa)
+		applyToSet(st, c.ctxs[si], pa, c.pool)
 		w := pa.Cost() * float64(st.Len()) * scn.Ratio
 		c.ep.Clock.AdvanceWork(w, c.rate)
 		c.fs.work[si] += w
 	}
+}
+
+// compilePlans compiles every system's action list into its run program
+// — shapes resolved, adjacent per-particle actions fused (unless the
+// scenario ablates fusion). Compiled once per run and reused every
+// frame.
+func compilePlans(scn *Scenario) [][]actions.Run {
+	plans := make([][]actions.Run, len(scn.Systems))
+	for si := range scn.Systems {
+		plans[si] = actions.FusePlan(scn.Systems[si].Actions, !scn.Unfused)
+	}
+	return plans
 }
 
 // exchangeSystem is the particle exchange of §3.2.4 for one system:
@@ -312,6 +341,7 @@ func (c *calcProc) exchangeSystem(si int) error {
 			return err
 		}
 		st.AddBatch(&c.wire)
+		msg.Release()
 	}
 	return nil
 }
@@ -336,11 +366,12 @@ func (c *calcProc) renderSend(si int) {
 // every system's action list, script entries and exchange scan.
 func (c *calcProc) batchedCompute(hasCreate bool) error {
 	scn := c.scn
+	var createdMsg transport.Message
 	var created [][]byte
 	if hasCreate {
-		msg := c.ep.Recv(rankManager, transport.TagParticles)
+		createdMsg = c.ep.Recv(rankManager, transport.TagParticles)
 		var err error
-		created, err = splitMultiBatch(msg.Payload)
+		created, err = splitMultiBatch(createdMsg.Payload)
 		if err != nil {
 			return err
 		}
@@ -348,8 +379,9 @@ func (c *calcProc) batchedCompute(hasCreate bool) error {
 	slot := 0
 	for si := range scn.Systems {
 		st := c.stores[si]
-		for _, a := range scn.Systems[si].Actions {
-			if _, ok := a.(actions.CreateAction); ok {
+		for ri := range c.plans[si] {
+			r := &c.plans[si][ri]
+			if r.Create != nil {
 				if slot >= len(created) {
 					return fmt.Errorf("core: creation slot %d out of range", slot)
 				}
@@ -360,7 +392,7 @@ func (c *calcProc) batchedCompute(hasCreate bool) error {
 				slot++
 				continue
 			}
-			if err := c.applyAction(si, a); err != nil {
+			if err := c.applyRun(si, r); err != nil {
 				return err
 			}
 		}
@@ -371,6 +403,9 @@ func (c *calcProc) batchedCompute(hasCreate bool) error {
 		c.ep.Clock.AdvanceWork(scanWork, c.rate)
 		c.fs.work[si] += scanWork
 	}
+	// The created slots alias the payload, so the message is released
+	// only after every slot is decoded (no-op when hasCreate is false).
+	createdMsg.Release()
 	return nil
 }
 
@@ -417,6 +452,7 @@ func (c *calcProc) batchedExchange() error {
 			}
 			c.stores[si].AddBatch(&c.wire)
 		}
+		msg.Release()
 	}
 	return nil
 }
@@ -501,9 +537,41 @@ func (g *imageGenProc) ingestBlob(blob []byte) error {
 // applyToSet runs one per-particle action over every bin batch of st:
 // migrated actions stream their columnar kernels, the rest go through
 // the AoS-compat adapter. Either way the per-particle operations and
-// their order match the historical ForEach+Apply loop exactly.
+// their order match the historical ForEach+Apply loop exactly. With a
+// multi-slot pool and a columnar store the bins fan out across the
+// worker goroutines; bins are disjoint and the kernels touch only their
+// own bin, so the result is bit-identical to the sequential pass.
 //
-//pslint:clock-ok every caller (applyAction, runScripted) charges Cost×len×Ratio right after the kernel
-func applyToSet(st particle.Set, ctx *actions.Context, act actions.ParticleAction) {
-	st.EachBatch(func(b *particle.Batch) { actions.ApplyToBatch(ctx, act, b) })
+//pslint:clock-ok every caller (applyRun, runScripted) charges Cost×len×Ratio right after the kernel
+func applyToSet(st particle.Set, ctx *actions.Context, act actions.ParticleAction, pool *workerPool) {
+	if bins := pool.parallelBins(st); bins != nil {
+		pool.run(len(bins), func(bi, slot int) {
+			b := bins[bi]
+			actions.ApplyToBatch(ctx, act, b)
+			pool.note(slot, b.Len())
+		})
+		return
+	}
+	st.EachBatch(func(b *particle.Batch) {
+		actions.ApplyToBatch(ctx, act, b)
+		pool.note(0, b.Len())
+	})
+}
+
+// applyKernelToSet is applyToSet for a fused kernel: one single-pass
+// kernel standing for a chain of adjacent per-particle actions. The
+// caller (applyRun) charges each fused action's cost after the pass.
+func applyKernelToSet(st particle.Set, ctx *actions.Context, k actions.Kernel, pool *workerPool) {
+	if bins := pool.parallelBins(st); bins != nil {
+		pool.run(len(bins), func(bi, slot int) {
+			b := bins[bi]
+			k(ctx, b)
+			pool.note(slot, b.Len())
+		})
+		return
+	}
+	st.EachBatch(func(b *particle.Batch) {
+		k(ctx, b)
+		pool.note(0, b.Len())
+	})
 }

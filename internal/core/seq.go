@@ -41,6 +41,18 @@ func RunSequential(scn Scenario, node cluster.NodeType, comp cluster.Compiler) (
 		cam = defaultCamera(&scn)
 	}
 
+	// The sequential engine shares the parallel engine's compute plane:
+	// compiled (and possibly fused) run programs, and a worker pool
+	// fanning per-bin kernels across host goroutines. Both are
+	// bit-neutral, so the baseline's virtual time is unchanged.
+	width := scn.Workers
+	if width == 0 {
+		width = 1
+	}
+	pool := newWorkerPool(width)
+	defer pool.Close()
+	plans := compilePlans(&scn)
+
 	res := &Result{Frames: scn.Frames}
 	if scn.CollectParticles {
 		res.FinalParticles = make([][]particle.Particle, len(scn.Systems))
@@ -58,30 +70,39 @@ func RunSequential(scn Scenario, node cluster.NodeType, comp cluster.Compiler) (
 			fb.Clear()
 		}
 		for si := range scn.Systems {
-			sys := &scn.Systems[si]
 			st := stores[si]
 			ctx := ctxs[si]
 
-			for _, a := range sys.Actions {
-				switch act := a.(type) {
-				case actions.CreateAction:
-					ps := act.Generate(ctx)
-					clock.AdvanceWork(a.Cost()*float64(len(ps))*scn.Ratio, rate)
+			for ri := range plans[si] {
+				r := &plans[si][ri]
+				switch {
+				case r.Create != nil:
+					ps := r.Create.Generate(ctx)
+					clock.AdvanceWork(r.Create.Cost()*float64(len(ps))*scn.Ratio, rate)
 					st.AddSlice(ps)
 					emit(frame, si, "create")
-				case actions.StoreAction:
+				case r.Store != nil:
 					var work float64
-					st.WithStore(func(s *particle.Store) { work = act.ApplyStore(ctx, s) })
+					st.WithStore(func(s *particle.Store) { work = r.Store.ApplyStore(ctx, s) })
 					clock.AdvanceWork(work*scn.Ratio, rate)
-				case actions.ParticleAction:
-					applyToSet(st, ctx, act)
-					clock.AdvanceWork(a.Cost()*float64(st.Len())*scn.Ratio, rate)
+				case r.Fused != nil:
+					applyKernelToSet(st, ctx, r.Fused, pool)
+					for _, a := range r.Acts {
+						clock.AdvanceWork(a.Cost()*float64(st.Len())*scn.Ratio, rate)
+					}
+				case len(r.Acts) == 1:
+					applyToSet(st, ctx, r.Acts[0], pool)
+					clock.AdvanceWork(r.Acts[0].Cost()*float64(st.Len())*scn.Ratio, rate)
 				default:
-					return nil, fmt.Errorf("core: system %d action %q has unknown shape", si, a.Name())
+					name := "nil"
+					if r.Unknown != nil {
+						name = r.Unknown.Name()
+					}
+					return nil, fmt.Errorf("core: system %d action %q has unknown shape", si, name)
 				}
 			}
 			for _, pa := range scn.scriptedFor(frame, si) {
-				applyToSet(st, ctxs[si], pa)
+				applyToSet(st, ctxs[si], pa, pool)
 				clock.AdvanceWork(pa.Cost()*float64(st.Len())*scn.Ratio, rate)
 			}
 			st.RemoveDead()

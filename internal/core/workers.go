@@ -1,0 +1,156 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"pscluster/internal/particle"
+)
+
+// Host-parallel compute plane: a calculator's per-frame kernels fan the
+// sub-domain bins of its ColumnStore across a bounded pool of host
+// goroutines. Parallelism is invisible to the model by construction:
+//
+//   - bins are disjoint slices of memory and per-particle kernels never
+//     read another particle's state, so workers share nothing but the
+//     read-only action and context;
+//   - work is assigned by static round-robin striding (slot w processes
+//     bins w, w+width, w+2·width, …), so the bin→slot mapping — and with
+//     it every per-slot statistic — is a pure function of the bin count,
+//     not of scheduling;
+//   - the virtual clock is charged after the barrier, by the caller, in
+//     exactly the sequential order.
+//
+// A run with Workers=8 therefore produces bit-identical particle state,
+// virtual times, traces and metrics to Workers=1.
+
+// poolTask is one fan-out: the helper for slot w applies fn to bins
+// w, w+stride, … and signals wg.
+type poolTask struct {
+	n, w, stride int
+	fn           func(bin, slot int)
+	wg           *sync.WaitGroup
+}
+
+// workerStats accumulates what one worker slot processed. Slots are
+// written by distinct goroutines during a fan-out; the padding keeps
+// them on separate cache lines.
+type workerStats struct {
+	Bins      int
+	Particles int
+	_         [48]byte
+}
+
+// workerPool runs per-bin kernel applications across width goroutines:
+// the owning calculator goroutine plus width-1 helpers. A nil pool or
+// width 1 degrades to inline sequential execution.
+type workerPool struct {
+	width int
+	tasks chan poolTask
+	stats []workerStats
+	bins  []*particle.Batch // scratch reused across fan-outs
+}
+
+// newWorkerPool returns a pool of the given width; width <= 0 means
+// GOMAXPROCS. The width-1 helper goroutines live until Close.
+func newWorkerPool(width int) *workerPool {
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	p := &workerPool{width: width, stats: make([]workerStats, width)}
+	if width > 1 {
+		p.tasks = make(chan poolTask)
+		for i := 0; i < width-1; i++ {
+			go helper(p.tasks)
+		}
+	}
+	return p
+}
+
+// helper drains fan-out tasks until the pool closes. It takes the
+// channel by value so Close's field reset cannot race with the loop.
+func helper(tasks <-chan poolTask) {
+	for t := range tasks {
+		for i := t.w; i < t.n; i += t.stride {
+			t.fn(i, t.w)
+		}
+		t.wg.Done()
+	}
+}
+
+// run applies fn to every index in [0, n), fanning across the pool's
+// slots by static striding. fn(i, slot) must touch only state owned by
+// index i plus the per-slot statistics for slot. run returns after all
+// indices are processed (the channel send / wg.Wait pair establishes
+// the happens-before edge back to the caller).
+func (p *workerPool) run(n int, fn func(bin, slot int)) {
+	if p == nil || p.width <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i, 0)
+		}
+		return
+	}
+	width := p.width
+	if width > n {
+		width = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(width - 1)
+	for w := 1; w < width; w++ {
+		p.tasks <- poolTask{n: n, w: w, stride: width, fn: fn, wg: &wg}
+	}
+	for i := 0; i < n; i += width {
+		fn(i, 0)
+	}
+	wg.Wait()
+}
+
+// note records that slot processed one bin of the given particle count.
+// Nil-safe so sequential fallback paths can report into a missing pool.
+func (p *workerPool) note(slot, particles int) {
+	if p == nil {
+		return
+	}
+	p.stats[slot].Bins++
+	p.stats[slot].Particles += particles
+}
+
+// totals sums the per-slot statistics — the width-independent aggregate
+// the profile exports (the multiset of processed bins is fixed by the
+// scenario, only its partition across slots varies with width).
+func (p *workerPool) totals() (bins, particles int) {
+	if p == nil {
+		return 0, 0
+	}
+	for i := range p.stats {
+		bins += p.stats[i].Bins
+		particles += p.stats[i].Particles
+	}
+	return bins, particles
+}
+
+// parallelBins returns the store's bins as an indexable slice when the
+// store can be fanned out, and nil when the caller must fall back to
+// sequential EachBatch. Only ColumnStore qualifies: the AoS Store's
+// EachBatch stages bins through one shared scratch batch, which cannot
+// be mutated from two goroutines.
+func (p *workerPool) parallelBins(st particle.Set) []*particle.Batch {
+	if p == nil || p.width <= 1 {
+		return nil
+	}
+	cs, ok := st.(*particle.ColumnStore)
+	if !ok {
+		return nil
+	}
+	p.bins = cs.AppendBins(p.bins[:0])
+	return p.bins
+}
+
+// Close stops the helper goroutines. The pool must be idle. Nil-safe.
+func (p *workerPool) Close() {
+	if p == nil || p.tasks == nil {
+		return
+	}
+	close(p.tasks)
+	p.tasks = nil
+}

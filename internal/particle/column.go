@@ -113,6 +113,21 @@ func (s *ColumnStore) EachBatch(fn func(*Batch)) {
 	}
 }
 
+// AppendBins appends the store's non-empty bin batches to dst in bin
+// order and returns the extended slice — the indexable form of
+// EachBatch the engine's worker pool fans out across goroutines. The
+// returned pointers alias the live bins: callers may mutate column
+// values but must not grow or shrink the batches.
+func (s *ColumnStore) AppendBins(dst []*Batch) []*Batch {
+	for bi := range s.bins {
+		if s.bins[bi].Len() == 0 {
+			continue
+		}
+		dst = append(dst, &s.bins[bi])
+	}
+	return dst
+}
+
 // All returns a copy of every stored particle, in deterministic order.
 func (s *ColumnStore) All() []Particle {
 	out := make([]Particle, 0, s.count)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 
+	"pscluster/internal/bufpool"
 	"pscluster/internal/geom"
 )
 
@@ -35,37 +36,45 @@ type Particle struct {
 // give ≈140 bytes per particle on the wire.
 const WireSize = 140
 
-// Encode appends the wire representation of p to buf and returns the
-// extended slice.
-func (p *Particle) Encode(buf []byte) []byte {
-	var tmp [WireSize]byte
-	b := tmp[:]
+// EncodeInto writes the wire representation of p into b, which must
+// hold at least WireSize bytes. Every byte of the record is written —
+// including the reserved zero padding at 132..139 that matches the
+// paper's observed 140-byte on-wire particle record — so dirty pooled
+// destinations encode the same bytes as fresh ones.
+//
+//pslint:hotpath
+func (p *Particle) EncodeInto(b []byte) {
 	le := binary.LittleEndian
-	put := func(off int, f float64) { le.PutUint64(b[off:], math.Float64bits(f)) }
-	put(0, p.Pos.X)
-	put(8, p.Pos.Y)
-	put(16, p.Pos.Z)
-	put(24, p.Up.X)
-	put(32, p.Up.Y)
-	put(40, p.Up.Z)
-	put(48, p.Vel.X)
-	put(56, p.Vel.Y)
-	put(64, p.Vel.Z)
-	put(72, p.Color.X)
-	put(80, p.Color.Y)
-	put(88, p.Color.Z)
-	put(96, p.Age)
-	put(104, p.Alpha)
-	put(112, p.Size)
+	le.PutUint64(b[0:], math.Float64bits(p.Pos.X))
+	le.PutUint64(b[8:], math.Float64bits(p.Pos.Y))
+	le.PutUint64(b[16:], math.Float64bits(p.Pos.Z))
+	le.PutUint64(b[24:], math.Float64bits(p.Up.X))
+	le.PutUint64(b[32:], math.Float64bits(p.Up.Y))
+	le.PutUint64(b[40:], math.Float64bits(p.Up.Z))
+	le.PutUint64(b[48:], math.Float64bits(p.Vel.X))
+	le.PutUint64(b[56:], math.Float64bits(p.Vel.Y))
+	le.PutUint64(b[64:], math.Float64bits(p.Vel.Z))
+	le.PutUint64(b[72:], math.Float64bits(p.Color.X))
+	le.PutUint64(b[80:], math.Float64bits(p.Color.Y))
+	le.PutUint64(b[88:], math.Float64bits(p.Color.Z))
+	le.PutUint64(b[96:], math.Float64bits(p.Age))
+	le.PutUint64(b[104:], math.Float64bits(p.Alpha))
+	le.PutUint64(b[112:], math.Float64bits(p.Size))
 	var flags uint32
 	if p.Dead {
 		flags |= 1
 	}
 	le.PutUint32(b[120:], flags)
 	le.PutUint64(b[124:], p.Rand)
-	// Bytes 132..139 are reserved padding, matching the paper's observed
-	// 140-byte on-wire particle record.
-	return append(buf, b...)
+	le.PutUint64(b[132:], 0)
+}
+
+// Encode appends the wire representation of p to buf and returns the
+// extended slice.
+func (p *Particle) Encode(buf []byte) []byte {
+	var tmp [WireSize]byte
+	p.EncodeInto(tmp[:])
+	return append(buf, tmp[:]...)
 }
 
 // Decode reads one particle from buf, which must hold at least WireSize
@@ -97,14 +106,16 @@ func (p *Particle) Decode(buf []byte) ([]byte, error) {
 	return buf[WireSize:], nil
 }
 
-// EncodeBatch encodes a slice of particles with a 4-byte count prefix.
+// EncodeBatch encodes a slice of particles with a 4-byte count prefix
+// into a pooled buffer. Like EncodeWire, the buffer travels with its
+// message and the unique receiver releases it back to the pool.
 //
 //pslint:hotpath
 func EncodeBatch(ps []Particle) []byte {
-	buf := make([]byte, 4, 4+len(ps)*WireSize)
+	buf := bufpool.Get(BatchBytes(len(ps)))
 	binary.LittleEndian.PutUint32(buf, uint32(len(ps)))
 	for i := range ps {
-		buf = ps[i].Encode(buf)
+		ps[i].EncodeInto(buf[4+i*WireSize:])
 	}
 	return buf
 }

@@ -4,14 +4,18 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"pscluster/internal/bufpool"
 )
 
 // Columnar wire codec: the exact byte format of EncodeBatch/DecodeBatch
 // (4-byte count prefix + n × WireSize little-endian records), but
-// serialized by streaming whole columns through one preallocated
-// buffer. EncodeWire performs exactly one allocation per batch and
-// DecodeWireInto none at steady state, against the per-particle
-// 140-byte staging copy and slice append of the record codec.
+// serialized by streaming whole columns through one buffer. EncodeWire
+// draws its buffer from the capacity-keyed wire pool — zero steady-state
+// allocations once the receiver releases payloads back — and
+// DecodeWireInto allocates nothing at steady state, against the
+// per-particle 140-byte staging copy and slice append of the record
+// codec.
 
 // putF64Col writes one float64 column at byte offset off of every
 // record in buf (stride WireSize past the 4-byte header).
@@ -23,14 +27,16 @@ func putF64Col(buf []byte, off int, col []float64) {
 	}
 }
 
-// EncodeWire encodes the batch into one freshly allocated buffer in the
+// EncodeWire encodes the batch into one pooled buffer in the
 // EncodeBatch wire format; the bytes are identical to
-// EncodeBatch(b.All()).
+// EncodeBatch(b.All()). The buffer belongs to the message it is sent
+// in: its unique receiver returns it to the pool after decoding (see
+// transport.Message.Release).
 //
 //pslint:hotpath
 func (b *Batch) EncodeWire() []byte {
 	n := b.Len()
-	buf := make([]byte, BatchBytes(n))
+	buf := bufpool.Get(BatchBytes(n))
 	binary.LittleEndian.PutUint32(buf, uint32(n))
 	le := binary.LittleEndian
 	for i, v := range b.Pos {
@@ -70,8 +76,12 @@ func (b *Batch) EncodeWire() []byte {
 	for i, r := range b.Rand {
 		le.PutUint64(buf[4+i*WireSize+124:], r)
 	}
-	// Bytes 132..139 of each record are the reserved zero padding; the
-	// buffer is born zeroed.
+	// Bytes 132..139 of each record are the reserved zero padding.
+	// Pooled buffers come back dirty, so the padding is written
+	// explicitly (DecodeWireInto validates it is zero).
+	for i := 0; i < n; i++ {
+		le.PutUint64(buf[4+i*WireSize+132:], 0)
+	}
 	return buf
 }
 

@@ -257,6 +257,8 @@ type jsonScenario struct {
 	GhostCollisions  bool         `json:"ghost_collisions,omitempty"`
 	PipelineFrames   bool         `json:"pipeline_frames,omitempty"`
 	AoSStore         bool         `json:"aos_store,omitempty"`
+	Workers          int          `json:"workers,omitempty"`
+	Unfused          bool         `json:"unfused,omitempty"`
 	ExchangeScanWork float64      `json:"exchange_scan_work,omitempty"`
 }
 
@@ -274,6 +276,8 @@ func Encode(scn core.Scenario) ([]byte, error) {
 		GhostCollisions:  scn.GhostCollisions,
 		PipelineFrames:   scn.PipelineFrames,
 		AoSStore:         scn.AoSStore,
+		Workers:          scn.Workers,
+		Unfused:          scn.Unfused,
 		ExchangeScanWork: scn.ExchangeScanWork,
 	}
 	if scn.Mode == core.FiniteSpace {
@@ -337,6 +341,8 @@ func Decode(data []byte) (core.Scenario, error) {
 		GhostCollisions:  js.GhostCollisions,
 		PipelineFrames:   js.PipelineFrames,
 		AoSStore:         js.AoSStore,
+		Workers:          js.Workers,
+		Unfused:          js.Unfused,
 		ExchangeScanWork: js.ExchangeScanWork,
 	}
 	switch js.Mode {

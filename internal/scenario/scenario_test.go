@@ -68,6 +68,8 @@ func fullScenario() core.Scenario {
 		LBMinBatch:       10,
 		Schedule:         core.BatchedSchedule,
 		GhostCollisions:  true,
+		Workers:          2,
+		Unfused:          true,
 		ExchangeScanWork: 1.5,
 		Script: []core.ScriptEntry{
 			{Frame: 3, System: 0, Action: &actions.Explosion{

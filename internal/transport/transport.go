@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sync"
 
+	"pscluster/internal/bufpool"
 	"pscluster/internal/cluster"
 )
 
@@ -74,6 +75,22 @@ type Message struct {
 	Payload  []byte
 	Ready    float64 // earliest arrival time at the receiver
 	Bytes    int     // billed size (>= len(Payload) under scaling)
+}
+
+// Release returns the message's payload to the wire-buffer pool and
+// clears it. Call it only when this receiver uniquely owns the payload
+// — the sender encoded it through the pooled wire codecs for this
+// destination alone — and only after the payload is fully decoded.
+// Payloads a sender shares between several receivers (broadcast
+// dimension tables, replicated load reports) must never be released:
+// a missed Release merely leaves the buffer to the garbage collector,
+// but a double Put would hand the same backing memory to two users.
+func (m *Message) Release() {
+	if m.Payload == nil {
+		return
+	}
+	bufpool.Put(m.Payload)
+	m.Payload = nil
 }
 
 // Stats counts an endpoint's traffic on both sides, in billed bytes.
