@@ -7,7 +7,7 @@ CORE_COVER_FLOOR ?= 85
 # is regenerated under comparable conditions across machines.
 BENCHTIME ?= 100x
 
-.PHONY: all build vet lint test race race-obs bench bench-tables bench-smoke fuzz-smoke cover ci
+.PHONY: all build vet lint test race race-obs bench bench-tables bench-smoke fuzz-smoke serve-smoke cover ci
 
 all: ci
 
@@ -71,6 +71,13 @@ fuzz-smoke:
 	    $(GO) test -run '^$$' -fuzz "^$$f$$" -fuzztime 10s $$pkg; \
 	  done; \
 	done
+
+# Telemetry smoke: run `psanim -serve` on a small scenario and drive
+# the live HTTP plane end to end — /healthz, /metrics (validated by
+# psbench -checkprom and checked for an engine counter family),
+# /status, /trace, and a clean SIGINT shutdown.
+serve-smoke:
+	GO=$(GO) sh scripts/serve_smoke.sh
 
 # Coverage report, gated: internal/core (the engine) must stay at or
 # above CORE_COVER_FLOOR percent of statements. The gate value comes

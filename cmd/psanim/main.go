@@ -8,7 +8,7 @@
 //	       [-lb static|dynamic] [-space finite|infinite] [-frames N]
 //	       [-out DIR] [-seq] [-config scenario.json] [-dump scenario.json]
 //	       [-trace trace.json] [-metrics out.prom] [-timeline] [-aos]
-//	       [-workers N] [-unfused]
+//	       [-workers N] [-unfused] [-serve :9090]
 //
 // Scenarios can also be described declaratively: -dump writes the
 // selected built-in scenario as JSON, -config runs one from a file (see
@@ -20,17 +20,25 @@
 // -timeline prints the per-calculator compute/comm/idle breakdown.
 // Recording never perturbs the model: a traced run produces exactly the
 // frames and virtual times of an untraced one.
+//
+// Live telemetry: -serve :9090 starts the always-on telemetry plane
+// (see internal/obs/live) alongside the run — /metrics, /healthz,
+// /status, /trace and /debug/pprof — and keeps serving after the run
+// finishes until interrupted. Serving is bit-neutral too.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"pscluster/internal/cluster"
 	"pscluster/internal/core"
 	"pscluster/internal/experiments"
 	"pscluster/internal/obs"
+	"pscluster/internal/obs/live"
 	scenariojson "pscluster/internal/scenario"
 )
 
@@ -55,7 +63,15 @@ func main() {
 		"host worker goroutines per compute pass (0 = scenario value, -1 = GOMAXPROCS); bit-identical at any width")
 	unfused := flag.Bool("unfused", false,
 		"kernel ablation: run each action as its own column pass instead of the fused kernels")
+	serve := flag.String("serve", "",
+		"serve live telemetry on this address while running (/metrics /healthz /status /trace /debug/pprof); requires an explicit -frames, keeps serving after the run until interrupted")
 	flag.Parse()
+
+	if err := validateFlags(*serve, *frames, *metricsOut, *traceOut); err != nil {
+		fmt.Fprintf(os.Stderr, "psanim: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	lb := core.DynamicLB
 	if *lbName == "static" {
@@ -134,10 +150,22 @@ func main() {
 	observing := *traceOut != "" || *metricsOut != "" || *timeline
 	var par *core.Result
 	var prof *obs.Profile
+	var srv *live.Server
 	var err error
-	if observing {
+	switch {
+	case *serve != "":
+		plane := live.NewPlane(live.Options{})
+		srv, err = live.Serve(*serve, plane)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psanim: %v\n", err)
+			os.Exit(1)
+		}
+		// The smoke script greps this exact line for the bound address.
+		fmt.Printf("telemetry serving on http://%s\n", srv.Addr)
+		par, prof, err = core.RunParallelServed(scn, cl, *procs, plane)
+	case observing:
 		par, prof, err = core.RunParallelProfiled(scn, cl, *procs)
-	} else {
+	default:
 		par, err = core.RunParallel(scn, cl, *procs)
 	}
 	if err != nil {
@@ -182,6 +210,33 @@ func main() {
 		fmt.Printf("sequential virtual time: %.2fs — speed-up %.2f\n",
 			seqRes.Time, par.Speedup(seqRes))
 	}
+
+	if srv != nil {
+		// Keep the telemetry plane up for post-run inspection: scrape
+		// /metrics, pull /trace into Perfetto, poke /debug/pprof. Ctrl-C
+		// (or SIGTERM) shuts down cleanly.
+		fmt.Println("run complete; telemetry still serving — interrupt to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		if err := srv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "psanim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// validateFlags rejects flag combinations that would misbehave
+// silently: a served run with no explicit frame horizon, and -metrics
+// and -trace clobbering each other's output file.
+func validateFlags(serve string, frames int, metricsOut, traceOut string) error {
+	if serve != "" && frames <= 0 {
+		return fmt.Errorf("-serve requires an explicit -frames count (got %d): a served run must state its horizon", frames)
+	}
+	if metricsOut != "" && metricsOut == traceOut {
+		return fmt.Errorf("-metrics and -trace both write to %q: give them distinct paths", metricsOut)
+	}
+	return nil
 }
 
 // writeObservability emits the requested views of the run profile.

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		serve   string
+		frames  int
+		metrics string
+		trace   string
+		wantErr bool
+	}{
+		{"defaults", "", 0, "", "", false},
+		{"serve-with-frames", ":9090", 20, "", "", false},
+		{"serve-without-frames", ":9090", 0, "", "", true},
+		{"serve-negative-frames", ":9090", -1, "", "", true},
+		{"metrics-trace-distinct", "", 0, "m.prom", "t.json", false},
+		{"metrics-trace-clobber", "", 0, "out.json", "out.json", true},
+		{"trace-only", "", 0, "", "t.json", false},
+		{"metrics-only", "", 0, "m.prom", "", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.serve, tc.frames, tc.metrics, tc.trace)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("validateFlags(%q, %d, %q, %q) = %v, wantErr=%v",
+					tc.serve, tc.frames, tc.metrics, tc.trace, err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@
 //
 //	psbench [-table all|1|2|3|X1|X2|X3|X4|X5|X6|A1|F1|F2] [-scale small|paper]
 //	psbench -list
+//	psbench -checkprom metrics.prom   (or - for stdin)
 //	go test -bench ... | psbench -benchjson FILE
 package main
 
@@ -72,10 +73,20 @@ func main() {
 	list := flag.Bool("list", false, "print the table/figure index and exit")
 	benchJSON := flag.String("benchjson", "",
 		"parse `go test -bench` output from stdin into a machine-readable JSON file")
+	checkProm := flag.String("checkprom", "",
+		"validate a Prometheus text exposition file (or - for stdin) against the format grammar and exit")
 	flag.Parse()
 
 	if *list {
 		printIndex()
+		return
+	}
+	if *checkProm != "" {
+		if err := checkPromFile(*checkProm); err != nil {
+			fmt.Fprintf(os.Stderr, "psbench: checkprom: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid Prometheus exposition\n", *checkProm)
 		return
 	}
 	if *benchJSON != "" {
@@ -318,4 +329,20 @@ func printFigure2(cfg experiments.Config, format string) error {
 	}
 	fmt.Println()
 	return nil
+}
+
+// checkPromFile validates a Prometheus text exposition file ("-" reads
+// stdin) with the obs grammar checker — the CI telemetry smoke pipes a
+// live /metrics scrape through this.
+func checkPromFile(path string) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	return obs.ValidateExposition(r)
 }

@@ -70,3 +70,55 @@ func abortDiscardsProfile(r *Recorder, frame int, t float64) error {
 	r.EndFrame(t)
 	return nil
 }
+
+// Ring mirrors the live package's flight recorder: BeginWrite/EndWrite
+// guard one record append and are held to the same pairing discipline
+// as the recorder's frame spans.
+type Ring struct{ locked bool }
+
+func (r *Ring) BeginWrite() { r.locked = true }
+func (r *Ring) EndWrite()   { r.locked = false }
+
+// ringPush is the flight recorder's canonical shape: deferred close.
+func ringPush(r *Ring) error {
+	r.BeginWrite()
+	defer r.EndWrite()
+	return work()
+}
+
+// ringStraightLine closes in line with no return between: compliant.
+func ringStraightLine(r *Ring) {
+	r.BeginWrite()
+	_ = work()
+	r.EndWrite()
+}
+
+// ringLeak opens the write span and can bail before closing it.
+func ringLeak(r *Ring) error {
+	r.BeginWrite() // want `spanpairing: ringLeak can return before r.EndWrite runs`
+	if err := work(); err != nil {
+		return err
+	}
+	r.EndWrite()
+	return nil
+}
+
+// ringNeverClosed opens a write span nothing ends.
+func ringNeverClosed(r *Ring) {
+	r.BeginWrite() // want `spanpairing: r.BeginWrite has no matching r.EndWrite in ringNeverClosed`
+	_ = work()
+}
+
+// ringWrongReceiver cannot borrow another ring's EndWrite.
+func ringWrongReceiver(a, b *Ring) {
+	a.BeginWrite() // want `spanpairing: a.BeginWrite has no matching a.EndWrite in ringWrongReceiver`
+	b.BeginWrite()
+	b.EndWrite()
+}
+
+// ringMixedPairs: a recorder's End cannot close a ring's BeginWrite.
+func ringMixedPairs(r *Ring, rec *Recorder) {
+	r.BeginWrite() // want `spanpairing: r.BeginWrite has no matching r.EndWrite in ringMixedPairs`
+	rec.Begin()
+	rec.End()
+}

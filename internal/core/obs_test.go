@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"pscluster/internal/obs"
+	"pscluster/internal/obs/live"
 )
 
 // profiledVariants enumerates the run shapes the observability layer
@@ -151,7 +152,9 @@ func TestProfileMetricsMatchResult(t *testing.T) {
 }
 
 // The Chrome trace export must be valid trace-event JSON: complete
-// events sorted by timestamp, durations non-negative, ranks as tids.
+// events sorted by timestamp, durations non-negative, ranks as tids,
+// and every wire message present as a sender→receiver flow pair joined
+// by its correlation id.
 func TestProfileChromeTraceValid(t *testing.T) {
 	_, prof, err := RunParallelProfiled(miniSnow(DynamicLB, FiniteSpace), testCluster(4), 4)
 	if err != nil {
@@ -168,6 +171,7 @@ func TestProfileChromeTraceValid(t *testing.T) {
 			Ts   float64 `json:"ts"`
 			Dur  float64 `json:"dur"`
 			Tid  int     `json:"tid"`
+			ID   string  `json:"id"`
 		} `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
@@ -175,19 +179,31 @@ func TestProfileChromeTraceValid(t *testing.T) {
 	}
 	lastTs := -1.0
 	var complete int
+	flows := map[string][2]int{} // id → count of s / f events
 	for _, ev := range doc.TraceEvents {
 		switch ev.Ph {
 		case "M":
 			continue
 		case "X":
 			complete++
+			if ev.Ts < lastTs {
+				t.Fatalf("complete events out of order: ts %v after %v", ev.Ts, lastTs)
+			}
+			lastTs = ev.Ts
+		case "s", "f":
+			if ev.ID == "" {
+				t.Fatalf("flow event %q without id", ev.Name)
+			}
+			c := flows[ev.ID]
+			if ev.Ph == "s" {
+				c[0]++
+			} else {
+				c[1]++
+			}
+			flows[ev.ID] = c
 		default:
 			t.Fatalf("unexpected event type %q", ev.Ph)
 		}
-		if ev.Ts < lastTs {
-			t.Fatalf("events out of order: ts %v after %v", ev.Ts, lastTs)
-		}
-		lastTs = ev.Ts
 		if ev.Dur < 0 {
 			t.Errorf("negative duration on %q", ev.Name)
 		}
@@ -197,6 +213,18 @@ func TestProfileChromeTraceValid(t *testing.T) {
 	}
 	if complete < 100 {
 		t.Errorf("only %d complete events for an 8-frame 3-system run", complete)
+	}
+	if len(flows) == 0 {
+		t.Fatal("no flow events: wire messages are not stitched")
+	}
+	for id, c := range flows {
+		if c[0] != 1 || c[1] != 1 {
+			t.Errorf("flow %s has %d start / %d finish events, want 1/1", id, c[0], c[1])
+		}
+	}
+	// Every consumed message of the run should appear as one flow pair.
+	if want := len(prof.Msgs) / 2; len(flows) < want {
+		t.Errorf("%d flow pairs for %d recv events", len(flows), want)
 	}
 }
 
@@ -431,5 +459,60 @@ func TestProfileCoversAllRanks(t *testing.T) {
 		if byRank[rank] == 0 {
 			t.Errorf("no spans from rank %d (%s)", rank, fmt.Sprint(byRank))
 		}
+	}
+}
+
+// TestServedRunProfileBitNeutral is the live telemetry plane's
+// acceptance gate: attaching a live sink (the real plane, watchdogs and
+// all) must not change the run by a single bit. The Figure-2 facts — 
+// frame checksums, per-rank virtual clocks, trace events — and the
+// profile's metrics exposition must be byte-identical, JSON to JSON,
+// between a served run and an unserved one.
+func TestServedRunProfileBitNeutral(t *testing.T) {
+	for name, scn := range profiledVariants() {
+		t.Run(name, func(t *testing.T) {
+			scn.Trace = true
+			plain, plainProf, err := RunParallelProfiled(scn, testCluster(4), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plane := live.NewPlane(live.Options{Window: 4, FrameBudget: 1e-9})
+			served, servedProf, err := RunParallelServed(scn, testCluster(4), 4, plane)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plane.Published() != scn.Frames*6 {
+				t.Fatalf("plane saw %d records, want %d", plane.Published(), scn.Frames*6)
+			}
+			// The absurd 1ns frame budget guarantees the watchdog tripped
+			// and captured dumps mid-run — the hostile case for neutrality.
+			if plane.LastDump() == nil {
+				t.Fatal("watchdog never tripped under a 1ns budget")
+			}
+			f2 := func(r *Result) []byte {
+				doc, err := json.Marshal(struct {
+					Checksums []uint64  `json:"checksums"`
+					Clocks    []float64 `json:"clocks"`
+					Events    []Event   `json:"events"`
+				}{r.FrameChecksums, r.PerProcTime, r.Events})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return doc
+			}
+			if !bytes.Equal(f2(plain), f2(served)) {
+				t.Fatal("served run's F2 JSON differs from unserved run")
+			}
+			var a, b bytes.Buffer
+			if err := plainProf.Registry.WritePrometheus(&a); err != nil {
+				t.Fatal(err)
+			}
+			if err := servedProf.Registry.WritePrometheus(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatal("served run's metrics exposition differs from unserved run")
+			}
+		})
 	}
 }

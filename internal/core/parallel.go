@@ -36,7 +36,7 @@ const evalWorkPerCalc = 20.0
 // scenario's Schedule plan and LB policy — and the runner in
 // pipeline.go executes it every frame.
 func RunParallel(scn Scenario, cl *cluster.Cluster, nCalc int) (*Result, error) {
-	res, _, err := runParallel(scn, cl, nCalc, false)
+	res, _, err := runParallel(scn, cl, nCalc, false, nil)
 	return res, err
 }
 
@@ -46,10 +46,20 @@ func RunParallel(scn Scenario, cl *cluster.Cluster, nCalc int) (*Result, error) 
 // clocks but never advances them, so the Result — frame checksums,
 // virtual times, traffic totals — is bit-identical to RunParallel's.
 func RunParallelProfiled(scn Scenario, cl *cluster.Cluster, nCalc int) (*Result, *obs.Profile, error) {
-	return runParallel(scn, cl, nCalc, true)
+	return runParallel(scn, cl, nCalc, true, nil)
 }
 
-func runParallel(scn Scenario, cl *cluster.Cluster, nCalc int, profiled bool) (*Result, *obs.Profile, error) {
+// RunParallelServed runs like RunParallelProfiled with a live telemetry
+// sink attached: every process publishes one FrameRecord per frame (its
+// spans, message events, cloned metrics and role status) to the sink at
+// its frame boundary. Publishing happens after the frame closes and
+// never touches virtual clocks, so the Result and Profile stay
+// bit-identical to an unserved run — the sink only costs wall time.
+func RunParallelServed(scn Scenario, cl *cluster.Cluster, nCalc int, sink obs.FrameSink) (*Result, *obs.Profile, error) {
+	return runParallel(scn, cl, nCalc, true, sink)
+}
+
+func runParallel(scn Scenario, cl *cluster.Cluster, nCalc int, profiled bool, sink obs.FrameSink) (*Result, *obs.Profile, error) {
 	if err := scn.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -128,6 +138,13 @@ func runParallel(scn Scenario, cl *cluster.Cluster, nCalc int, profiled bool) (*
 		for i, c := range calcs {
 			c.rec = obs.NewRecorder(rankCalc0+i, fmt.Sprintf("calculator %d", i))
 			c.ep.Obs = c.rec
+		}
+		if sink != nil {
+			mgr.rec.AttachSink(sink)
+			img.rec.AttachSink(sink)
+			for _, c := range calcs {
+				c.rec.AttachSink(sink)
+			}
 		}
 	}
 
@@ -364,6 +381,13 @@ func (m *managerProc) rank() int                     { return rankManager }
 func (m *managerProc) beginFrame(frame int)          { m.fs = managerFrame{frame: frame} }
 func (m *managerProc) pushEvent(ev Event)            { m.events = append(m.events, ev) }
 
+func (m *managerProc) annotateLive(fr *obs.FrameRecord) {
+	fr.LBRounds = m.lbRounds
+	for _, b := range m.balancers {
+		fr.LBOrders += b.Stat.Orders
+	}
+}
+
 func (m *managerProc) run() error {
 	scn := m.scn
 	m.balancers = make([]*loadbalance.Balancer, len(scn.Systems))
@@ -448,6 +472,12 @@ func (c *calcProc) beginFrame(frame int) {
 
 func (c *calcProc) pushEvent(ev Event) { c.events = append(c.events, ev) }
 
+func (c *calcProc) annotateLive(fr *obs.FrameRecord) {
+	for _, st := range c.stores {
+		fr.Particles += st.Len()
+	}
+}
+
 // otherCalcRanks returns every calculator rank except this one, ascending.
 func (c *calcProc) otherCalcRanks() []int {
 	out := make([]int, 0, c.nCalc-1)
@@ -518,6 +548,10 @@ func (g *imageGenProc) recorder() *obs.Recorder       { return g.rec }
 func (g *imageGenProc) rank() int                     { return rankImageGen }
 func (g *imageGenProc) beginFrame(frame int)          { g.fs = imageFrame{frame: frame} }
 func (g *imageGenProc) pushEvent(ev Event)            { g.events = append(g.events, ev) }
+
+func (g *imageGenProc) annotateLive(fr *obs.FrameRecord) {
+	fr.FramesDone = len(g.checksums)
+}
 
 func (g *imageGenProc) run() error {
 	scn := g.scn

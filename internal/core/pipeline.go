@@ -41,17 +41,28 @@ type proc interface {
 	// beginFrame resets the role's per-frame scratch state.
 	beginFrame(frame int)
 	pushEvent(Event)
+	// annotateLive fills the role-specific status fields of a live
+	// FrameRecord (manager: LB state; calculator: stored particles;
+	// image generator: frames delivered). Only called when a live
+	// telemetry sink is attached.
+	annotateLive(*obs.FrameRecord)
 }
 
 // runProgram drives one process for the whole run: per frame it opens
 // the recorder frame, resets the role's frame state, executes every
 // step of the compiled program and emits each step's span and trace
-// event at the step's completion clock.
+// event at the step's completion clock. When a live telemetry sink is
+// attached to the recorder, the closed frame is snapshotted and
+// published — after EndFrame, off the virtual clock, so a served run
+// stays bit-identical to an unserved one.
 func runProgram(p proc, prog []step) error {
 	scn := p.scenario()
 	ep := p.endpoint()
 	rec := p.recorder()
 	for frame := 0; frame < scn.Frames; frame++ {
+		// Correlation stamping is unconditional: outbound CorrIDs are a
+		// pure function of (frame, rank, send order), observed or not.
+		ep.SetFrame(frame)
 		rec.BeginFrame(frame, ep.Clock.Now()) //pslint:span-ok a step error aborts the whole run and the profile is discarded
 
 		p.beginFrame(frame)
@@ -72,6 +83,12 @@ func runProgram(p proc, prog []step) error {
 			rec.Phase(s.sys, s.phase, now)
 		}
 		rec.EndFrame(ep.Clock.Now())
+		if rec.LiveEnabled() {
+			fr := rec.SnapshotFrame(ep.Clock.Now())
+			fr.Queue = ep.QueueDepth()
+			p.annotateLive(&fr)
+			rec.Publish(fr)
+		}
 	}
 	return nil
 }

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"pscluster/internal/transport"
 )
 
 // ---------------------------------------------------------------------
@@ -21,9 +23,11 @@ type traceEvent struct {
 	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur"`
+	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"` // flow-event binding id
+	BP   string         `json:"bp,omitempty"` // flow binding point
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -34,23 +38,42 @@ type traceFile struct {
 
 // WriteChromeTrace writes the profile's spans as Chrome trace-event
 // JSON: one complete ("ph":"X") event per span, sorted by timestamp,
-// with thread-name metadata naming each rank's role.
+// thread-name metadata naming each rank's role, and one flow-event pair
+// per wire message observed on both sides — the sender→receiver arrows
+// that stitch the per-rank span trees together in Perfetto.
 func (p *Profile) WriteChromeTrace(w io.Writer) error {
-	events := make([]traceEvent, 0, len(p.Ranks)+len(p.Spans))
+	roles := make(map[int]string, len(p.Ranks))
 	for _, tl := range p.Ranks {
+		roles[tl.Rank] = tl.Role
+	}
+	return WriteChromeTrace(w, roles, p.Spans, p.Msgs)
+}
+
+// WriteChromeTrace writes any span/message collection (a full profile,
+// or a flight-recorder window) as Chrome trace-event JSON. roles names
+// each rank's thread; msgs with matching Corr stamps on both sides
+// become flow events linking the sending span to the receiving one.
+func WriteChromeTrace(w io.Writer, roles map[int]string, spans []Span, msgs []MsgEvent) error {
+	events := make([]traceEvent, 0, len(roles)+len(spans)+len(msgs))
+	ranks := make([]int, 0, len(roles))
+	for rank := range roles {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	for _, rank := range ranks {
 		events = append(events, traceEvent{
-			Name: "thread_name", Ph: "M", Pid: 0, Tid: tl.Rank,
-			Args: map[string]any{"name": tl.Role},
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: rank,
+			Args: map[string]any{"name": roles[rank]},
 		})
 	}
-	spans := append([]Span(nil), p.Spans...)
-	sort.SliceStable(spans, func(i, j int) bool {
-		if spans[i].Start != spans[j].Start {
-			return spans[i].Start < spans[j].Start
+	sorted := append([]Span(nil), spans...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
 		}
-		return spans[i].Rank < spans[j].Rank
+		return sorted[i].Rank < sorted[j].Rank
 	})
-	for _, s := range spans {
+	for _, s := range sorted {
 		args := map[string]any{"frame": s.Frame}
 		if s.System >= 0 {
 			args["system"] = s.System
@@ -61,6 +84,37 @@ func (p *Profile) WriteChromeTrace(w io.Writer) error {
 			Pid: 0, Tid: s.Rank, Args: args,
 		})
 	}
+	// Flow pairs: a "s" event at the send site and a "f" (binding point
+	// "e": attach to the enclosing slice) at the receive site, joined by
+	// the correlation stamp. Only messages observed on both sides are
+	// emitted — a flight-recorder window may have evicted one end.
+	sends := make(map[transport.CorrID]MsgEvent, len(msgs)/2)
+	for _, m := range msgs {
+		if m.Send {
+			sends[m.Corr] = m
+		}
+	}
+	for _, m := range msgs {
+		if m.Send {
+			continue
+		}
+		snd, ok := sends[m.Corr]
+		if !ok {
+			continue
+		}
+		id := strconv.FormatUint(uint64(m.Corr), 16)
+		args := map[string]any{
+			"tag": m.Tag, "bytes": m.Bytes,
+			"frame": snd.Corr.Frame(), "seq": snd.Corr.Seq(),
+		}
+		events = append(events, traceEvent{
+			Name: "msg:" + m.Tag, Cat: "wire", Ph: "s",
+			Ts: snd.T * 1e6, Pid: 0, Tid: snd.Rank, ID: id, Args: args,
+		}, traceEvent{
+			Name: "msg:" + m.Tag, Cat: "wire", Ph: "f", BP: "e",
+			Ts: m.T * 1e6, Pid: 0, Tid: m.Rank, ID: id, Args: args,
+		})
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
 }
@@ -68,6 +122,40 @@ func (p *Profile) WriteChromeTrace(w io.Writer) error {
 // ---------------------------------------------------------------------
 // Prometheus text exposition
 // ---------------------------------------------------------------------
+
+// escapeLabelValue escapes a label value per the text exposition
+// format: backslash, double-quote and newline are the only characters
+// a Prometheus parser accepts escaped inside a quoted label value.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text: backslash and newline only (quotes stay
+// literal outside label values).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
 
 // WritePrometheus writes the registry in the Prometheus text exposition
 // format: families sorted by name, a # HELP and # TYPE header each, one
@@ -77,7 +165,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, name := range r.familyNames() {
 		f := r.families[name]
 		if f.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", name, f.help)
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(f.help))
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.kind)
 		for _, key := range f.seriesKeys() {
@@ -113,7 +201,7 @@ func braced(key string) string {
 
 // bracedWith appends one more label to a rendered key and wraps it.
 func bracedWith(key, k, v string) string {
-	extra := fmt.Sprintf("%s=%q", k, v)
+	extra := k + `="` + escapeLabelValue(v) + `"`
 	if key == "" {
 		return "{" + extra + "}"
 	}
@@ -122,8 +210,13 @@ func bracedWith(key, k, v string) string {
 
 // promFloat formats a sample value.
 func promFloat(v float64) string {
-	if math.IsInf(v, 1) {
+	switch {
+	case math.IsInf(v, 1):
 		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
 	}
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }

@@ -1,0 +1,256 @@
+// Package live is the engine's always-on telemetry plane: it observes
+// a running engine through the obs.FrameSink snapshot hook without
+// perturbing it, and serves what it sees over HTTP.
+//
+// Each rank goroutine publishes one obs.FrameRecord per frame — the
+// frame's spans, message events, a clone of its metrics registry and
+// its role status. The plane files the record in that rank's
+// fixed-capacity flight-recorder ring (a per-rank lock held once per
+// frame), updates the rank's latest-state slot, and runs the SLO
+// watchdogs. Nothing here ever touches a virtual clock: a served run is
+// bit-identical to an unserved one; serving only costs wall time.
+//
+// The HTTP side (server.go) exposes /metrics (merged Prometheus text),
+// /healthz, /status (JSON), /trace (Chrome-trace of the flight
+// recorder, with sender→receiver flows stitched by correlation ID),
+// /flight (raw flight-recorder JSON with per-frame metric deltas) and
+// /debug/pprof.
+package live
+
+import (
+	"sort"
+	"sync"
+
+	"pscluster/internal/obs"
+)
+
+// Options configures the plane's flight recorder and watchdogs.
+type Options struct {
+	// Window is the flight recorder's capacity in frames per rank.
+	Window int
+
+	// FrameBudget is the per-frame virtual-time SLO in seconds. When 0,
+	// the budget auto-calibrates per rank: BudgetFactor times the mean
+	// duration of the first CalibrationFrames frames — the LogP cost
+	// model's own prediction of a healthy frame.
+	FrameBudget       float64
+	BudgetFactor      float64
+	CalibrationFrames int
+
+	// ThrashRun is how many consecutive frames with fresh balancing
+	// orders count as LB thrash (a converged balancer goes quiet; one
+	// that keeps shifting boundaries back and forth never does).
+	ThrashRun int
+
+	// QueueLimit is the receive-queue depth that trips the queue
+	// watchdog.
+	QueueLimit int
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = 64
+	}
+	if o.BudgetFactor <= 0 {
+		o.BudgetFactor = 3
+	}
+	if o.CalibrationFrames <= 0 {
+		o.CalibrationFrames = 5
+	}
+	if o.ThrashRun <= 0 {
+		o.ThrashRun = 6
+	}
+	if o.QueueLimit <= 0 {
+		o.QueueLimit = 1024
+	}
+	return o
+}
+
+// Plane is the live telemetry plane: an obs.FrameSink that keeps the
+// latest state and a flight-recorder window per rank, runs watchdogs,
+// and backs the HTTP serving plane. Safe for concurrent publishing from
+// every rank goroutine and concurrent reads from HTTP handlers.
+type Plane struct {
+	opts Options
+
+	mu        sync.Mutex
+	ranks     map[int]*rankState
+	reg       *obs.Registry // plane-local counters (watchdogs, publishes)
+	lastDump  *Dump
+	published int
+}
+
+// rankState is one rank's slice of the plane.
+type rankState struct {
+	ring *Ring
+	last obs.FrameRecord
+
+	// Frame-budget watchdog state.
+	budget   float64
+	calibSum float64
+	calibN   int
+
+	// LB-thrash watchdog state.
+	prevOrders int
+	thrashRun  int
+}
+
+var _ obs.FrameSink = (*Plane)(nil)
+
+// NewPlane builds a telemetry plane.
+func NewPlane(opts Options) *Plane {
+	return &Plane{
+		opts:  opts.withDefaults(),
+		ranks: map[int]*rankState{},
+		reg:   obs.NewRegistry(),
+	}
+}
+
+// PublishFrame implements obs.FrameSink: file the record, refresh the
+// rank's latest-state slot, and run the watchdogs. Called once per rank
+// per frame from the rank's own goroutine.
+func (p *Plane) PublishFrame(fr obs.FrameRecord) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rs := p.ranks[fr.Rank]
+	if rs == nil {
+		rs = &rankState{ring: NewRing(p.opts.Window)}
+		p.ranks[fr.Rank] = rs
+	}
+	rs.last = fr
+	rs.ring.Push(fr)
+	p.published++
+	p.reg.Counter("pscluster_live_frames_published_total",
+		"frame records published to the live telemetry plane").Inc()
+	p.watchdogsLocked(rs, fr)
+}
+
+// Published returns how many frame records the plane has received.
+func (p *Plane) Published() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.published
+}
+
+// rankList returns the published ranks, ascending, under the lock.
+func (p *Plane) rankListLocked() []int {
+	ranks := make([]int, 0, len(p.ranks))
+	for r := range p.ranks {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return ranks
+}
+
+// MergedRegistry merges the latest per-rank registry clones (ascending
+// rank order — the deterministic gauge rule) with the plane's own
+// counters into one scrape-ready registry.
+func (p *Plane) MergedRegistry() *obs.Registry {
+	p.mu.Lock()
+	regs := make([]*obs.Registry, 0, len(p.ranks)+1)
+	for _, rank := range p.rankListLocked() {
+		if reg := p.ranks[rank].last.Reg; reg != nil {
+			regs = append(regs, reg)
+		}
+	}
+	regs = append(regs, p.reg.Clone())
+	p.mu.Unlock()
+	// Published registry clones are immutable, so the merge itself runs
+	// outside the lock and never stalls a publishing rank.
+	return obs.MergeRegistries(regs...)
+}
+
+// RankStatus is one rank's row of the /status document.
+type RankStatus struct {
+	Rank       int     `json:"rank"`
+	Role       string  `json:"role"`
+	Frame      int     `json:"frame"`
+	Clock      float64 `json:"clock"`
+	Queue      int     `json:"queue"`
+	Particles  int     `json:"particles,omitempty"`
+	LBRounds   int     `json:"lbRounds,omitempty"`
+	LBOrders   int     `json:"lbOrders,omitempty"`
+	FramesDone int     `json:"framesDone,omitempty"`
+}
+
+// WatchdogStatus is one watchdog's trip count.
+type WatchdogStatus struct {
+	Kind  string `json:"kind"`
+	Trips int    `json:"trips"`
+}
+
+// DumpInfo summarizes the last watchdog-triggered flight dump.
+type DumpInfo struct {
+	Reason  string `json:"reason"`
+	Rank    int    `json:"rank"`
+	Frame   int    `json:"frame"`
+	Records int    `json:"records"`
+}
+
+// Status is the /status document: the run as the plane last saw it.
+type Status struct {
+	Frame     int              `json:"frame"` // highest frame any rank published
+	Published int              `json:"published"`
+	Ranks     []RankStatus     `json:"ranks"`
+	Watchdogs []WatchdogStatus `json:"watchdogs,omitempty"`
+	LastDump  *DumpInfo        `json:"lastDump,omitempty"`
+}
+
+// Status snapshots the plane's view of the run.
+func (p *Plane) Status() Status {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Status{Published: p.published}
+	for _, rank := range p.rankListLocked() {
+		fr := p.ranks[rank].last
+		if fr.Frame > st.Frame {
+			st.Frame = fr.Frame
+		}
+		st.Ranks = append(st.Ranks, RankStatus{
+			Rank: fr.Rank, Role: fr.Role, Frame: fr.Frame, Clock: fr.Clock,
+			Queue: fr.Queue, Particles: fr.Particles,
+			LBRounds: fr.LBRounds, LBOrders: fr.LBOrders, FramesDone: fr.FramesDone,
+		})
+	}
+	for _, kind := range watchdogKinds {
+		if n := p.tripsLocked(kind); n > 0 {
+			st.Watchdogs = append(st.Watchdogs, WatchdogStatus{Kind: kind, Trips: n})
+		}
+	}
+	if d := p.lastDump; d != nil {
+		st.LastDump = &DumpInfo{
+			Reason: d.Reason, Rank: d.Rank, Frame: d.Frame, Records: len(d.Records),
+		}
+	}
+	return st
+}
+
+// tripsLocked reads a watchdog counter from the plane registry.
+func (p *Plane) tripsLocked(kind string) int {
+	return int(p.reg.Counter("pscluster_live_watchdog_trips_total",
+		watchdogHelp, "kind", kind).Value())
+}
+
+// Window snapshots the current flight-recorder contents: every rank's
+// ring, oldest to newest, ranks ascending.
+func (p *Plane) Window() []obs.FrameRecord {
+	p.mu.Lock()
+	rings := make([]*Ring, 0, len(p.ranks))
+	for _, rank := range p.rankListLocked() {
+		rings = append(rings, p.ranks[rank].ring)
+	}
+	p.mu.Unlock()
+	var out []obs.FrameRecord
+	for _, r := range rings {
+		out = append(out, r.Snapshot()...)
+	}
+	return out
+}
+
+// LastDump returns the most recent watchdog-triggered dump, or nil.
+func (p *Plane) LastDump() *Dump {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastDump
+}

@@ -1,0 +1,225 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+
+	"pscluster/internal/obs"
+)
+
+// The HTTP plane. Handlers only read immutable published snapshots (or
+// the plane's own state under its lock), so a scrape can never block or
+// reorder the engine: /metrics mid-run costs the run nothing but wall
+// time on the serving goroutine.
+
+// Handler returns the telemetry mux:
+//
+//	/healthz      liveness probe ("ok")
+//	/metrics      Prometheus text of the merged live registries
+//	/status       JSON run status: frame, per-rank clocks, LB, queues
+//	/trace        Chrome-trace JSON of the flight window (?dump=last
+//	              serves the last watchdog-captured dump instead)
+//	/flight       raw flight window JSON with per-frame metric deltas
+//	/debug/pprof  the standard Go profiler endpoints
+func (p *Plane) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := p.MergedRegistry().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, p.Status())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		records := p.Window()
+		if r.URL.Query().Get("dump") == "last" {
+			d := p.LastDump()
+			if d == nil {
+				http.Error(w, "no watchdog dump captured", http.StatusNotFound)
+				return
+			}
+			records = d.Records
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := writeRecordsTrace(w, records); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		records := p.Window()
+		reason := ""
+		if r.URL.Query().Get("dump") == "last" {
+			d := p.LastDump()
+			if d == nil {
+				http.Error(w, "no watchdog dump captured", http.StatusNotFound)
+				return
+			}
+			records, reason = d.Records, d.Reason
+		}
+		writeJSON(w, flightDoc(records, reason))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeRecordsTrace renders a flight window as Chrome-trace JSON:
+// every record's spans and messages pooled, roles from the records
+// themselves, flows stitched by correlation ID where both ends are
+// still inside the window.
+func writeRecordsTrace(w http.ResponseWriter, records []obs.FrameRecord) error {
+	roles := map[int]string{}
+	var spans []obs.Span
+	var msgs []obs.MsgEvent
+	for _, fr := range records {
+		roles[fr.Rank] = fr.Role
+		spans = append(spans, fr.Spans...)
+		msgs = append(msgs, fr.Msgs...)
+	}
+	return obs.WriteChromeTrace(w, roles, spans, msgs)
+}
+
+// flightFrame is one frame record of the /flight document.
+type flightFrame struct {
+	Rank       int            `json:"rank"`
+	Role       string         `json:"role"`
+	Frame      int            `json:"frame"`
+	Start      float64        `json:"start"`
+	End        float64        `json:"end"`
+	Clock      float64        `json:"clock"`
+	Queue      int            `json:"queue"`
+	Particles  int            `json:"particles,omitempty"`
+	LBRounds   int            `json:"lbRounds,omitempty"`
+	LBOrders   int            `json:"lbOrders,omitempty"`
+	FramesDone int            `json:"framesDone,omitempty"`
+	Spans      []obs.Span     `json:"spans,omitempty"`
+	Msgs       []obs.MsgEvent `json:"msgs,omitempty"`
+
+	// Counters carries this frame's counter deltas against the rank's
+	// previous record in the window (the window's first record per rank
+	// reports totals). Gauges are the frame's current values.
+	Counters []obs.SnapshotMetric `json:"counters,omitempty"`
+	Gauges   []obs.SnapshotMetric `json:"gauges,omitempty"`
+}
+
+// flightDocument is the /flight response body.
+type flightDocument struct {
+	Reason string        `json:"reason,omitempty"` // watchdog kind for dumps
+	Frames []flightFrame `json:"frames"`
+}
+
+// flightDoc converts a flight window into the /flight document,
+// computing per-frame counter deltas rank by rank.
+func flightDoc(records []obs.FrameRecord, reason string) flightDocument {
+	doc := flightDocument{Reason: reason, Frames: []flightFrame{}}
+	prev := map[int]obs.Snapshot{} // rank → previous frame's snapshot
+	for _, fr := range records {
+		ff := flightFrame{
+			Rank: fr.Rank, Role: fr.Role, Frame: fr.Frame,
+			Start: fr.Start, End: fr.End, Clock: fr.Clock, Queue: fr.Queue,
+			Particles: fr.Particles, LBRounds: fr.LBRounds,
+			LBOrders: fr.LBOrders, FramesDone: fr.FramesDone,
+			Spans: fr.Spans, Msgs: fr.Msgs,
+		}
+		if fr.Reg != nil {
+			snap := fr.Reg.Snapshot()
+			ff.Counters = counterDeltas(prev[fr.Rank], snap)
+			ff.Gauges = snap.Gauges
+			prev[fr.Rank] = snap
+		}
+		doc.Frames = append(doc.Frames, ff)
+	}
+	return doc
+}
+
+// counterDeltas subtracts the previous frame's counter values from the
+// current ones, dropping series that did not move.
+func counterDeltas(prev, cur obs.Snapshot) []obs.SnapshotMetric {
+	base := map[string]float64{}
+	for _, m := range prev.Counters {
+		base[metricKey(m)] = m.Value
+	}
+	var out []obs.SnapshotMetric
+	for _, m := range cur.Counters {
+		if d := m.Value - base[metricKey(m)]; d != 0 {
+			out = append(out, obs.SnapshotMetric{Name: m.Name, Labels: m.Labels, Value: d})
+		}
+	}
+	return out
+}
+
+// metricKey canonically identifies a snapshot series.
+func metricKey(m obs.SnapshotMetric) string {
+	keys := make([]string, 0, len(m.Labels))
+	for k := range m.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(m.Name)
+	for _, k := range keys {
+		b.WriteByte(0)
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(m.Labels[k])
+	}
+	return b.String()
+}
+
+// writeJSON writes v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Server is a running telemetry HTTP server.
+type Server struct {
+	// Addr is the bound listen address (host:port), with any :0 port
+	// resolved — what to print for operators to curl.
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Serve starts the plane's HTTP server on addr (":0" picks a free
+// port) and returns immediately; the accept loop runs on its own
+// goroutine. The engine never waits on this server.
+func Serve(addr string, p *Plane) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: p.Handler()},
+		ln:   ln,
+	}
+	go func() {
+		// ErrServerClosed is the normal Close path; anything else is
+		// reported by the next Close call.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Close stops the server and its listener.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,104 @@
+package live
+
+import (
+	"fmt"
+
+	"pscluster/internal/obs"
+)
+
+// The SLO watchdogs run inline in PublishFrame, on the published record
+// only — they read the engine's virtual-time telemetry, never its live
+// state, so a tripped (or untripped) watchdog cannot change a run. Each
+// trip increments the plane's trip counter and captures a flight dump:
+// the full ring window of every rank at the moment of the trip, the
+// post-mortem a crash-only engine can't give you.
+
+// Watchdog kinds, as they appear in the `kind` label of
+// pscluster_live_watchdog_trips_total and in Dump.Reason.
+const (
+	WatchdogFrameOverrun = "frame-overrun"
+	WatchdogLBThrash     = "lb-thrash"
+	WatchdogQueueDepth   = "queue-depth"
+)
+
+var watchdogKinds = []string{WatchdogFrameOverrun, WatchdogLBThrash, WatchdogQueueDepth}
+
+const watchdogHelp = "SLO watchdog trips, by watchdog kind"
+
+// Dump is one watchdog-triggered flight-recorder capture: every rank's
+// window at the moment of the trip.
+type Dump struct {
+	Reason string `json:"reason"` // watchdog kind
+	Detail string `json:"detail"` // human-readable trip condition
+	Rank   int    `json:"rank"`   // rank whose record tripped
+	Frame  int    `json:"frame"`  // frame of that record
+
+	// Records is the flight window, ranks ascending then frames oldest
+	// to newest within each rank.
+	Records []obs.FrameRecord `json:"records"`
+}
+
+// watchdogsLocked runs every watchdog against the just-published record.
+// Caller holds p.mu.
+func (p *Plane) watchdogsLocked(rs *rankState, fr obs.FrameRecord) {
+	// Frame-budget overrun: the frame's virtual duration exceeded its
+	// SLO. With no explicit budget, the first CalibrationFrames frames
+	// of each rank calibrate one: BudgetFactor × their mean duration.
+	dur := fr.End - fr.Start
+	switch {
+	case p.opts.FrameBudget > 0:
+		rs.budget = p.opts.FrameBudget
+	case rs.calibN < p.opts.CalibrationFrames:
+		rs.calibSum += dur
+		rs.calibN++
+		if rs.calibN == p.opts.CalibrationFrames {
+			rs.budget = p.opts.BudgetFactor * rs.calibSum / float64(rs.calibN)
+		}
+	}
+	if rs.budget > 0 && dur > rs.budget {
+		p.tripLocked(WatchdogFrameOverrun, fr,
+			fmt.Sprintf("frame took %.6fs, budget %.6fs", dur, rs.budget))
+	}
+
+	// Receive-queue depth: unconsumed messages piling up at this rank.
+	if fr.Queue > p.opts.QueueLimit {
+		p.tripLocked(WatchdogQueueDepth, fr,
+			fmt.Sprintf("receive queue depth %d exceeds limit %d", fr.Queue, p.opts.QueueLimit))
+	}
+
+	// LB thrash: the balancer issued fresh orders for ThrashRun frames
+	// in a row. Only the manager's records carry LBOrders; other ranks
+	// report 0 and never extend a run.
+	if fr.LBOrders > rs.prevOrders {
+		rs.thrashRun++
+		if rs.thrashRun >= p.opts.ThrashRun {
+			p.tripLocked(WatchdogLBThrash, fr,
+				fmt.Sprintf("balancing orders issued %d frames in a row", rs.thrashRun))
+			rs.thrashRun = 0
+		}
+	} else {
+		rs.thrashRun = 0
+	}
+	rs.prevOrders = fr.LBOrders
+}
+
+// tripLocked counts a watchdog trip and captures the flight dump.
+// Caller holds p.mu.
+func (p *Plane) tripLocked(kind string, fr obs.FrameRecord, detail string) {
+	p.reg.Counter("pscluster_live_watchdog_trips_total", watchdogHelp,
+		"kind", kind).Inc()
+	p.lastDump = &Dump{
+		Reason: kind, Detail: detail, Rank: fr.Rank, Frame: fr.Frame,
+		Records: p.windowLocked(),
+	}
+}
+
+// windowLocked snapshots every rank's ring. Caller holds p.mu; ring
+// locks nest inside the plane lock (the only order used anywhere).
+func (p *Plane) windowLocked() []obs.FrameRecord {
+	var out []obs.FrameRecord
+	for _, rank := range p.rankListLocked() {
+		out = append(out, p.ranks[rank].ring.Snapshot()...)
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -34,6 +35,7 @@ func (k Kind) String() string {
 // barrier.
 type Registry struct {
 	families map[string]*family
+	rank     int // merge order; -1 when unranked (merged after ranked ones)
 }
 
 // family is one metric name with its type, help text and series.
@@ -54,9 +56,44 @@ type series struct {
 	n      int
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty, unranked registry.
 func NewRegistry() *Registry {
-	return &Registry{families: map[string]*family{}}
+	return &Registry{families: map[string]*family{}, rank: -1}
+}
+
+// SetRank assigns the registry's process rank, which fixes its position
+// in MergeRegistries' ascending-rank merge order. Recorders set it at
+// construction; unranked registries merge after every ranked one, in
+// their given order.
+func (r *Registry) SetRank(rank int) { r.rank = rank }
+
+// Clone deep-copies the registry: the clone shares no state with the
+// original, so a rank goroutine can publish a clone to the live
+// telemetry plane and keep mutating its own registry race-free.
+func (r *Registry) Clone() *Registry {
+	if r == nil {
+		return nil
+	}
+	out := &Registry{families: make(map[string]*family, len(r.families)), rank: r.rank}
+	for name, f := range r.families {
+		nf := &family{
+			name: f.name, help: f.help, kind: f.kind,
+			buckets: append([]float64(nil), f.buckets...),
+			series:  make(map[string]*series, len(f.series)),
+		}
+		for key, s := range f.series {
+			ns := &series{
+				labels: append([]string(nil), s.labels...),
+				value:  s.value, sum: s.sum, n: s.n,
+			}
+			if s.counts != nil {
+				ns.counts = append([]int(nil), s.counts...)
+			}
+			nf.series[key] = ns
+		}
+		out.families[name] = nf
+	}
+	return out
 }
 
 // DefDurationBuckets is the default histogram bucketing for virtual-time
@@ -66,7 +103,10 @@ var DefDurationBuckets = []float64{
 	0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10,
 }
 
-// labelKey renders sorted label pairs canonically: `k="v",k2="v2"`.
+// labelKey renders sorted label pairs canonically: `k="v",k2="v2"`,
+// with values escaped per the exposition format. The rendered key is
+// both the series map key and the exact text WritePrometheus emits;
+// escaping is injective, so distinct label sets keep distinct keys.
 func labelKey(pairs []string) string {
 	if len(pairs) == 0 {
 		return ""
@@ -76,7 +116,10 @@ func labelKey(pairs []string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", pairs[i], pairs[i+1])
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(pairs[i+1]))
+		b.WriteByte('"')
 	}
 	return b.String()
 }
@@ -105,7 +148,13 @@ func (r *Registry) familyFor(name, help string, kind Kind, buckets []float64) *f
 	if !ok {
 		f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
 		if kind == KindHistogram {
-			f.buckets = append([]float64(nil), buckets...)
+			// Non-finite bounds are dropped: the exposition format appends
+			// the +Inf bucket implicitly, so an explicit one would double it.
+			for _, b := range buckets {
+				if !math.IsInf(b, 0) && !math.IsNaN(b) {
+					f.buckets = append(f.buckets, b)
+				}
+			}
 		}
 		r.families[name] = f
 		return f
@@ -201,16 +250,36 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...str
 }
 
 // MergeRegistries combines per-process registries into a fresh one:
-// counters and histograms add, gauges keep the last writer (per-rank
-// gauges carry disjoint labels, so no information is lost).
+// counters and histograms add, gauges keep the last writer. The merge
+// is deterministic regardless of argument order: registries are
+// processed in ascending rank order (unranked ones after, in the given
+// order) and families and series in sorted order, so when two ranks set
+// the same gauge series the highest rank always wins — never whichever
+// happened to be passed last.
 func MergeRegistries(regs ...*Registry) *Registry {
-	out := NewRegistry()
+	ordered := make([]*Registry, 0, len(regs))
 	for _, r := range regs {
-		if r == nil {
-			continue
+		if r != nil {
+			ordered = append(ordered, r)
 		}
-		for name, f := range r.families {
-			for _, s := range f.series {
+	}
+	sort.SliceStable(ordered, func(i, j int) bool {
+		ri, rj := ordered[i].rank, ordered[j].rank
+		switch {
+		case ri < 0:
+			return false // unranked sorts after every ranked registry
+		case rj < 0:
+			return true
+		default:
+			return ri < rj
+		}
+	})
+	out := NewRegistry()
+	for _, r := range ordered {
+		for _, name := range r.familyNames() {
+			f := r.families[name]
+			for _, key := range f.seriesKeys() {
+				s := f.series[key]
 				switch f.kind {
 				case KindCounter:
 					out.Counter(name, f.help, s.labels...).Add(s.value)

@@ -15,8 +15,8 @@ func TestNilRecorderIsSafe(t *testing.T) {
 	r.Phase(0, "calculus", 1)
 	r.EndFrame(1)
 	r.FrameDelivered(1)
-	r.MsgSent(1, "particles", 10, 0.1, 1)
-	r.MsgRecv(1, "particles", 10, 0.1, 0.2, 1)
+	r.MsgSent(1, "particles", 10, 0, 0.1, 1)
+	r.MsgRecv(1, "particles", 10, 0, 0.1, 0.2, 1)
 	if r.Registry() != nil {
 		t.Error("nil recorder returned a registry")
 	}
@@ -31,9 +31,9 @@ func TestRecorderSpansAndAccounting(t *testing.T) {
 	r.BeginFrame(0, 10)
 	r.Phase(0, "addition", 11)
 	r.Phase(0, "calculus", 13.5)
-	r.MsgRecv(1, "particles", 100, 0.25, 0.75, 14.5) // wait 0.25, ser 0.75
+	r.MsgRecv(1, "particles", 100, 0, 0.25, 0.75, 14.5) // wait 0.25, ser 0.75
 	r.Phase(0, "exchange", 14.5)
-	r.MsgSent(1, "render-batch", 200, 0.5, 15)
+	r.MsgSent(1, "render-batch", 200, 0, 0.5, 15)
 	r.Phase(0, "render-send", 15)
 	r.EndFrame(16)
 
@@ -360,7 +360,7 @@ func TestWriteTimeline(t *testing.T) {
 	for f := 0; f < 4; f++ {
 		t0 := float64(f)
 		r.BeginFrame(f, t0)
-		r.MsgRecv(0, "particles", 10, 0.2, 0.1, t0+0.3)
+		r.MsgRecv(0, "particles", 10, 0, 0.2, 0.1, t0+0.3)
 		r.EndFrame(t0 + 1)
 	}
 	p := NewProfile(r)

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// These tests pin the Prometheus text exposition edge cases the live
+// /metrics endpoint must get right mid-run: label-value escaping,
+// deterministic series ordering, the implicit +Inf histogram bucket —
+// and the deterministic rank-ordered registry merge behind them. Every
+// generated document is cross-checked by ValidateExposition, which is a
+// separate implementation of the grammar.
+
+func TestExpositionLabelValueEscaping(t *testing.T) {
+	cases := []struct {
+		name  string // label value to round-trip
+		value string
+		want  string // escaped form expected on the wire
+	}{
+		{"plain", "snow", `snow`},
+		{"newline", "line1\nline2", `line1\nline2`},
+		{"quote", `say "when"`, `say \"when\"`},
+		{"backslash", `C:\temp`, `C:\\temp`},
+		{"backslash-n-literal", `not\nescaped`, `not\\nescaped`},
+		{"mixed", "a\\\"b\nc", `a\\\"b\nc`},
+		{"tab-stays-raw", "a\tb", "a\tb"}, // tab is NOT escaped in the text format
+		{"utf8", "schnee ❄", "schnee ❄"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := NewRegistry()
+			reg.Counter("pscluster_test_total", "escape case", "scenario", tc.value).Inc()
+			var b strings.Builder
+			if err := reg.WritePrometheus(&b); err != nil {
+				t.Fatal(err)
+			}
+			text := b.String()
+			wantLine := `pscluster_test_total{scenario="` + tc.want + `"} 1`
+			if !strings.Contains(text, wantLine) {
+				t.Fatalf("exposition lacks %q:\n%s", wantLine, text)
+			}
+			if err := ValidateExposition(strings.NewReader(text)); err != nil {
+				t.Fatalf("invalid exposition: %v\n%s", err, text)
+			}
+			// Round-trip: the independent parser must recover the original.
+			s, err := parseSampleLine(wantLine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := s.labels["scenario"]; got != tc.value {
+				t.Fatalf("round-trip: got %q, want %q", got, tc.value)
+			}
+		})
+	}
+}
+
+func TestExpositionHelpEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pscluster_test_total", "line1\nline2 with \\ slash").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP pscluster_test_total line1\nline2 with \\ slash`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition lacks %q:\n%s", want, b.String())
+	}
+	if err := ValidateExposition(strings.NewReader(b.String())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpositionSeriesOrderingStable(t *testing.T) {
+	// Build the same registry twice with different insertion orders; the
+	// rendered text must be byte-identical, families sorted by name and
+	// series sorted by label key within each family.
+	build := func(order []int) string {
+		reg := NewRegistry()
+		series := []struct{ name, k, v string }{
+			{"pscluster_z_total", "sys", "2"},
+			{"pscluster_a_total", "sys", "1"},
+			{"pscluster_z_total", "sys", "0"},
+			{"pscluster_a_total", "sys", "0"},
+			{"pscluster_m_total", "", ""},
+		}
+		for _, i := range order {
+			s := series[i]
+			if s.k == "" {
+				reg.Counter(s.name, "help").Inc()
+			} else {
+				reg.Counter(s.name, "help", s.k, s.v).Inc()
+			}
+		}
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a := build([]int{0, 1, 2, 3, 4})
+	b := build([]int{4, 3, 2, 1, 0})
+	if a != b {
+		t.Fatalf("series ordering depends on insertion order:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	var prevFam string
+	for _, line := range strings.Split(a, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fam := line[:strings.IndexAny(line, "{ ")]
+		if fam < prevFam {
+			t.Fatalf("family %q emitted after %q", fam, prevFam)
+		}
+		prevFam = fam
+	}
+	if err := ValidateExposition(strings.NewReader(a)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpositionImplicitInfBucket(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("pscluster_frame_seconds", "frame durations",
+		[]float64{0.1, 1}, "role", "calc")
+	for _, v := range []float64{0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`pscluster_frame_seconds_bucket{role="calc",le="0.1"} 1`,
+		`pscluster_frame_seconds_bucket{role="calc",le="1"} 2`,
+		`pscluster_frame_seconds_bucket{role="calc",le="+Inf"} 3`,
+		`pscluster_frame_seconds_count{role="calc"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition lacks %q:\n%s", want, text)
+		}
+	}
+	if got := strings.Count(text, `le="+Inf"`); got != 1 {
+		t.Fatalf("+Inf bucket emitted %d times, want exactly 1:\n%s", got, text)
+	}
+	if err := ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpositionExplicitInfBucketNotDoubled(t *testing.T) {
+	// A caller passing +Inf (or NaN) explicitly must not produce two
+	// +Inf buckets — the writer appends the implicit one itself.
+	reg := NewRegistry()
+	h := reg.Histogram("pscluster_x_seconds", "x",
+		[]float64{0.5, math.Inf(1), math.NaN()})
+	h.Observe(0.1)
+	h.Observe(9)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if got := strings.Count(text, `le="+Inf"`); got != 1 {
+		t.Fatalf("+Inf bucket emitted %d times, want 1:\n%s", got, text)
+	}
+	if !strings.Contains(text, `pscluster_x_seconds_bucket{le="+Inf"} 2`) {
+		t.Fatalf("+Inf bucket lost samples:\n%s", text)
+	}
+	if err := ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateExpositionRejectsBadDocuments(t *testing.T) {
+	bad := []struct {
+		name string
+		doc  string
+	}{
+		{"invalid-escape", "a_total{l=\"x\\ty\"} 1\n"},
+		{"unterminated-label", "a_total{l=\"x} 1\n"},
+		{"bad-name", "9total 1\n"},
+		{"bad-value", "a_total one\n"},
+		{"interleaved-families", "a_total 1\nb_total 1\na_total{l=\"x\"} 1\n"},
+		{"duplicate-type", "# TYPE a_total counter\n# TYPE a_total counter\n"},
+		{"unknown-type", "# TYPE a_total exotic\n"},
+		{"missing-inf-bucket", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ValidateExposition(strings.NewReader(tc.doc)); err == nil {
+				t.Fatalf("validator accepted:\n%s", tc.doc)
+			}
+		})
+	}
+}
+
+// TestMergeRegistriesOrderIndependent is the regression test for the
+// nondeterministic gauge merge: with per-rank registries passed in any
+// order, the merged gauge must always belong to the highest rank and
+// the rendered exposition must be byte-identical.
+func TestMergeRegistriesOrderIndependent(t *testing.T) {
+	mk := func(rank int) *Registry {
+		reg := NewRegistry()
+		reg.SetRank(rank)
+		reg.Counter("pscluster_msgs_sent_total", "sent").Add(float64(10 * (rank + 1)))
+		// Same gauge series on every rank — the conflict under test.
+		reg.Gauge("pscluster_last_frame", "last frame seen").Set(float64(100 + rank))
+		h := reg.Histogram("pscluster_frame_seconds", "durations", []float64{1})
+		h.Observe(float64(rank))
+		return reg
+	}
+	regs := []*Registry{mk(0), mk(1), mk(2), mk(3)}
+
+	var want string
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]*Registry(nil), regs...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		merged := MergeRegistries(shuffled...)
+		if got := merged.Gauge("pscluster_last_frame", "").Value(); got != 103 {
+			t.Fatalf("trial %d: gauge = %v, want 103 (highest rank wins)", trial, got)
+		}
+		if got := merged.Counter("pscluster_msgs_sent_total", "").Value(); got != 100 {
+			t.Fatalf("trial %d: counter = %v, want 100", trial, got)
+		}
+		var b strings.Builder
+		if err := merged.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			want = b.String()
+			if err := ValidateExposition(strings.NewReader(want)); err != nil {
+				t.Fatal(err)
+			}
+		} else if b.String() != want {
+			t.Fatalf("trial %d: merged exposition differs from trial 0", trial)
+		}
+	}
+}
+
+// TestMergeRegistriesUnrankedAfterRanked pins the tie-break: unranked
+// registries (the live plane's own counters) merge after every ranked
+// one, in their given order.
+func TestMergeRegistriesUnrankedAfterRanked(t *testing.T) {
+	ranked := NewRegistry()
+	ranked.SetRank(9)
+	ranked.Gauge("g", "g").Set(1)
+	unranked := NewRegistry()
+	unranked.Gauge("g", "g").Set(2)
+	for _, order := range [][]*Registry{{ranked, unranked}, {unranked, ranked}} {
+		if got := MergeRegistries(order...).Gauge("g", "").Value(); got != 2 {
+			t.Fatalf("unranked registry did not win the gauge: got %v", got)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file is a line-level checker for the Prometheus text exposition
+// format — the contract the live /metrics endpoint and the -metrics
+// file output must honor. It is deliberately a separate implementation
+// from WritePrometheus (a writer validating its own output proves
+// nothing): the grammar here follows the exposition-format spec, and
+// the CI telemetry smoke pipes a live scrape through it via
+// `psbench -checkprom`.
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// ValidateExposition reads a Prometheus text exposition stream and
+// returns the first grammar or structure violation found: malformed
+// names, bad label escaping, unparsable values, samples of a family
+// interleaved with another family's, TYPE/HELP lines after the family's
+// first sample, or a histogram series missing its +Inf bucket.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	types := map[string]string{}        // family → declared type
+	closed := map[string]bool{}         // families whose block has ended
+	infSeen := map[string]bool{}        // histogram series key → +Inf bucket seen
+	histSeries := map[string][]string{} // histogram family → series keys
+	current := ""                       // family block currently open
+	lineNo := 0
+
+	// base maps a sample name to its family, honoring histogram suffixes.
+	base := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			fam := strings.TrimSuffix(name, suf)
+			if fam != name && types[fam] == "histogram" {
+				return fam
+			}
+		}
+		return name
+	}
+	enter := func(fam string) error {
+		if fam == current {
+			return nil
+		}
+		if closed[fam] {
+			return fmt.Errorf("samples of family %q are interleaved with another family", fam)
+		}
+		if current != "" {
+			closed[current] = true
+		}
+		current = fam
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("exposition line %d: %s: %q", lineNo,
+				fmt.Sprintf(format, args...), line)
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 2 {
+				continue // free-form comment
+			}
+			switch fields[1] {
+			case "HELP":
+				if len(fields) < 3 || !metricNameRe.MatchString(fields[2]) {
+					return fail("malformed HELP line")
+				}
+				if err := enter(fields[2]); err != nil {
+					return fail("%v", err)
+				}
+			case "TYPE":
+				if len(fields) != 4 || !metricNameRe.MatchString(fields[2]) {
+					return fail("malformed TYPE line")
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fail("unknown metric type %q", fields[3])
+				}
+				if _, dup := types[fields[2]]; dup {
+					return fail("duplicate TYPE for family %q", fields[2])
+				}
+				if err := enter(fields[2]); err != nil {
+					return fail("%v", err)
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return fail("%v", err)
+		}
+		fam := base(s.name)
+		if err := enter(fam); err != nil {
+			return fail("%v", err)
+		}
+		if types[fam] == "histogram" && strings.HasSuffix(s.name, "_bucket") {
+			le, ok := s.labels["le"]
+			if !ok {
+				return fail("histogram bucket without le label")
+			}
+			if _, err := parsePromFloat(le); err != nil {
+				return fail("unparsable le bound %q", le)
+			}
+			key := fam + seriesKeyWithout(s.labels, "le")
+			histSeries[fam] = appendUnique(histSeries[fam], key)
+			if le == "+Inf" {
+				infSeen[key] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for fam, keys := range histSeries {
+		for _, key := range keys {
+			if !infSeen[key] {
+				return fmt.Errorf("histogram family %q: series %s has no +Inf bucket",
+					fam, strings.TrimPrefix(key, fam))
+			}
+		}
+	}
+	return nil
+}
+
+// parseSampleLine parses `name{labels} value [timestamp]`, unescaping
+// label values and rejecting anything the exposition grammar does not
+// allow (including invalid escape sequences like \t).
+func parseSampleLine(line string) (promSample, error) {
+	s := promSample{labels: map[string]string{}}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.name = line[:i]
+	if !metricNameRe.MatchString(s.name) {
+		return s, fmt.Errorf("invalid metric name %q", s.name)
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i >= len(line) {
+				return s, fmt.Errorf("unterminated label set")
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			lname := line[i:j]
+			if !labelNameRe.MatchString(lname) {
+				return s, fmt.Errorf("invalid label name %q", lname)
+			}
+			if j+1 >= len(line) || line[j+1] != '"' {
+				return s, fmt.Errorf("label %q: value is not quoted", lname)
+			}
+			val, rest, err := unescapeLabelValue(line[j+2:])
+			if err != nil {
+				return s, fmt.Errorf("label %q: %v", lname, err)
+			}
+			s.labels[lname] = val
+			i = len(line) - len(rest)
+			if i < len(line) && line[i] == ',' {
+				i++
+			}
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return s, fmt.Errorf("missing value separator")
+	}
+	fields := strings.Fields(line[i:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want value and optional timestamp, got %d fields", len(fields))
+	}
+	v, err := parsePromFloat(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("unparsable value %q", fields[0])
+	}
+	s.value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("unparsable timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// unescapeLabelValue consumes an escaped label value up to its closing
+// quote, returning the decoded value and the unconsumed remainder.
+// Only \\, \" and \n are legal escapes.
+func unescapeLabelValue(in string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 0; i < len(in); i++ {
+		switch in[i] {
+		case '"':
+			return b.String(), in[i+1:], nil
+		case '\n':
+			return "", "", fmt.Errorf("raw newline in label value")
+		case '\\':
+			if i+1 >= len(in) {
+				return "", "", fmt.Errorf("dangling backslash")
+			}
+			i++
+			switch in[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf(`invalid escape \%c`, in[i])
+			}
+		default:
+			b.WriteByte(in[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// parsePromFloat parses a sample value or le bound, accepting the
+// exposition spellings of the non-finite values.
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// seriesKeyWithout renders a sample's labels minus one, canonically.
+func seriesKeyWithout(labels map[string]string, drop string) string {
+	pairs := make([]string, 0, 2*len(labels))
+	for k, v := range labels {
+		if k != drop {
+			pairs = append(pairs, k, v)
+		}
+	}
+	return "{" + labelKey(sortPairs(pairs)) + "}"
+}
+
+func appendUnique(keys []string, key string) []string {
+	for _, k := range keys {
+		if k == key {
+			return keys
+		}
+	}
+	return append(keys, key)
+}

@@ -68,6 +68,31 @@ func (t Tag) String() string {
 	return fmt.Sprintf("tag(%d)", int(t))
 }
 
+// CorrID is the cross-rank trace-stitching stamp every wire message
+// carries: (frame, sender rank, per-frame send sequence) packed into a
+// uint64. The observability layer uses it to connect the sender's and
+// receiver's span trees in one trace; when the real-network transport
+// replaces the in-process router, the same ID travels in the message
+// header and the stitching works across OS processes unchanged.
+type CorrID uint64
+
+// MakeCorr packs (frame, rank, seq) into a CorrID. Frame occupies the
+// high 24 bits above rank's 16 above seq's 24 — comfortably beyond any
+// run the engine simulates; values are masked, never validated, so a
+// degenerate input wraps rather than panics.
+func MakeCorr(frame, rank, seq int) CorrID {
+	return CorrID(uint64(frame&0xffffff)<<40 | uint64(rank&0xffff)<<24 | uint64(seq&0xffffff))
+}
+
+// Frame returns the sender's frame number at send time.
+func (c CorrID) Frame() int { return int(c >> 40 & 0xffffff) }
+
+// Rank returns the sending rank.
+func (c CorrID) Rank() int { return int(c >> 24 & 0xffff) }
+
+// Seq returns the per-frame send sequence number on the sending rank.
+func (c CorrID) Seq() int { return int(c & 0xffffff) }
+
 // Message is one virtual-time-stamped datagram.
 type Message struct {
 	From, To int
@@ -75,6 +100,7 @@ type Message struct {
 	Payload  []byte
 	Ready    float64 // earliest arrival time at the receiver
 	Bytes    int     // billed size (>= len(Payload) under scaling)
+	Corr     CorrID  // trace-stitching stamp assigned by the sender
 }
 
 // Release returns the message's payload to the wire-buffer pool and
@@ -115,13 +141,14 @@ type Stats struct {
 // reported here has already been charged. All calls happen on the
 // endpoint-owning goroutine.
 type Observer interface {
-	// MsgSent fires after a send: pack is the sender-side packing time,
-	// now the sender clock after it.
-	MsgSent(to int, tag string, bytes int, pack, now float64)
-	// MsgRecv fires after a message is consumed: wait is the blocked
-	// time (the clock-fuse delta to the message's ready time), ser the
-	// receive-side serialization time, now the receiver clock after both.
-	MsgRecv(from int, tag string, bytes int, wait, ser, now float64)
+	// MsgSent fires after a send: corr is the message's stitching stamp,
+	// pack the sender-side packing time, now the sender clock after it.
+	MsgSent(to int, tag string, bytes int, corr CorrID, pack, now float64)
+	// MsgRecv fires after a message is consumed: corr is the stamp the
+	// sender assigned, wait the blocked time (the clock-fuse delta to the
+	// message's ready time), ser the receive-side serialization time, now
+	// the receiver clock after both.
+	MsgRecv(from int, tag string, bytes int, corr CorrID, wait, ser, now float64)
 }
 
 // Router connects the processes of one run. Inboxes are buffered
@@ -184,6 +211,13 @@ type Endpoint struct {
 	// Set it before the run starts; it is called on the owning goroutine.
 	Obs Observer
 
+	// frame and seq feed the CorrID stamped on every outbound message:
+	// the engine's frame loop calls SetFrame at each frame boundary and
+	// seq counts sends within the frame. Both are deterministic functions
+	// of the run, so stamps are identical whether or not anyone observes.
+	frame int
+	seq   int
+
 	// pending holds received-but-unmatched messages, keyed by (from, tag).
 	pending map[pendKey][]Message
 }
@@ -195,6 +229,23 @@ type pendKey struct {
 
 // Rank returns this endpoint's process rank.
 func (e *Endpoint) Rank() int { return e.rank }
+
+// SetFrame marks the start of frame f for correlation stamping: the
+// per-frame send sequence resets so outbound CorrIDs read
+// (f, rank, 0..n). Called by the owning goroutine only.
+func (e *Endpoint) SetFrame(f int) {
+	e.frame = f
+	e.seq = 0
+}
+
+// QueueDepth returns how many inbound messages are waiting on this
+// endpoint: stashed-but-unmatched messages plus the inbox channel
+// backlog. The channel length is safe to sample from any goroutine, but
+// the pending map is owner-only — call QueueDepth from the owning
+// goroutine (the live-telemetry frame hook does).
+func (e *Endpoint) QueueDepth() int {
+	return e.PendingCount() + len(e.router.inboxes[e.rank])
+}
 
 // Send transmits payload to process to, billed at its physical size.
 func (e *Endpoint) Send(to int, tag Tag, payload []byte) {
@@ -235,17 +286,19 @@ func (e *Endpoint) SendSized(to int, tag Tag, payload []byte, bytes int) {
 	if r.place.SameNode(e.rank, to) {
 		lat = r.LocalLatency
 	}
+	corr := MakeCorr(e.frame, e.rank, e.seq)
+	e.seq++
 	e.Stats.MsgsSent++
 	e.Stats.BytesSent += bytes
 	e.Stats.ByTag[tag] += bytes
 	e.Stats.MsgsByTag[tag]++
 	if e.Obs != nil {
-		e.Obs.MsgSent(to, tag.String(), bytes, pack, e.Clock.Now())
+		e.Obs.MsgSent(to, tag.String(), bytes, corr, pack, e.Clock.Now())
 	}
 	select {
 	case r.inboxes[to] <- Message{
 		From: e.rank, To: to, Tag: tag, Payload: payload,
-		Ready: e.Clock.Now() + lat, Bytes: bytes,
+		Ready: e.Clock.Now() + lat, Bytes: bytes, Corr: corr,
 	}:
 	case <-r.abort:
 		panic(ErrAborted)
@@ -295,7 +348,7 @@ func (e *Endpoint) ingest(m Message) {
 	e.Stats.ByTagRecv[m.Tag] += m.Bytes
 	e.Stats.MsgsByTagRecv[m.Tag]++
 	if e.Obs != nil {
-		e.Obs.MsgRecv(m.From, m.Tag.String(), m.Bytes, wait, ser, e.Clock.Now())
+		e.Obs.MsgRecv(m.From, m.Tag.String(), m.Bytes, m.Corr, wait, ser, e.Clock.Now())
 	}
 }
 

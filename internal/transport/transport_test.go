@@ -211,21 +211,25 @@ func TestRecvStatsCountConsumedOnly(t *testing.T) {
 
 // obsRecord captures Observer callbacks for inspection.
 type obsRecord struct {
-	sent []string
-	recv []string
-	wait []float64
-	ser  []float64
+	sent     []string
+	recv     []string
+	wait     []float64
+	ser      []float64
+	sentCorr []CorrID
+	recvCorr []CorrID
 }
 
-func (o *obsRecord) MsgSent(to int, tag string, bytes int, pack, now float64) {
+func (o *obsRecord) MsgSent(to int, tag string, bytes int, corr CorrID, pack, now float64) {
 	o.sent = append(o.sent, tag)
+	o.sentCorr = append(o.sentCorr, corr)
 	if pack < 0 || now <= 0 {
 		panic("bad send observation")
 	}
 }
 
-func (o *obsRecord) MsgRecv(from int, tag string, bytes int, wait, ser, now float64) {
+func (o *obsRecord) MsgRecv(from int, tag string, bytes int, corr CorrID, wait, ser, now float64) {
 	o.recv = append(o.recv, tag)
+	o.recvCorr = append(o.recvCorr, corr)
 	o.wait = append(o.wait, wait)
 	o.ser = append(o.ser, ser)
 }
@@ -252,6 +256,62 @@ func TestObserverCallbacks(t *testing.T) {
 	}
 	if want := 1000 / cluster.Myrinet.Bandwidth; ob.ser[0] != want {
 		t.Errorf("ser = %v, want %v", ob.ser[0], want)
+	}
+}
+
+// The correlation stamp must reach the receiver unchanged, carry the
+// sender's (frame, rank, seq), and restart its sequence at SetFrame —
+// that is what lets the observability layer stitch sender and receiver
+// spans into one tree.
+func TestCorrelationIDsStitchSendToRecv(t *testing.T) {
+	_, a, b := twoProcRouter(t)
+	oa, ob := &obsRecord{}, &obsRecord{}
+	a.Obs, b.Obs = oa, ob
+
+	a.SetFrame(7)
+	a.Send(3, TagParticles, make([]byte, 8))
+	a.Send(3, TagLoadReport, make([]byte, 8))
+	b.Recv(2, TagParticles)
+	b.Recv(2, TagLoadReport)
+
+	if len(oa.sentCorr) != 2 || len(ob.recvCorr) != 2 {
+		t.Fatalf("corr counts: sent %d recv %d", len(oa.sentCorr), len(ob.recvCorr))
+	}
+	for i := range oa.sentCorr {
+		c := oa.sentCorr[i]
+		if c != ob.recvCorr[i] {
+			t.Errorf("msg %d: sender stamped %v, receiver saw %v", i, c, ob.recvCorr[i])
+		}
+		if c.Frame() != 7 || c.Rank() != 2 || c.Seq() != i {
+			t.Errorf("msg %d: corr = (frame %d, rank %d, seq %d), want (7, 2, %d)",
+				i, c.Frame(), c.Rank(), c.Seq(), i)
+		}
+	}
+
+	a.SetFrame(8)
+	a.Send(3, TagParticles, nil)
+	b.Recv(2, TagParticles)
+	if c := ob.recvCorr[2]; c.Frame() != 8 || c.Seq() != 0 {
+		t.Errorf("after SetFrame(8): corr = (frame %d, seq %d), want (8, 0)", c.Frame(), c.Seq())
+	}
+}
+
+func TestQueueDepthCountsInboxAndStash(t *testing.T) {
+	_, a, b := twoProcRouter(t)
+	a.Send(3, TagParticles, nil)
+	a.Send(3, TagParticles, nil)
+	a.Send(3, TagLoadReport, nil)
+	if d := b.QueueDepth(); d != 3 {
+		t.Errorf("queue depth before receive = %d, want 3", d)
+	}
+	b.Recv(2, TagLoadReport) // stashes the two particles messages
+	if d := b.QueueDepth(); d != 2 {
+		t.Errorf("queue depth after one receive = %d, want 2", d)
+	}
+	b.Recv(2, TagParticles)
+	b.Recv(2, TagParticles)
+	if d := b.QueueDepth(); d != 0 {
+		t.Errorf("queue depth after draining = %d, want 0", d)
 	}
 }
 

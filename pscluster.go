@@ -26,6 +26,7 @@ import (
 	"pscluster/internal/effects"
 	"pscluster/internal/geom"
 	"pscluster/internal/obs"
+	"pscluster/internal/obs/live"
 	"pscluster/internal/particle"
 	"pscluster/internal/render"
 	"pscluster/internal/scenario"
@@ -256,6 +257,37 @@ type Profile = obs.Profile
 // bit-neutral: the Result is identical to an unprofiled run's.
 func RunParallelProfiled(scn Scenario, cl *Cluster, nCalc int) (*Result, *Profile, error) {
 	return core.RunParallelProfiled(scn, cl, nCalc)
+}
+
+// TelemetryPlane is the live telemetry plane: an always-on frame sink
+// with a flight recorder, SLO watchdogs and an HTTP serving side
+// (/metrics, /healthz, /status, /trace, /debug/pprof).
+type TelemetryPlane = live.Plane
+
+// TelemetryOptions configures the plane's flight-recorder window and
+// watchdog thresholds; the zero value picks sensible defaults.
+type TelemetryOptions = live.Options
+
+// TelemetryServer is a running telemetry HTTP server.
+type TelemetryServer = live.Server
+
+// NewTelemetryPlane builds a live telemetry plane.
+func NewTelemetryPlane(opts TelemetryOptions) *TelemetryPlane {
+	return live.NewPlane(opts)
+}
+
+// ServeTelemetry starts a plane's HTTP server on addr (":0" picks a
+// free port; the bound address is in the returned server's Addr).
+func ServeTelemetry(addr string, p *TelemetryPlane) (*TelemetryServer, error) {
+	return live.Serve(addr, p)
+}
+
+// RunParallelServed is RunParallelProfiled with each rank additionally
+// publishing per-frame snapshots to the live telemetry plane as it
+// runs. Serving is bit-neutral: the Result and Profile are identical
+// to an unserved run's.
+func RunParallelServed(scn Scenario, cl *Cluster, nCalc int, p *TelemetryPlane) (*Result, *Profile, error) {
+	return core.RunParallelServed(scn, cl, nCalc, p)
 }
 
 // RunSimsBaseline executes the scenario with the Karl Sims CM-2

@@ -1,0 +1,79 @@
+#!/bin/sh
+# Telemetry smoke test: start `psanim -serve` on a small scenario, wait
+# for the run to finish, then drive the live HTTP plane like an
+# operator would — /healthz must be 200, /metrics must be valid
+# Prometheus exposition carrying at least one engine counter family,
+# /status must be JSON at the final frame, and /trace must be a
+# Chrome-trace document. Run via `make serve-smoke`.
+set -eu
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+log="$workdir/psanim.log"
+pid=""
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "building psanim and psbench..."
+$GO build -o "$workdir/psanim" ./cmd/psanim
+$GO build -o "$workdir/psbench" ./cmd/psbench
+
+# :0 picks a free port; psanim prints the bound address.
+"$workdir/psanim" -serve 127.0.0.1:0 -frames 20 -procs 3 -nodes 4 >"$log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|^telemetry serving on http://||p' "$log" | head -n 1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "psanim exited early:"; cat "$log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "psanim never announced its telemetry address:"; cat "$log"; exit 1; }
+echo "telemetry plane at $addr"
+
+# Let the (fast) run finish so /status shows the final frame; the
+# server stays up afterwards by design.
+for _ in $(seq 1 100); do
+    grep -q "run complete" "$log" && break
+    kill -0 "$pid" 2>/dev/null || { echo "psanim exited early:"; cat "$log"; exit 1; }
+    sleep 0.1
+done
+grep -q "run complete" "$log" || { echo "run never completed:"; cat "$log"; exit 1; }
+
+fail() { echo "FAIL: $1"; exit 1; }
+
+curl -fsS "http://$addr/healthz" | grep -q '^ok$' \
+    || fail "/healthz did not answer ok"
+
+curl -fsS "http://$addr/metrics" >"$workdir/metrics.prom" \
+    || fail "/metrics did not answer 200"
+grep -q '^pscluster_msgs_sent_total' "$workdir/metrics.prom" \
+    || fail "/metrics lacks the pscluster_msgs_sent_total engine counter family"
+grep -q '^# TYPE pscluster_' "$workdir/metrics.prom" \
+    || fail "/metrics lacks TYPE headers"
+"$workdir/psbench" -checkprom "$workdir/metrics.prom" \
+    || fail "/metrics is not valid Prometheus exposition"
+
+curl -fsS "http://$addr/status" >"$workdir/status.json" \
+    || fail "/status did not answer 200"
+grep -q '"frame": 19' "$workdir/status.json" \
+    || fail "/status does not show the final frame (19): $(cat "$workdir/status.json")"
+
+curl -fsS "http://$addr/trace" >"$workdir/trace.json" \
+    || fail "/trace did not answer 200"
+grep -q '"traceEvents"' "$workdir/trace.json" \
+    || fail "/trace is not a Chrome trace document"
+
+# Graceful shutdown: SIGINT must end the process with exit 0.
+kill -INT "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+[ "$rc" -eq 0 ] || fail "psanim exited $rc on SIGINT"
+
+echo "serve-smoke OK"
