@@ -7,7 +7,7 @@ CORE_COVER_FLOOR ?= 85
 # is regenerated under comparable conditions across machines.
 BENCHTIME ?= 100x
 
-.PHONY: all build vet lint test race race-obs bench bench-tables bench-smoke fuzz-smoke serve-smoke cover ci
+.PHONY: all build vet lint test race race-obs bench bench-tables bench-smoke decomp-smoke fuzz-smoke serve-smoke cover ci
 
 all: ci
 
@@ -50,6 +50,9 @@ bench:
 	$(GO) test -run '^$$' -bench 'WorkerScaling|FusedVsUnfused|PooledEncode' \
 	  -benchtime $(BENCHTIME) -benchmem ./internal/core/ ./internal/actions/ ./internal/particle/ | \
 	  tee /dev/stderr | $(GO) run ./cmd/psbench -benchjson BENCH_hostparallel.json
+	$(GO) test -run '^$$' -bench 'DecompImbalance' -benchtime 1x \
+	  ./internal/experiments/ | \
+	  tee /dev/stderr | $(GO) run ./cmd/psbench -benchjson BENCH_decomp.json
 
 # Full paper-table benchmark suite (slow; regenerates every experiment).
 bench-tables:
@@ -60,12 +63,22 @@ bench-tables:
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
+# Decomposition smoke: the slab bit-neutrality gate, the sequential
+# equivalence of the grid and Voronoi strategies, the clustered-scenario
+# imbalance regression, and a one-shot run of the imbalance suite into
+# BENCH_decomp.json.
+decomp-smoke:
+	$(GO) test -run 'TestDecomp|TestClustered' ./internal/core/ ./internal/domain/ ./internal/experiments/
+	$(GO) test -run '^$$' -bench 'DecompImbalance' -benchtime 1x \
+	  ./internal/experiments/ | \
+	  tee /dev/stderr | $(GO) run ./cmd/psbench -benchjson BENCH_decomp.json
+
 # Ten seconds of actual fuzzing per fuzz target, so the corpora in
 # testdata/fuzz keep growing and the fuzzers do more in CI than
 # compile. Target names are discovered with `go test -list`, so new
 # fuzzers join automatically.
 fuzz-smoke:
-	@set -e; for pkg in ./internal/scenario ./internal/particle ./internal/core; do \
+	@set -e; for pkg in ./internal/scenario ./internal/particle ./internal/core ./internal/domain; do \
 	  for f in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
 	    echo "fuzz $$pkg $$f"; \
 	    $(GO) test -run '^$$' -fuzz "^$$f$$" -fuzztime 10s $$pkg; \

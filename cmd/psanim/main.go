@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	psanim [-scenario snow|fountain] [-procs N] [-nodes N] [-net myrinet|fast-ethernet]
-//	       [-lb static|dynamic] [-space finite|infinite] [-frames N]
+//	psanim [-scenario snow|fountain|explosion|collapse] [-procs N] [-nodes N]
+//	       [-net myrinet|fast-ethernet] [-lb static|dynamic]
+//	       [-space finite|infinite] [-decomp slab|grid|voronoi] [-frames N]
 //	       [-out DIR] [-seq] [-config scenario.json] [-dump scenario.json]
 //	       [-trace trace.json] [-metrics out.prom] [-timeline] [-aos]
 //	       [-workers N] [-unfused] [-serve :9090]
@@ -43,12 +44,15 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "snow", "workload: snow or fountain")
+	scenario := flag.String("scenario", "snow",
+		"workload: snow, fountain, explosion or collapse")
 	procs := flag.Int("procs", 4, "calculator processes")
 	nodes := flag.Int("nodes", 4, "E800 nodes in the simulated cluster")
 	netName := flag.String("net", "myrinet", "network: myrinet or fast-ethernet")
 	lbName := flag.String("lb", "dynamic", "load balancing: static or dynamic")
 	spaceName := flag.String("space", "finite", "simulated space: finite or infinite")
+	decompName := flag.String("decomp", "slab",
+		"space decomposition: slab (paper's 1-D intervals), grid (2-D moving cuts) or voronoi (drifting sites)")
 	frames := flag.Int("frames", 0, "frames to simulate (0 = scenario default)")
 	out := flag.String("out", "", "directory for PPM frames (enables rasterization)")
 	seq := flag.Bool("seq", false, "also run the sequential baseline and report speed-up")
@@ -85,6 +89,18 @@ func main() {
 	if *netName == "fast-ethernet" {
 		net = cluster.FastEthernet
 	}
+	var decomp core.DecompMode
+	switch *decompName {
+	case "slab":
+		decomp = core.DecompSlab
+	case "grid":
+		decomp = core.DecompGrid
+	case "voronoi":
+		decomp = core.DecompVoronoi
+	default:
+		fmt.Fprintf(os.Stderr, "psanim: unknown decomposition %q\n", *decompName)
+		os.Exit(2)
+	}
 
 	cfg := experiments.PaperScale
 	if *frames > 0 {
@@ -111,10 +127,19 @@ func main() {
 			scn = experiments.Snow(cfg, mode, lb)
 		case "fountain":
 			scn = experiments.Fountain(cfg, mode, lb)
+		case "explosion":
+			scn = experiments.ClusteredExplosion(cfg, mode, lb)
+		case "collapse":
+			scn = experiments.OrbitalCollapse(cfg, mode, lb)
 		default:
 			fmt.Fprintf(os.Stderr, "psanim: unknown scenario %q\n", *scenario)
 			os.Exit(1)
 		}
+	}
+	if *decompName != "slab" {
+		// Only override the scenario (or config file) when asked: slab
+		// is both the flag default and the zero value.
+		scn.Decomp = decomp
 	}
 	scn.AoSStore = *aos
 	if *workers != 0 {
@@ -143,8 +168,8 @@ func main() {
 	}
 
 	cl := cluster.New(net, cluster.GCC, cluster.NodeSpec{Type: cluster.TypeB, Count: *nodes})
-	fmt.Printf("scenario %s: %d systems, %d frames, %s space, %s\n",
-		scn.Name, len(scn.Systems), scn.Frames, scn.Mode, scn.LB)
+	fmt.Printf("scenario %s: %d systems, %d frames, %s space, %s, %s decomposition\n",
+		scn.Name, len(scn.Systems), scn.Frames, scn.Mode, scn.LB, scn.Decomp)
 	fmt.Printf("cluster: %s, %d calculator processes\n", cl, *procs)
 
 	observing := *traceOut != "" || *metricsOut != "" || *timeline

@@ -80,6 +80,28 @@ ok  	pscluster/internal/particle	2.345s
 	}
 }
 
+func TestWriteBenchJSONCustomUnits(t *testing.T) {
+	// b.ReportMetric emits units the standard schema has no field for
+	// (the decomposition suite's "imbalance"); they land in Extra keyed
+	// by unit so BENCH_decomp.json keeps them machine-readable.
+	const input = `BenchmarkDecompImbalance/explosion/grid-8 	 1 	 1234567 ns/op	 2.27 imbalance	 2.72 imbalance-max
+`
+	doc, err := runBenchJSON(t, input)
+	if err != nil {
+		t.Fatalf("writeBenchJSON: %v", err)
+	}
+	if len(doc.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if r.NsPerOp != 1234567 {
+		t.Errorf("ns/op wrong: %+v", r)
+	}
+	if r.Extra["imbalance"] != 2.27 || r.Extra["imbalance-max"] != 2.72 {
+		t.Errorf("custom units wrong: %+v", r.Extra)
+	}
+}
+
 func TestWriteBenchJSONSkipsNoise(t *testing.T) {
 	// Non-benchmark lines — test output, blank lines, short Benchmark
 	// lines without results, non-numeric iteration counts — are skipped

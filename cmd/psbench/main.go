@@ -170,6 +170,9 @@ type benchResult struct {
 	MBPerSec    *float64 `json:"mb_per_s,omitempty"`
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom units reported via b.ReportMetric (e.g. the
+	// decomposition suite's "imbalance"), keyed by unit name.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // writeBenchJSON converts `go test -bench` text output into the
@@ -223,6 +226,11 @@ func writeBenchJSON(in io.Reader, path string) error {
 				r.BytesPerOp = &v
 			case "allocs/op":
 				r.AllocsPerOp = &v
+			default:
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[fields[i+1]] = v
 			}
 		}
 		doc.Results = append(doc.Results, r)

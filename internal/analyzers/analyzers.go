@@ -86,6 +86,7 @@ var enginePackages = map[string]bool{
 	"particle":    true,
 	"actions":     true,
 	"loadbalance": true,
+	"domain":      true,
 }
 
 // isEnginePackage reports whether path names one of the engine

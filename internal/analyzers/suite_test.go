@@ -17,6 +17,10 @@ func TestDeterminismEngine(t *testing.T) {
 	analyzertest.Run(t, analyzers.Determinism, "testdata/determinism/core")
 }
 
+func TestDeterminismDomain(t *testing.T) {
+	analyzertest.Run(t, analyzers.Determinism, "testdata/determinism/domain")
+}
+
 func TestDeterminismNonEngine(t *testing.T) {
 	analyzertest.Run(t, analyzers.Determinism, "testdata/determinism/util")
 }

@@ -1,0 +1,42 @@
+// Package domain is determinism-analyzer testdata posing as the engine
+// package "domain" (the decomposition strategies). Its characteristic
+// risk is neighbor bookkeeping in map-shaped sets: ranging over such a
+// map to build a wire blob or migration plan would give every run — and
+// every rank — its own ordering. Neighbor sets must be flattened
+// through the collect-then-sort idiom before they reach anything
+// ordered.
+package domain
+
+import "sort"
+
+var sink int
+
+// neighborWire encodes per-neighbor band radii straight out of map
+// iteration — the blob's byte order would differ between the sender's
+// runs, exactly the bug the wire codec contract forbids.
+func neighborWire(bands map[int]float64) []byte {
+	var out []byte
+	for rank, radius := range bands { // want `determinism: map iteration order is randomized per run`
+		out = append(out, byte(rank), byte(radius))
+	}
+	return out
+}
+
+// neighborSetSorted is the blessed idiom: collect the ranks, sort them,
+// then emit — deterministic on every run and every rank.
+func neighborSetSorted(neighbors map[int]bool) []int {
+	out := make([]int, 0, len(neighbors))
+	for r := range neighbors {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sliceNeighbors shows the safe shape: neighbor lists kept as sorted
+// slices range freely.
+func sliceNeighbors(ns []int) {
+	for _, n := range ns {
+		sink += n
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"pscluster/internal/actions"
+	"pscluster/internal/domain"
 	"pscluster/internal/geom"
 	"pscluster/internal/particle"
 )
@@ -67,6 +68,35 @@ func (m LBMode) String() string {
 		return "DLB"
 	default:
 		return "DeLB"
+	}
+}
+
+// DecompMode selects the space-partitioning strategy (ROADMAP item 3).
+type DecompMode int
+
+// The decomposition strategies.
+const (
+	// DecompSlab is the paper's 1-D axis-slab decomposition (§3.1.4) —
+	// the default, bit-identical to the pre-strategy engine.
+	DecompSlab DecompMode = iota
+	// DecompGrid splits space into a 2-D grid in the plane of the split
+	// axis and its successor; row and column cuts rebalance
+	// independently (arXiv:cs/0405086).
+	DecompGrid
+	// DecompVoronoi assigns space to the nearest of nCalc sites that
+	// drift toward the load centroid (arXiv:1805.05128).
+	DecompVoronoi
+)
+
+// String returns "slab" / "grid" / "voronoi".
+func (m DecompMode) String() string {
+	switch m {
+	case DecompSlab:
+		return "slab"
+	case DecompGrid:
+		return "grid"
+	default:
+		return "voronoi"
 	}
 }
 
@@ -180,6 +210,18 @@ type Scenario struct {
 	// LBThreshold and LBMinBatch configure the balancer (§3.2.5).
 	LBThreshold float64
 	LBMinBatch  int
+
+	// Decomp selects the space-partitioning strategy. DecompSlab (the
+	// default) is the paper's 1-D slicing and keeps the engine
+	// bit-identical to the pre-strategy code. DecompGrid and
+	// DecompVoronoi partition the plane spanned by Axis and its
+	// successor axis; under DynamicLB their geometry rebalances toward
+	// measured load instead of running the paper's donation protocol.
+	Decomp DecompMode
+	// DecompStep bounds per-frame geometry movement for the grid and
+	// Voronoi strategies, as a fraction of the space extent. Defaults
+	// to 0.05; must be in (0, 0.5].
+	DecompStep float64
 
 	// Schedule combines the per-frame processing of multiple systems
 	// (§3.3). BatchedSchedule requires DynamicLB or StaticLB (the
@@ -311,6 +353,21 @@ func (s *Scenario) Validate() error {
 	if s.Schedule == BatchedSchedule && s.LB == DecentralizedLB {
 		return fmt.Errorf("core: scenario %q: the batched schedule does not support decentralized balancing", s.Name)
 	}
+	if s.DecompStep == 0 {
+		s.DecompStep = 0.05
+	}
+	if s.Decomp != DecompSlab {
+		if !(s.DecompStep > 0) || s.DecompStep > 0.5 {
+			return fmt.Errorf("core: scenario %q: decomposition step %g outside (0, 0.5]", s.Name, s.DecompStep)
+		}
+		if s.LB == DecentralizedLB {
+			return fmt.Errorf("core: scenario %q: decentralized balancing is defined on slab neighbor pairs; use slab or DLB", s.Name)
+		}
+		if s.Mode == FiniteSpace && s.Space.Extent(crossAxis(s.Axis)) <= 0 {
+			return fmt.Errorf("core: scenario %q: %s decomposition needs finite space along %v too",
+				s.Name, s.Decomp, crossAxis(s.Axis))
+		}
+	}
 	for _, e := range s.Script {
 		if e.Frame < 0 || e.Frame >= s.Frames {
 			return fmt.Errorf("core: script entry at frame %d outside [0, %d)", e.Frame, s.Frames)
@@ -351,6 +408,46 @@ func (s *Scenario) SpaceInterval() (lo, hi float64) {
 		return -InfiniteExtent, InfiniteExtent
 	}
 	return s.Space.Min.Component(s.Axis), s.Space.Max.Component(s.Axis)
+}
+
+// SpaceBox returns the AABB the non-slab decompositions partition:
+// the scenario's Space under FiniteSpace, the default huge cube under
+// InfiniteSpace (the 3-D analog of SpaceInterval).
+func (s *Scenario) SpaceBox() geom.AABB {
+	if s.Mode == InfiniteSpace {
+		return geom.Box(
+			geom.V(-InfiniteExtent, -InfiniteExtent, -InfiniteExtent),
+			geom.V(InfiniteExtent, InfiniteExtent, InfiniteExtent),
+		)
+	}
+	return s.Space
+}
+
+// crossAxis returns the second split axis of the 2-D strategies: the
+// successor of the primary axis (X→Y, Y→Z, Z→X).
+func crossAxis(a geom.Axis) geom.Axis { return (a + 1) % 3 }
+
+// newDecomposition builds the initial decomposition of one particle
+// system for nCalc calculators.
+func (s *Scenario) newDecomposition(nCalc int) (domain.Decomposition, error) {
+	switch s.Decomp {
+	case DecompGrid:
+		lo, hi := s.SpaceInterval()
+		box := s.SpaceBox()
+		b := crossAxis(s.Axis)
+		return domain.NewGrid(s.Axis, b,
+			lo, hi, box.Min.Component(b), box.Max.Component(b),
+			nCalc, s.DecompStep)
+	case DecompVoronoi:
+		box := s.SpaceBox()
+		// The step bound is a fraction of the partitioned plane's
+		// diagonal, the natural length scale for site motion.
+		ext := geom.V(box.Extent(s.Axis), box.Extent(crossAxis(s.Axis)), 0)
+		return domain.NewVoronoi(box, s.Axis, crossAxis(s.Axis), nCalc, ext.Len()*s.DecompStep)
+	default:
+		lo, hi := s.SpaceInterval()
+		return domain.NewEqual(s.Axis, lo, hi, nCalc)
+	}
 }
 
 // newStore builds one (system, process) particle store over [lo, hi)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"pscluster/internal/actions"
+	"pscluster/internal/domain"
 	"pscluster/internal/particle"
 	"pscluster/internal/transport"
 )
@@ -36,13 +37,58 @@ func (c *calcProc) applyStoreAction(si int, act actions.StoreAction,
 	return w, nil
 }
 
-// exchangeGhostBand trades boundary bands with both domain neighbors
-// and returns the received ghosts, left neighbor's first (determinism).
-// Both neighbors reach this point in the same (frame, system, action)
-// position, so the protocol needs no further coordination.
-//
-//pslint:hotpath
+// exchangeGhostBand trades boundary bands with the decomposition's
+// neighbors and returns the received ghosts, in ascending neighbor-rank
+// order (determinism). All calculators reach this point in the same
+// (frame, system, action) position, so the protocol needs no further
+// coordination. The slab path keeps its historical two-sided scan over
+// the store interval verbatim (the store bounds — not the table edges —
+// define the band for collapsed domains); other decompositions ask the
+// strategy for one band region per neighbor.
 func (c *calcProc) exchangeGhostBand(si int, radius float64) ([]particle.Particle, error) {
+	if _, ok := c.decomps[si].(*domain.Table); !ok {
+		return c.exchangeGhostBandMulti(si, radius)
+	}
+	return c.exchangeGhostBandSlab(si, radius)
+}
+
+// exchangeGhostBandMulti is the general per-neighbor band exchange:
+// collect each neighbor's band, send every band, then receive every
+// neighbor's, all in ascending rank order.
+func (c *calcProc) exchangeGhostBandMulti(si int, radius float64) ([]particle.Particle, error) {
+	d := c.decomps[si]
+	st := c.stores[si]
+	neighbors := d.NeighborsOf(c.idx)
+	bands := make([][]particle.Particle, len(neighbors))
+	for ni, n := range neighbors {
+		band := d.NeighborBand(c.idx, n, radius)
+		var ps []particle.Particle
+		st.ForEach(func(p *particle.Particle) {
+			if band.Contains(p.Pos) {
+				ps = append(ps, *p)
+			}
+		})
+		bands[ni] = ps
+	}
+	for ni, n := range neighbors {
+		c.ep.SendScaled(rankCalc0+n, transport.TagGhosts,
+			particle.EncodeBatch(bands[ni]), c.scn.Ratio)
+	}
+	var ghosts []particle.Particle
+	for _, n := range neighbors {
+		msg := c.ep.Recv(rankCalc0+n, transport.TagGhosts)
+		ps, err := particle.DecodeBatch(msg.Payload)
+		if err != nil {
+			return nil, err
+		}
+		ghosts = append(ghosts, ps...)
+		msg.Release()
+	}
+	return ghosts, nil
+}
+
+//pslint:hotpath
+func (c *calcProc) exchangeGhostBandSlab(si int, radius float64) ([]particle.Particle, error) {
 	st := c.stores[si]
 	lo, hi := st.Bounds()
 	axis := c.scn.Axis

@@ -44,6 +44,20 @@ func (m LBMode) policy() lbPolicy {
 	}
 }
 
+// lbPolicy resolves the scenario's balancing strategy. The paper's
+// donation protocol (dynamicLB) and the decentralized variant are
+// defined on slab boundaries — donors sort along the split axis and
+// boundaries are single edges — so non-slab decompositions route
+// DynamicLB to the geometry-rebalancing policy (rebalance.go) instead.
+// Slab scenarios take the LBMode policies untouched, keeping the
+// default bit-identical to the pre-strategy engine.
+func (s *Scenario) lbPolicy() lbPolicy {
+	if s.Decomp != DecompSlab && s.LB == DynamicLB {
+		return rebalanceLB{}
+	}
+	return s.LB.policy()
+}
+
 // noSteps is the do-nothing base: policies embed it and override only
 // the hooks they participate in.
 type noSteps struct{}
@@ -76,6 +90,7 @@ func (dynamicLB) managerSystemSteps(m *managerProc, si int) []step {
 					return err
 				}
 				reports[i] = r
+				m.addFrameLoad(i, float64(r.Load))
 			}
 			m.ep.Clock.AdvanceWork(evalWorkPerCalc*float64(m.nCalc), m.rate)
 			m.fs.orders = m.balancers[si].Evaluate(reports, m.power)
@@ -107,12 +122,12 @@ func (dynamicLB) managerSystemSteps(m *managerProc, si int) []step {
 				if err != nil {
 					return err
 				}
-				if err := m.tables[si].SetBoundary(edge, val); err != nil {
+				if err := m.slab(si).SetBoundary(edge, val); err != nil {
 					return err
 				}
 				m.lbMovedStored += o.Count
 			}
-			dims := encodeEdges(m.tables[si].Edges())
+			dims := encodeEdges(m.slab(si).Edges())
 			for c := 0; c < m.nCalc; c++ {
 				m.ep.Send(rankCalc0+c, transport.TagNewDims, dims)
 			}
@@ -160,7 +175,7 @@ func (dynamicLB) calcBalanceSteps(c *calcProc, si int) []step {
 			if err != nil {
 				return err
 			}
-			c.tables[si] = table
+			c.decomps[si] = table
 			lo, hi := table.Bounds(c.idx)
 			st.Resize(lo, hi)
 			return nil
@@ -208,6 +223,7 @@ func (dynamicLB) managerBatchSteps(m *managerProc) []step {
 				}
 				for si, r := range rs {
 					reports[si][ci] = r
+					m.addFrameLoad(ci, float64(r.Load))
 				}
 			}
 			m.ep.Clock.AdvanceWork(evalWorkPerCalc*float64(m.nCalc*nSys), m.rate)
@@ -249,7 +265,7 @@ func (dynamicLB) managerBatchSteps(m *managerProc) []step {
 						return fmt.Errorf("core: donor %d sent boundary for system %d, expected %d",
 							o.Proc, sys, si)
 					}
-					if err := m.tables[si].SetBoundary(edge, val); err != nil {
+					if err := m.slab(si).SetBoundary(edge, val); err != nil {
 						return err
 					}
 					m.lbMovedStored += o.Count
@@ -257,7 +273,7 @@ func (dynamicLB) managerBatchSteps(m *managerProc) []step {
 			}
 			edgeTables := make([][]float64, len(scn.Systems))
 			for si := range edgeTables {
-				edgeTables[si] = m.tables[si].Edges()
+				edgeTables[si] = m.slab(si).Edges()
 			}
 			dims := encodeMultiEdges(edgeTables)
 			for c := 0; c < m.nCalc; c++ {
@@ -315,7 +331,7 @@ func (dynamicLB) calcBatchBalanceSteps(c *calcProc) []step {
 				if err != nil {
 					return err
 				}
-				c.tables[si] = table
+				c.decomps[si] = table
 				lo, hi := table.Bounds(c.idx)
 				c.stores[si].Resize(lo, hi)
 			}
@@ -450,7 +466,7 @@ func (c *calcProc) tradeWithNeighbor(si, peer, move int) error {
 		side, edge := donationSide(c.idx, peer)
 		donated, boundary := st.DonateBatch(move, side)
 		c.lbMovedStored += donated.Len()
-		if err := c.tables[si].SetBoundary(edge, boundary); err != nil {
+		if err := c.slab(si).SetBoundary(edge, boundary); err != nil {
 			return err
 		}
 		c.ep.Send(peerRank, transport.TagNewDims, encodeBoundary(edge, boundary))
@@ -465,10 +481,10 @@ func (c *calcProc) tradeWithNeighbor(si, peer, move int) error {
 	if err != nil {
 		return err
 	}
-	if err := c.tables[si].SetBoundary(edge, boundary); err != nil {
+	if err := c.slab(si).SetBoundary(edge, boundary); err != nil {
 		return err
 	}
-	lo, hi := c.tables[si].Bounds(c.idx)
+	lo, hi := c.slab(si).Bounds(c.idx)
 	st.Resize(lo, hi)
 	pm := c.ep.Recv(peerRank, transport.TagLBParticles)
 	if err := c.wire.DecodeWireInto(pm.Payload); err != nil {

@@ -84,25 +84,25 @@ func runParallel(scn Scenario, cl *cluster.Cluster, nCalc int, profiled bool, si
 		}
 	}
 
-	newTables := func() ([]*domain.Table, error) {
-		ts := make([]*domain.Table, len(scn.Systems))
-		for i := range ts {
-			t, err := domain.NewEqual(scn.Axis, lo, hi, nCalc)
+	newDecomps := func() ([]domain.Decomposition, error) {
+		ds := make([]domain.Decomposition, len(scn.Systems))
+		for i := range ds {
+			d, err := scn.newDecomposition(nCalc)
 			if err != nil {
 				return nil, err
 			}
-			ts[i] = t
+			ds[i] = d
 		}
-		return ts, nil
+		return ds, nil
 	}
 
-	mgrTables, err := newTables()
+	mgrDecomps, err := newDecomps()
 	if err != nil {
 		return nil, nil, err
 	}
 	mgr := &managerProc{
 		scn: &scn, ep: router.Endpoint(rankManager), rate: place.Rate(rankManager),
-		tables: mgrTables, power: power, calcRanks: calcRanks, nCalc: nCalc,
+		decomps: mgrDecomps, power: power, calcRanks: calcRanks, nCalc: nCalc,
 	}
 	img := &imageGenProc{
 		scn: &scn, ep: router.Endpoint(rankImageGen), rate: place.Rate(rankImageGen),
@@ -110,18 +110,27 @@ func runParallel(scn Scenario, cl *cluster.Cluster, nCalc int, profiled bool, si
 	}
 	calcs := make([]*calcProc, nCalc)
 	for i := range calcs {
-		tables, err := newTables()
+		decomps, err := newDecomps()
 		if err != nil {
 			return nil, nil, err
 		}
 		c := &calcProc{
 			scn: &scn, idx: i, ep: router.Endpoint(rankCalc0 + i),
-			rate: place.Rate(rankCalc0 + i), tables: tables, nCalc: nCalc,
+			rate: place.Rate(rankCalc0 + i), decomps: decomps, nCalc: nCalc,
 			power: power,
 		}
 		c.stores = make([]particle.Set, len(scn.Systems))
 		for si := range c.stores {
-			slo, shi := tables[si].Bounds(i)
+			// The store's axis interval drives sub-domain binning. Slab
+			// domains are axis intervals, so the store covers exactly the
+			// owned slice (and donation sorts only edge bins); the other
+			// strategies own regions no interval describes, so the store
+			// bins over the full extent and ownership lives in the
+			// decomposition alone.
+			slo, shi := lo, hi
+			if t, ok := decomps[si].(*domain.Table); ok {
+				slo, shi = t.Bounds(i)
+			}
 			c.stores[si] = scn.newStore(slo, shi)
 		}
 		calcs[i] = c
@@ -260,6 +269,7 @@ func assembleResult(scn *Scenario, mgr *managerProc, img *imageGenProc, calcs []
 		FrameChecksums: img.checksums,
 		FrameTimes:     img.frameTimes,
 		LBRounds:       mgr.lbRounds,
+		FrameImbalance: mgr.imbalance,
 	}
 	res.PerProcTime = append(res.PerProcTime, mgr.ep.Clock.Now(), img.ep.Clock.Now())
 	for _, c := range calcs {
@@ -318,10 +328,10 @@ func billed(payloadLen int, ratio float64) int {
 }
 
 // groupByOwner splits particles by their owning calculator.
-func groupByOwner(ps []particle.Particle, t *domain.Table, nCalc int) [][]particle.Particle {
+func groupByOwner(ps []particle.Particle, d domain.Decomposition, nCalc int) [][]particle.Particle {
 	groups := make([][]particle.Particle, nCalc)
 	for i := range ps {
-		o := t.OwnerOf(ps[i].Pos)
+		o := d.OwnerOf(ps[i].Pos)
 		groups[o] = append(groups[o], ps[i])
 	}
 	return groups
@@ -330,13 +340,13 @@ func groupByOwner(ps []particle.Particle, t *domain.Table, nCalc int) [][]partic
 // groupOwnerBatches splits a batch by owning calculator, scanning the
 // position column in order (the same particle order groupByOwner
 // produces from the equivalent slice).
-func groupOwnerBatches(b *particle.Batch, t *domain.Table, nCalc int) []*particle.Batch {
+func groupOwnerBatches(b *particle.Batch, d domain.Decomposition, nCalc int) []*particle.Batch {
 	groups := make([]*particle.Batch, nCalc)
 	for i := range groups {
 		groups[i] = &particle.Batch{}
 	}
 	for i := range b.Pos {
-		o := t.OwnerOf(b.Pos[i])
+		o := d.OwnerOf(b.Pos[i])
 		groups[o].AppendIndex(b, i)
 	}
 	return groups
@@ -350,7 +360,7 @@ type managerProc struct {
 	scn       *Scenario
 	ep        *transport.Endpoint
 	rate      float64
-	tables    []*domain.Table
+	decomps   []domain.Decomposition
 	power     []float64
 	calcRanks []int
 	nCalc     int
@@ -359,6 +369,7 @@ type managerProc struct {
 	balancers     []*loadbalance.Balancer
 	lbRounds      int
 	lbMovedStored int
+	imbalance     []float64 // per-frame max/mean load ratio, from LB reports
 	events        []Event
 	rec           *obs.Recorder // nil unless the run is profiled
 
@@ -367,11 +378,49 @@ type managerProc struct {
 
 // managerFrame is the manager's per-frame scratch: the balancing
 // orders flowing from the lb-evaluation step to the dims-broadcast
-// step.
+// step, and the per-calculator loads accumulated from the frame's
+// reports for the imbalance record.
 type managerFrame struct {
 	frame       int
 	orders      []loadbalance.Order   // per-system schedule: current system's orders
 	ordersBySys [][]loadbalance.Order // batched schedule: orders for every system
+	frameLoads  []float64             // stored particles reported per calculator
+}
+
+// slab returns system si's decomposition as the paper's slab Table.
+// Only the slab-specific LB policies call it, and the engine never
+// routes a non-slab scenario to them (see Scenario.lbPolicy).
+func (m *managerProc) slab(si int) *domain.Table { return m.decomps[si].(*domain.Table) }
+
+// addFrameLoad accumulates one calculator's reported load into the
+// frame's imbalance record.
+func (m *managerProc) addFrameLoad(ci int, load float64) {
+	if m.fs.frameLoads == nil {
+		m.fs.frameLoads = make([]float64, m.nCalc)
+	}
+	m.fs.frameLoads[ci] += load
+}
+
+// recordImbalance closes the frame's imbalance record: max/mean of the
+// reported per-calculator loads (1 when nothing was reported — a
+// perfectly balanced empty frame). Frames without LB reports (static
+// balancing) record nothing.
+func (m *managerProc) recordImbalance() {
+	if m.fs.frameLoads == nil {
+		return
+	}
+	var max, total float64
+	for _, l := range m.fs.frameLoads {
+		if l > max {
+			max = l
+		}
+		total += l
+	}
+	imb := 1.0
+	if total > 0 {
+		imb = max * float64(len(m.fs.frameLoads)) / total
+	}
+	m.imbalance = append(m.imbalance, imb)
 }
 
 func (m *managerProc) scenario() *Scenario           { return m.scn }
@@ -399,7 +448,7 @@ func (m *managerProc) run() error {
 		}
 		m.ctxs[i] = &actions.Context{RNG: geom.NewRNG(scn.Systems[i].Seed), DT: scn.DT}
 	}
-	return runProgram(m, scn.Schedule.plan().compileManager(m, scn.LB.policy()))
+	return runProgram(m, scn.Schedule.plan().compileManager(m, scn.lbPolicy()))
 }
 
 // ---------------------------------------------------------------------
@@ -407,14 +456,14 @@ func (m *managerProc) run() error {
 // ---------------------------------------------------------------------
 
 type calcProc struct {
-	scn    *Scenario
-	idx    int // calculator index (rank - 2)
-	ep     *transport.Endpoint
-	rate   float64
-	tables []*domain.Table
-	stores []particle.Set
-	nCalc  int
-	power  []float64
+	scn     *Scenario
+	idx     int // calculator index (rank - 2)
+	ep      *transport.Endpoint
+	rate    float64
+	decomps []domain.Decomposition
+	stores  []particle.Set
+	nCalc   int
+	power   []float64
 
 	ctxs   []*actions.Context
 	others []int // every calculator rank except this one, ascending
@@ -472,6 +521,10 @@ func (c *calcProc) beginFrame(frame int) {
 
 func (c *calcProc) pushEvent(ev Event) { c.events = append(c.events, ev) }
 
+// slab returns system si's decomposition as the paper's slab Table;
+// see managerProc.slab.
+func (c *calcProc) slab(si int) *domain.Table { return c.decomps[si].(*domain.Table) }
+
 func (c *calcProc) annotateLive(fr *obs.FrameRecord) {
 	for _, st := range c.stores {
 		fr.Particles += st.Len()
@@ -511,7 +564,7 @@ func (c *calcProc) run() error {
 	c.pool = newWorkerPool(width)
 	defer c.pool.Close()
 	c.plans = compilePlans(scn)
-	return runProgram(c, scn.Schedule.plan().compileCalc(c, scn.LB.policy()))
+	return runProgram(c, scn.Schedule.plan().compileCalc(c, scn.lbPolicy()))
 }
 
 // ---------------------------------------------------------------------

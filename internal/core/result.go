@@ -38,6 +38,14 @@ type Result struct {
 	LBMoved int
 	// LBRounds counts balancing rounds that produced at least one order.
 	LBRounds int
+	// FrameImbalance is the manager's per-frame max/mean ratio of the
+	// calculator loads reported that frame (1.0 = perfect balance,
+	// nCalc = everything on one rank). Recorded only on frames where
+	// the balancing policy collected load reports (DLB and the geometry
+	// rebalancing policies); nil under static balancing. Derived from
+	// the reports the policy already received, so recording it adds no
+	// traffic and perturbs nothing.
+	FrameImbalance []float64
 
 	// CalcLoads is the final per-calculator particle count, summed over
 	// systems (stored scale); nil for sequential runs.

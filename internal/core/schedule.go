@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"pscluster/internal/actions"
+	"pscluster/internal/domain"
+	"pscluster/internal/geom"
 	"pscluster/internal/particle"
 	"pscluster/internal/transport"
 )
@@ -58,7 +60,7 @@ func (perSystemPlan) compileManager(m *managerProc, pol lbPolicy) []step {
 				run: always(func() error {
 					ps := ca.Generate(m.ctxs[si])
 					m.ep.Clock.AdvanceWork(cost*float64(len(ps))*scn.Ratio, m.rate)
-					groups := groupByOwner(ps, m.tables[si], m.nCalc)
+					groups := groupByOwner(ps, m.decomps[si], m.nCalc)
 					for c := 0; c < m.nCalc; c++ {
 						m.ep.SendScaled(rankCalc0+c, transport.TagParticles,
 							particle.EncodeBatch(groups[c]), scn.Ratio)
@@ -68,6 +70,7 @@ func (perSystemPlan) compileManager(m *managerProc, pol lbPolicy) []step {
 		}
 		prog = append(prog, pol.managerSystemSteps(m, si)...)
 	}
+	prog = append(prog, imbalanceStep(m))
 	if !scn.PipelineFrames {
 		prog = append(prog, frameBarrierStep(m))
 	}
@@ -165,7 +168,7 @@ func (batchedPlan) compileManager(m *managerProc, pol lbPolicy) []step {
 				}
 				ps := ca.Generate(m.ctxs[si])
 				m.ep.Clock.AdvanceWork(a.Cost()*float64(len(ps))*scn.Ratio, m.rate)
-				groups := groupByOwner(ps, m.tables[si], m.nCalc)
+				groups := groupByOwner(ps, m.decomps[si], m.nCalc)
 				for c := 0; c < m.nCalc; c++ {
 					perCalc[c] = append(perCalc[c], groups[c])
 				}
@@ -182,6 +185,7 @@ func (batchedPlan) compileManager(m *managerProc, pol lbPolicy) []step {
 		return true, nil
 	}}}
 	prog = append(prog, pol.managerBatchSteps(m)...)
+	prog = append(prog, imbalanceStep(m))
 	if !scn.PipelineFrames {
 		prog = append(prog, frameBarrierStep(m))
 	}
@@ -322,8 +326,8 @@ func (c *calcProc) exchangeSystem(si int) error {
 	c.ep.Clock.AdvanceWork(scanWork, c.rate)
 	c.fs.work[si] += scanWork
 
-	out := st.PartitionBatch()
-	groups := groupOwnerBatches(out, c.tables[si], c.nCalc)
+	out := c.partitionOut(si)
+	groups := groupOwnerBatches(out, c.decomps[si], c.nCalc)
 	if groups[c.idx].Len() > 0 {
 		// Out-of-space particles clamp back to the outermost domains,
 		// which may be our own.
@@ -344,6 +348,29 @@ func (c *calcProc) exchangeSystem(si int) error {
 		msg.Release()
 	}
 	return nil
+}
+
+// partitionOut removes and returns the particles that left this
+// calculator's domain. The slab path keeps the historical axis-interval
+// scan (bit-identical to the pre-strategy engine, including which side
+// of a collapsed domain a particle leaves from); other decompositions
+// test ownership directly, since their domains are not axis intervals.
+func (c *calcProc) partitionOut(si int) *particle.Batch {
+	st := c.stores[si]
+	d := c.decomps[si]
+	if _, ok := d.(*domain.Table); ok {
+		return st.PartitionBatch()
+	}
+	idx := c.idx
+	return st.PartitionOwnedBatch(func(p geom.Vec3) bool { return d.OwnerOf(p) == idx })
+}
+
+// imbalanceStep closes the manager's per-frame imbalance record after
+// the frame's balancing steps. A glue step (no phase): it reads state
+// the LB steps already populated and never emits spans, events or
+// traffic, so traced programs are unchanged.
+func imbalanceStep(m *managerProc) step {
+	return step{run: always(func() error { m.recordImbalance(); return nil })}
 }
 
 // renderSend ships one system's particles to the image generator: it
@@ -420,8 +447,8 @@ func (c *calcProc) batchedExchange() error {
 	}
 	for si := range scn.Systems {
 		st := c.stores[si]
-		out := st.PartitionBatch()
-		groups := groupOwnerBatches(out, c.tables[si], c.nCalc)
+		out := c.partitionOut(si)
+		groups := groupOwnerBatches(out, c.decomps[si], c.nCalc)
 		if groups[c.idx].Len() > 0 {
 			st.AddBatch(groups[c.idx])
 		}
@@ -545,7 +572,7 @@ func (g *imageGenProc) ingestBlob(blob []byte) error {
 //pslint:clock-ok every caller (applyRun, runScripted) charges Cost×len×Ratio right after the kernel
 func applyToSet(st particle.Set, ctx *actions.Context, act actions.ParticleAction, pool *workerPool) {
 	if bins := pool.parallelBins(st); bins != nil {
-		pool.run(len(bins), func(bi, slot int) {
+		pool.runBins(bins, func(bi, slot int) {
 			b := bins[bi]
 			actions.ApplyToBatch(ctx, act, b)
 			pool.note(slot, b.Len())
@@ -563,7 +590,7 @@ func applyToSet(st particle.Set, ctx *actions.Context, act actions.ParticleActio
 // caller (applyRun) charges each fused action's cost after the pass.
 func applyKernelToSet(st particle.Set, ctx *actions.Context, k actions.Kernel, pool *workerPool) {
 	if bins := pool.parallelBins(st); bins != nil {
-		pool.run(len(bins), func(bi, slot int) {
+		pool.runBins(bins, func(bi, slot int) {
 			b := bins[bi]
 			k(ctx, b)
 			pool.note(slot, b.Len())

@@ -64,8 +64,13 @@ func (t *Table) N() int { return len(t.edges) - 1 }
 // Axis returns the split axis.
 func (t *Table) Axis() geom.Axis { return t.axis }
 
-// Edges returns a copy of the boundary values.
-func (t *Table) Edges() []float64 { return append([]float64(nil), t.edges...) }
+// Edges returns a read-only view of the boundary values. Callers must
+// not mutate or retain the slice across SetBoundary/Rebalance calls;
+// the encode hot paths call this once per LB round per system, so a
+// defensive copy here is pure garbage.
+//
+//pslint:hotpath
+func (t *Table) Edges() []float64 { return t.edges }
 
 // Bounds returns the [lo, hi) interval of domain i.
 func (t *Table) Bounds(i int) (lo, hi float64) { return t.edges[i], t.edges[i+1] }
@@ -77,30 +82,35 @@ func (t *Table) Width(i int) float64 { return t.edges[i+1] - t.edges[i] }
 // Coordinates outside the space clamp to the outermost domains, and
 // zero-width domains (fully donated by load balancing) never own
 // anything.
-func (t *Table) Owner(c float64) int {
+func (t *Table) Owner(c float64) int { return ownerIn(t.edges, c) }
+
+// ownerIn is Owner over a raw edge list; the grid decomposition reuses
+// it once per axis.
+func ownerIn(edges []float64, c float64) int {
+	n := len(edges) - 1
 	// First edge strictly greater than c; the owning domain is the one
 	// before it.
-	i := sort.SearchFloat64s(t.edges, c)
+	i := sort.SearchFloat64s(edges, c)
 	// SearchFloat64s returns the first index with edges[i] >= c; for a
 	// coordinate equal to an edge the particle belongs to the domain
 	// starting there (half-open intervals), so step over ties.
-	for i < len(t.edges) && t.edges[i] == c {
+	for i < len(edges) && edges[i] == c {
 		i++
 	}
 	i-- // domain index
 	if i < 0 {
 		return 0
 	}
-	if i >= t.N() {
-		return t.N() - 1
+	if i >= n {
+		return n - 1
 	}
 	// A zero-width domain cannot own a coordinate: its interval is
 	// empty. Ties at collapsed edges resolve to the nearest non-empty
 	// domain on the side the coordinate falls.
-	for i > 0 && t.edges[i] == t.edges[i+1] && c < t.edges[i] {
+	for i > 0 && edges[i] == edges[i+1] && c < edges[i] {
 		i--
 	}
-	for i < t.N()-1 && t.edges[i] == t.edges[i+1] {
+	for i < n-1 && edges[i] == edges[i+1] {
 		i++
 	}
 	return i

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pscluster/internal/actions"
+	"pscluster/internal/core"
+	"pscluster/internal/geom"
+)
+
+// The clustered workloads are the decomposition plane's stress cases:
+// every particle lives in the x = 0 plane (the emitter boxes have zero
+// X extent, so RNG.Range(0,0) pins x exactly, and every force below is
+// radial about the X axis, contributing no X component). Load then
+// varies only across the split axis's *cross plane* — the worst case
+// for the paper's 1-D slab, whose domains are X intervals: one slab
+// owns the entire population no matter how the balancer moves its
+// edges. The 2-D grid splits the cross axis too, and the Voronoi sites
+// drift into the cloud, so both recover most of the lost parallelism.
+// BenchmarkDecompImbalance and TestClusteredDecompImbalance measure
+// exactly this gap.
+
+// ClusteredExplosion seeds particles in a tight planar pocket around
+// the origin and blows them outward with a radial impulse: an expanding
+// ring in the y-z plane, re-seeded from the centre every frame as
+// KillOld retires the oldest shell.
+func ClusteredExplosion(cfg Config, mode core.SpaceMode, lb core.LBMode) core.Scenario {
+	systems := make([]core.System, cfg.Systems)
+	for i := range systems {
+		systems[i] = core.System{
+			Name: fmt.Sprintf("explosion-%d", i),
+			Seed: uint64(3000 + 17*i),
+			Actions: []actions.Action{
+				&actions.Source{
+					Rate: cfg.sourceRate(),
+					// Zero X extent: every particle is born at x = 0
+					// exactly, and stays there (all accelerations below
+					// are X-free).
+					Pos: geom.BoxDomain{B: geom.Box(
+						geom.V(0, -3, -3), geom.V(0, 3, 3))},
+					Vel: geom.BoxDomain{B: geom.Box(
+						geom.V(0, -6, -6), geom.V(0, 6, 6))},
+					Color: geom.PointDomain{P: geom.V(1.0, 0.6, 0.2)},
+					Size:  0.35, Alpha: 0.8,
+				},
+				// Radial about the origin: particles at x = 0 see a
+				// direction vector with zero X component.
+				&actions.Explosion{Center: geom.V(0, 0, 0), Speed: 30, Falloff: 0.15},
+				&actions.KillOld{MaxAge: float64(LifetimeFrames) * cfg.DT},
+				&actions.Move{},
+			},
+		}
+	}
+	return core.Scenario{
+		Name:        "explosion",
+		Systems:     systems,
+		Axis:        geom.AxisX,
+		Space:       geom.Box(geom.V(-60, -60, -60), geom.V(60, 60, 60)),
+		Mode:        mode,
+		Frames:      cfg.Frames,
+		DT:          cfg.DT,
+		Ratio:       cfg.Ratio(),
+		LB:          lb,
+		LBMinBatch:  cfg.lbMinBatch(),
+		LBThreshold: 0.15,
+		Render:      renderConfig(),
+	}
+}
+
+// OrbitalCollapse spreads particles over a planar disc and pulls them
+// toward the origin with an inverse-square attractor: the cloud
+// perpetually collapses inward while fresh particles respawn across
+// the disc, keeping a dense clustered core with a thinner halo.
+func OrbitalCollapse(cfg Config, mode core.SpaceMode, lb core.LBMode) core.Scenario {
+	systems := make([]core.System, cfg.Systems)
+	for i := range systems {
+		systems[i] = core.System{
+			Name: fmt.Sprintf("collapse-%d", i),
+			Seed: uint64(4000 + 19*i),
+			Actions: []actions.Action{
+				&actions.Source{
+					Rate: cfg.sourceRate(),
+					// Planar disc (well, square) of births; zero X extent
+					// as above.
+					Pos: geom.BoxDomain{B: geom.Box(
+						geom.V(0, -16, -16), geom.V(0, 16, 16))},
+					Vel: geom.BoxDomain{B: geom.Box(
+						geom.V(0, -4, -4), geom.V(0, 4, 4))},
+					Color: geom.PointDomain{P: geom.V(0.7, 0.5, 1.0)},
+					Size:  0.3, Alpha: 0.7,
+				},
+				// Inverse-square pull toward the origin; again X-free for
+				// planar particles.
+				&actions.OrbitPoint{Center: geom.V(0, 0, 0), Strength: 250, Epsilon: 9},
+				&actions.KillOld{MaxAge: float64(LifetimeFrames) * cfg.DT},
+				&actions.Move{},
+			},
+		}
+	}
+	return core.Scenario{
+		Name:        "collapse",
+		Systems:     systems,
+		Axis:        geom.AxisX,
+		Space:       geom.Box(geom.V(-40, -40, -40), geom.V(40, 40, 40)),
+		Mode:        mode,
+		Frames:      cfg.Frames,
+		DT:          cfg.DT,
+		Ratio:       cfg.Ratio(),
+		LB:          lb,
+		LBMinBatch:  cfg.lbMinBatch(),
+		LBThreshold: 0.15,
+		Render:      renderConfig(),
+	}
+}

@@ -31,10 +31,15 @@ func runSpeedup(scn core.Scenario, cl *cluster.Cluster, nCalc int, seq *core.Res
 	return par.Speedup(seq), nil
 }
 
-// workload builds snow or fountain by name.
+// workload builds a named experiment scenario.
 func workload(name string, cfg Config, mode core.SpaceMode, lb core.LBMode) core.Scenario {
-	if name == "fountain" {
+	switch name {
+	case "fountain":
 		return Fountain(cfg, mode, lb)
+	case "explosion":
+		return ClusteredExplosion(cfg, mode, lb)
+	case "collapse":
+		return OrbitalCollapse(cfg, mode, lb)
 	}
 	return Snow(cfg, mode, lb)
 }

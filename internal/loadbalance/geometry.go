@@ -1,0 +1,96 @@
+package loadbalance
+
+import "pscluster/internal/geom"
+
+// Geometric rebalancing primitives for the decomposition strategy plane
+// (ROADMAP item 3). The paper's own balancing moves particles by count
+// and derives boundaries from the donated particles (§3.2.5); the grid
+// and Voronoi strategies instead move the partition geometry toward the
+// load and let the ownership migration follow. Both primitives move by
+// a bounded step per call, so every process that replays the same load
+// sequence reconstructs bit-identical geometry.
+
+// ShiftCuts nudges the interior cuts of a 1-D partition toward their
+// heavier side. cuts holds the n+1 boundaries of n cells (outermost
+// cuts never move); loads holds one non-negative weight per cell. Each
+// interior cut i sits between left load l = loads[i-1] and right load
+// r = loads[i] and moves by -((l-r)/(l+r))·maxStep — toward the heavier
+// cell, shrinking it — clamped so the cut list stays monotonic. Cuts
+// are processed in ascending order against the already-updated lower
+// neighbor, which makes the sweep deterministic. Returns whether any
+// cut moved.
+func ShiftCuts(cuts, loads []float64, maxStep float64) bool {
+	if len(cuts) != len(loads)+1 || maxStep <= 0 {
+		return false
+	}
+	changed := false
+	for i := 1; i < len(cuts)-1; i++ {
+		l, r := loads[i-1], loads[i]
+		if l+r <= 0 {
+			continue
+		}
+		x := cuts[i] - (l-r)/(l+r)*maxStep
+		if x < cuts[i-1] {
+			x = cuts[i-1]
+		}
+		if x > cuts[i+1] {
+			x = cuts[i+1]
+		}
+		if x != cuts[i] {
+			cuts[i] = x
+			changed = true
+		}
+	}
+	return changed
+}
+
+// DriftSites moves under-loaded Voronoi sites toward the load centroid
+// (the load-weighted mean of the site positions — the sites' particles
+// cluster around them, so it tracks where the mass is). A site with
+// load below the mean steps along the ray to the centroid by
+// maxStep·deficit, where deficit = (mean-load)/mean, but never closer
+// than maxStep to the centroid itself: approaching sites ring the
+// cluster instead of collapsing onto one point, so each carves its own
+// sector out of the overloaded cell. Sites at or above the mean load
+// hold still — their cells shrink as the ring tightens. Every step is
+// clamped into bounds. Returns whether any site moved.
+func DriftSites(sites []geom.Vec3, loads []float64, maxStep float64, bounds geom.AABB) bool {
+	if len(sites) != len(loads) || maxStep <= 0 {
+		return false
+	}
+	var total float64
+	var weighted geom.Vec3
+	for i, l := range loads {
+		total += l
+		weighted = weighted.Add(sites[i].Scale(l))
+	}
+	if total <= 0 {
+		return false
+	}
+	centroid := weighted.Scale(1 / total)
+	mean := total / float64(len(sites))
+	changed := false
+	for i := range sites {
+		if loads[i] >= mean {
+			continue
+		}
+		d := centroid.Sub(sites[i])
+		dist := d.Len()
+		if dist <= maxStep {
+			continue
+		}
+		step := maxStep * (mean - loads[i]) / mean
+		if m := dist - maxStep; step > m {
+			step = m
+		}
+		if step <= 0 {
+			continue
+		}
+		next := bounds.Clamp(sites[i].Add(d.Scale(step / dist)))
+		if next != sites[i] {
+			sites[i] = next
+			changed = true
+		}
+	}
+	return changed
+}

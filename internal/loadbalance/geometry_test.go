@@ -1,0 +1,163 @@
+package loadbalance
+
+import (
+	"testing"
+
+	"pscluster/internal/geom"
+)
+
+func TestShiftCutsMovesTowardHeavySide(t *testing.T) {
+	cuts := []float64{0, 10, 20}
+	if !ShiftCuts(cuts, []float64{9, 1}, 2) {
+		t.Fatal("no movement reported")
+	}
+	// (l-r)/(l+r) = 0.8 → the cut moves 1.6 toward the heavy left cell.
+	if cuts[1] != 10-1.6 {
+		t.Errorf("cut at %g, want 8.4", cuts[1])
+	}
+	if cuts[0] != 0 || cuts[2] != 20 {
+		t.Error("outer cuts moved")
+	}
+}
+
+func TestShiftCutsBalancedIsFixedPoint(t *testing.T) {
+	cuts := []float64{0, 5, 10}
+	if ShiftCuts(cuts, []float64{3, 3}, 2) {
+		t.Error("balanced loads moved a cut")
+	}
+	if cuts[1] != 5 {
+		t.Errorf("cut drifted to %g", cuts[1])
+	}
+}
+
+func TestShiftCutsClampsToNeighbors(t *testing.T) {
+	// A huge step cannot push a cut past its neighbors.
+	cuts := []float64{0, 1, 10}
+	ShiftCuts(cuts, []float64{100, 0}, 50)
+	if cuts[1] < cuts[0] || cuts[1] > cuts[2] {
+		t.Fatalf("cut list lost monotonicity: %v", cuts)
+	}
+	if cuts[1] != 0 {
+		t.Errorf("cut should clamp onto the left boundary, got %g", cuts[1])
+	}
+}
+
+func TestShiftCutsMonotoneSweep(t *testing.T) {
+	// Many cells, extreme skew: the ascending sweep must keep the whole
+	// list sorted (each cut clamps against the already-updated left
+	// neighbor).
+	cuts := []float64{0, 1, 2, 3, 4, 5}
+	loads := []float64{1000, 0, 0, 0, 1000}
+	ShiftCuts(cuts, loads, 10)
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] < cuts[i-1] {
+			t.Fatalf("cuts unsorted after sweep: %v", cuts)
+		}
+	}
+}
+
+func TestShiftCutsGuards(t *testing.T) {
+	cuts := []float64{0, 5, 10}
+	if ShiftCuts(cuts, []float64{1}, 1) {
+		t.Error("length mismatch accepted")
+	}
+	if ShiftCuts(cuts, []float64{1, 2}, 0) {
+		t.Error("zero step accepted")
+	}
+	if ShiftCuts(cuts, []float64{0, 0}, 1) {
+		t.Error("all-zero loads moved a cut")
+	}
+	if cuts[1] != 5 {
+		t.Error("guard paths mutated the cuts")
+	}
+}
+
+func TestDriftSitesIdleSiteApproachesLoad(t *testing.T) {
+	box := geom.Box(geom.V(-100, -100, -100), geom.V(100, 100, 100))
+	sites := []geom.Vec3{geom.V(0, 0, 0), geom.V(10, 0, 0)}
+	if !DriftSites(sites, []float64{10, 0}, 1, box) {
+		t.Fatal("no movement reported")
+	}
+	// Centroid is site 0; the idle site has deficit 1, so it steps a
+	// full maxStep along -X. The loaded site holds still.
+	if sites[0] != geom.V(0, 0, 0) {
+		t.Error("loaded site moved")
+	}
+	if sites[1] != geom.V(9, 0, 0) {
+		t.Errorf("idle site at %v, want (9 0 0)", sites[1])
+	}
+}
+
+func TestDriftSitesNeverReachesCentroid(t *testing.T) {
+	// Repeated drifting stops one maxStep short of the centroid — the
+	// ring discipline that stops all idle sites collapsing onto one
+	// point.
+	box := geom.Box(geom.V(-100, -100, -100), geom.V(100, 100, 100))
+	sites := []geom.Vec3{geom.V(0, 0, 0), geom.V(10, 0, 0)}
+	for i := 0; i < 50; i++ {
+		DriftSites(sites, []float64{10, 0}, 1.5, box)
+	}
+	d := sites[1].Dist(geom.V(0, 0, 0))
+	if d < 1.5-1e-12 {
+		t.Errorf("idle site closed to %g, inside the maxStep ring", d)
+	}
+	if d >= 10 {
+		t.Error("idle site never approached the load")
+	}
+}
+
+func TestDriftSitesPartialDeficitScalesStep(t *testing.T) {
+	box := geom.Box(geom.V(-100, -100, -100), geom.V(100, 100, 100))
+	sites := []geom.Vec3{geom.V(0, 0, 0), geom.V(10, 0, 0)}
+	// mean = 5, deficit of site 1 = (5-2)/5 = 0.6 → step = 0.6·maxStep;
+	// centroid = (0·8 + 10·2)/10 = 2 → direction -X.
+	DriftSites(sites, []float64{8, 2}, 1, box)
+	if got := sites[1].X; got != 10-0.6 {
+		t.Errorf("site stepped to x=%g, want 9.4", got)
+	}
+}
+
+func TestDriftSitesClampsToBounds(t *testing.T) {
+	box := geom.Box(geom.V(4, -1, -1), geom.V(20, 1, 1))
+	sites := []geom.Vec3{geom.V(4, 0, 0), geom.V(19, 0, 0)}
+	DriftSites(sites, []float64{10, 0}, 1, box)
+	if sites[1].X < 4 {
+		t.Errorf("site left the bounds: %v", sites[1])
+	}
+}
+
+func TestDriftSitesGuards(t *testing.T) {
+	box := geom.Box(geom.V(-1, -1, -1), geom.V(1, 1, 1))
+	sites := []geom.Vec3{{}, {X: 1}}
+	if DriftSites(sites, []float64{1}, 1, box) {
+		t.Error("length mismatch accepted")
+	}
+	if DriftSites(sites, []float64{1, 1}, 0, box) {
+		t.Error("zero step accepted")
+	}
+	if DriftSites(sites, []float64{0, 0}, 1, box) {
+		t.Error("zero total load moved a site")
+	}
+	// Balanced loads: every site at the mean, nothing moves.
+	if DriftSites(sites, []float64{5, 5}, 1, box) {
+		t.Error("balanced loads moved a site")
+	}
+}
+
+func TestDriftSitesDeterministic(t *testing.T) {
+	box := geom.Box(geom.V(-50, -50, -50), geom.V(50, 50, 50))
+	mk := func() []geom.Vec3 {
+		return []geom.Vec3{geom.V(-10, -10, 0), geom.V(10, -10, 0), geom.V(-10, 10, 0), geom.V(10, 10, 0)}
+	}
+	a, b := mk(), mk()
+	loads := []float64{7, 1, 2, 0}
+	for i := 0; i < 10; i++ {
+		DriftSites(a, loads, 0.7, box)
+		DriftSites(b, loads, 0.7, box)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("site %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

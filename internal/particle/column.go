@@ -208,6 +208,38 @@ func (s *ColumnStore) PartitionBatch() *Batch {
 	return out
 }
 
+// PartitionOwnedBatch removes and returns every particle for which
+// keep reports false — Store.PartitionOwned in columnar form, with the
+// same output and re-add orders.
+func (s *ColumnStore) PartitionOwnedBatch(keep func(geom.Vec3) bool) *Batch {
+	out := &Batch{}
+	var moved Batch
+	for bi := range s.bins {
+		b := &s.bins[bi]
+		kept := 0
+		for i := 0; i < b.Len(); i++ {
+			switch {
+			case !keep(b.Pos[i]):
+				out.AppendIndex(b, i)
+			case s.binIndex(b.Pos[i].Component(s.axis)) != bi:
+				moved.AppendIndex(b, i)
+			default:
+				if kept != i {
+					b.copyElem(kept, i)
+				}
+				kept++
+			}
+		}
+		b.Truncate(kept)
+	}
+	s.count = 0
+	for i := range s.bins {
+		s.count += s.bins[i].Len()
+	}
+	s.AddBatch(&moved)
+	return out
+}
+
 // Resize changes the domain interval to [lo, hi) and re-bins every
 // stored particle, in the same order Store.Resize re-adds them.
 func (s *ColumnStore) Resize(lo, hi float64) {

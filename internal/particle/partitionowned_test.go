@@ -1,0 +1,158 @@
+package particle
+
+import (
+	"sort"
+	"testing"
+
+	"pscluster/internal/geom"
+)
+
+// byPos orders particles canonically for multiset comparison.
+func byPos(ps []Particle) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if a.Pos.X != b.Pos.X {
+			return a.Pos.X < b.Pos.X
+		}
+		if a.Pos.Y != b.Pos.Y {
+			return a.Pos.Y < b.Pos.Y
+		}
+		return a.Rand < b.Rand
+	})
+}
+
+// With the predicate "inside the store interval", PartitionOwned must
+// extract exactly what Partition extracts — the interval test is the
+// slab special case of ownership.
+func TestPartitionOwnedMatchesIntervalPartition(t *testing.T) {
+	mk := func(seed uint64) *Store {
+		s := mkStore(6)
+		fillUniform(s, 300, seed)
+		i := 0
+		s.ForEach(func(p *Particle) {
+			switch i % 7 {
+			case 0:
+				p.Pos.X = -4
+			case 1:
+				p.Pos.X = 123
+			}
+			i++
+		})
+		return s
+	}
+	a, b := mk(42), mk(42)
+	outA := a.Partition()
+	lo, hi := b.Bounds()
+	outB := b.PartitionOwned(func(p geom.Vec3) bool { return p.X >= lo && p.X < hi })
+
+	if len(outA) != len(outB) {
+		t.Fatalf("extracted %d vs %d", len(outA), len(outB))
+	}
+	byPos(outA)
+	byPos(outB)
+	for i := range outA {
+		if outA[i] != outB[i] {
+			t.Fatalf("moved particle %d differs: %+v vs %+v", i, outA[i], outB[i])
+		}
+	}
+	remA, remB := a.All(), b.All()
+	byPos(remA)
+	byPos(remB)
+	if len(remA) != len(remB) {
+		t.Fatalf("kept %d vs %d", len(remA), len(remB))
+	}
+	for i := range remA {
+		if remA[i] != remB[i] {
+			t.Fatalf("kept particle %d differs", i)
+		}
+	}
+}
+
+// An arbitrary (non-interval) predicate: conservation, correctness of
+// both sides, and valid re-binning of the survivors.
+func TestPartitionOwnedArbitraryPredicate(t *testing.T) {
+	s := mkStore(8)
+	fillUniform(s, 400, 9)
+	keep := func(p geom.Vec3) bool { return p.Y >= 0 } // cross-axis test
+	out := s.PartitionOwned(keep)
+	if len(out)+s.Len() != 400 {
+		t.Fatalf("conservation broken: %d out + %d kept", len(out), s.Len())
+	}
+	if len(out) == 0 || s.Len() == 0 {
+		t.Fatal("predicate should split the population")
+	}
+	for _, p := range out {
+		if keep(p.Pos) {
+			t.Fatal("owned particle extracted")
+		}
+	}
+	for _, p := range s.All() {
+		if !keep(p.Pos) {
+			t.Fatal("disowned particle kept")
+		}
+	}
+	// Survivor binning must match a fresh store.
+	fresh := mkStore(8)
+	fresh.AddSlice(s.All())
+	got, want := s.BinCounts(), fresh.BinCounts()
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("bin %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// The columnar store must agree with the AoS store exactly.
+func TestPartitionOwnedBatchColumnMatchesStore(t *testing.T) {
+	aos := mkStore(6)
+	fillUniform(aos, 300, 11)
+	col := NewColumnStore(geom.AxisX, 0, 100, 6)
+	col.AddSlice(aos.All())
+
+	keep := func(p geom.Vec3) bool { return p.X < 40 || p.Y > 2 }
+	outA := aos.PartitionOwnedBatch(keep)
+	outC := col.PartitionOwnedBatch(keep)
+
+	a, c := outA.All(), outC.All()
+	if len(a) != len(c) {
+		t.Fatalf("extracted %d vs %d", len(a), len(c))
+	}
+	byPos(a)
+	byPos(c)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("moved particle %d differs:\naos %+v\ncol %+v", i, a[i], c[i])
+		}
+	}
+	if aos.Len() != col.Len() {
+		t.Fatalf("kept %d vs %d", aos.Len(), col.Len())
+	}
+	ra, rc := aos.All(), col.All()
+	byPos(ra)
+	byPos(rc)
+	for i := range ra {
+		if ra[i] != rc[i] {
+			t.Fatalf("kept particle %d differs", i)
+		}
+	}
+}
+
+func TestPartitionOwnedKeepAllKeepNone(t *testing.T) {
+	for name, set := range map[string]Set{
+		"store":  NewStore(geom.AxisX, 0, 100, 4),
+		"column": NewColumnStore(geom.AxisX, 0, 100, 4),
+	} {
+		r := geom.NewRNG(13)
+		for i := 0; i < 50; i++ {
+			set.Add(Particle{Pos: geom.V(r.Range(0, 100), 0, 0)})
+		}
+		all := set.PartitionOwnedBatch(func(geom.Vec3) bool { return true })
+		if all.Len() != 0 || set.Len() != 50 {
+			t.Errorf("%s: keep-all moved %d, kept %d", name, all.Len(), set.Len())
+		}
+		none := set.PartitionOwnedBatch(func(geom.Vec3) bool { return false })
+		if none.Len() != 50 || set.Len() != 0 {
+			t.Errorf("%s: keep-none moved %d, kept %d", name, none.Len(), set.Len())
+		}
+	}
+}

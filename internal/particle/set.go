@@ -34,6 +34,7 @@ type Set interface {
 	Clear()
 	RemoveDead() int
 	PartitionBatch() *Batch
+	PartitionOwnedBatch(keep func(geom.Vec3) bool) *Batch
 	Resize(lo, hi float64)
 	DonateBatch(n int, side Side) (*Batch, float64)
 
@@ -93,6 +94,12 @@ func (s *Store) EachBatch(fn func(*Batch)) {
 // PartitionBatch wraps Partition in the Set interface's batch shape.
 func (s *Store) PartitionBatch() *Batch {
 	return BatchOf(s.Partition())
+}
+
+// PartitionOwnedBatch wraps PartitionOwned in the Set interface's
+// batch shape.
+func (s *Store) PartitionOwnedBatch(keep func(geom.Vec3) bool) *Batch {
+	return BatchOf(s.PartitionOwned(keep))
 }
 
 // DonateBatch wraps SelectDonation in the Set interface's batch shape.

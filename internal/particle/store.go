@@ -172,6 +172,37 @@ func (s *Store) Partition() []Particle {
 	return out
 }
 
+// PartitionOwned removes and returns every particle for which keep
+// reports false, re-binning survivors that moved between sub-domains —
+// Partition generalized from the axis-interval test to an arbitrary
+// ownership predicate (non-slab decompositions own regions no single
+// interval describes). Scan, output and re-add orders match Partition
+// exactly.
+func (s *Store) PartitionOwned(keep func(geom.Vec3) bool) []Particle {
+	var out, moved []Particle
+	for bi := range s.bins {
+		b := s.bins[bi]
+		kept := b[:0]
+		for i := range b {
+			switch {
+			case !keep(b[i].Pos):
+				out = append(out, b[i])
+			case s.binIndex(b[i].Pos.Component(s.axis)) != bi:
+				moved = append(moved, b[i])
+			default:
+				kept = append(kept, b[i])
+			}
+		}
+		s.bins[bi] = kept
+	}
+	s.count = 0
+	for _, b := range s.bins {
+		s.count += len(b)
+	}
+	s.AddSlice(moved)
+	return out
+}
+
 // Resize changes the domain interval to [lo, hi) and re-bins every
 // stored particle. Particles now outside the interval are clamped into
 // the edge bins; callers exchange them explicitly via Partition or

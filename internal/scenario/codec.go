@@ -254,6 +254,8 @@ type jsonScenario struct {
 	LBThreshold      float64      `json:"lb_threshold,omitempty"`
 	LBMinBatch       int          `json:"lb_min_batch,omitempty"`
 	Schedule         string       `json:"schedule,omitempty"` // "per-system" | "batched"
+	Decomp           string       `json:"decomp,omitempty"`   // "slab" (default) | "grid" | "voronoi"
+	DecompStep       float64      `json:"decomp_step,omitempty"`
 	GhostCollisions  bool         `json:"ghost_collisions,omitempty"`
 	PipelineFrames   bool         `json:"pipeline_frames,omitempty"`
 	AoSStore         bool         `json:"aos_store,omitempty"`
@@ -298,6 +300,15 @@ func Encode(scn core.Scenario) ([]byte, error) {
 	if scn.Schedule == core.BatchedSchedule {
 		js.Schedule = "batched"
 	}
+	// The slab default encodes as an absent field so pre-decomposition
+	// scenario files round-trip byte-identically.
+	switch scn.Decomp {
+	case core.DecompGrid:
+		js.Decomp = "grid"
+	case core.DecompVoronoi:
+		js.Decomp = "voronoi"
+	}
+	js.DecompStep = scn.DecompStep
 	for _, sys := range scn.Systems {
 		jsys := jsonSystem{Name: sys.Name, Seed: sys.Seed}
 		for _, a := range sys.Actions {
@@ -375,6 +386,17 @@ func Decode(data []byte) (core.Scenario, error) {
 	default:
 		return core.Scenario{}, fmt.Errorf("scenario: unknown schedule %q", js.Schedule)
 	}
+	switch js.Decomp {
+	case "", "slab":
+		scn.Decomp = core.DecompSlab
+	case "grid":
+		scn.Decomp = core.DecompGrid
+	case "voronoi":
+		scn.Decomp = core.DecompVoronoi
+	default:
+		return core.Scenario{}, fmt.Errorf("scenario: unknown decomposition %q", js.Decomp)
+	}
+	scn.DecompStep = js.DecompStep
 	for _, jsys := range js.Systems {
 		sys := core.System{Name: jsys.Name, Seed: jsys.Seed}
 		for _, ja := range jsys.Actions {

@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"pscluster/internal/core"
+)
+
+// TestDecompFieldRoundTrip pins the JSON spelling of every
+// decomposition mode and the slab-absence rule: a slab scenario (the
+// default) must encode without any "decomp" key, so scenario files
+// written before the decomposition plane existed stay byte-identical
+// under an encode/decode cycle.
+func TestDecompFieldRoundTrip(t *testing.T) {
+	cases := []struct {
+		mode core.DecompMode
+		step float64
+		want string // substring of the encoded JSON, "" = must be absent
+	}{
+		{core.DecompSlab, 0, ""},
+		{core.DecompGrid, 0.1, `"decomp": "grid"`},
+		{core.DecompVoronoi, 0.25, `"decomp": "voronoi"`},
+	}
+	for _, c := range cases {
+		scn := fullScenario()
+		scn.Decomp = c.mode
+		scn.DecompStep = c.step
+		data, err := Encode(scn)
+		if err != nil {
+			t.Fatalf("%v: %v", c.mode, err)
+		}
+		if c.want == "" {
+			if strings.Contains(string(data), `"decomp"`) {
+				t.Errorf("slab scenario encoded a decomp key:\n%s", data)
+			}
+		} else if !strings.Contains(string(data), c.want) {
+			t.Errorf("%v: encoded JSON missing %q", c.mode, c.want)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", c.mode, err)
+		}
+		if got.Decomp != c.mode || got.DecompStep != c.step {
+			t.Errorf("%v: round-tripped to decomp=%v step=%v", c.mode, got.Decomp, got.DecompStep)
+		}
+	}
+}
+
+// "slab" is also accepted explicitly, as the flag spelling suggests.
+func TestDecompExplicitSlab(t *testing.T) {
+	scn, err := Decode([]byte(`{"mode":"infinite","decomp":"slab","systems":[{"actions":[{"type":"move"}]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scn.Decomp != core.DecompSlab {
+		t.Errorf("explicit slab decoded to %v", scn.Decomp)
+	}
+}
+
+// FuzzDecodeDecomp drives the decoder with decomposition-bearing
+// inputs: it must never panic, must reject unknown decomposition
+// names, and anything accepted must re-encode to the same mode.
+func FuzzDecodeDecomp(f *testing.F) {
+	for _, mode := range []core.DecompMode{core.DecompSlab, core.DecompGrid, core.DecompVoronoi} {
+		scn := fullScenario()
+		scn.Decomp = mode
+		scn.DecompStep = 0.2
+		if data, err := Encode(scn); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"mode":"infinite","decomp":"voronoi","decomp_step":0.5}`))
+	f.Add([]byte(`{"mode":"infinite","decomp":"grid","decomp_step":-1}`))
+	f.Add([]byte(`{"mode":"infinite","decomp":"fractal"}`))
+	f.Add([]byte(`{"decomp":12}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scn, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := Encode(scn)
+		if err != nil {
+			t.Fatalf("accepted scenario failed to re-encode: %v", err)
+		}
+		back, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded scenario failed to decode: %v", err)
+		}
+		if back.Decomp != scn.Decomp || back.DecompStep != scn.DecompStep {
+			t.Fatalf("decomp fields drifted: %v/%v vs %v/%v",
+				scn.Decomp, scn.DecompStep, back.Decomp, back.DecompStep)
+		}
+	})
+}

@@ -71,6 +71,8 @@ func fullScenario() core.Scenario {
 		Workers:          2,
 		Unfused:          true,
 		ExchangeScanWork: 1.5,
+		Decomp:           core.DecompGrid,
+		DecompStep:       0.1,
 		Script: []core.ScriptEntry{
 			{Frame: 3, System: 0, Action: &actions.Explosion{
 				Center: geom.V(0, 5, 0), Speed: 100, Falloff: 1}},
@@ -140,6 +142,7 @@ func TestDecodeErrors(t *testing.T) {
 		"unknown lb":     `{"mode":"infinite","lb":"magic"}`,
 		"unknown axis":   `{"mode":"infinite","axis":"w"}`,
 		"unknown sched":  `{"mode":"infinite","schedule":"chaotic"}`,
+		"unknown decomp": `{"mode":"infinite","decomp":"fractal"}`,
 		"missing space":  `{"mode":"finite"}`,
 		"unknown action": `{"mode":"infinite","systems":[{"actions":[{"type":"teleport"}]}]}`,
 		"unknown domain": `{"mode":"infinite","systems":[{"actions":[{"type":"sink","domain":{"type":"blob"}}]}]}`,

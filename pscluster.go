@@ -236,6 +236,20 @@ const (
 	DecentralizedLB = core.DecentralizedLB
 )
 
+// DecompMode selects the space-partitioning strategy (Scenario.Decomp).
+type DecompMode = core.DecompMode
+
+// The decomposition strategies (see DESIGN.md §13).
+const (
+	// DecompSlab is the paper's 1-D axis-slab decomposition — the
+	// default, bit-identical to the pre-strategy engine.
+	DecompSlab = core.DecompSlab
+	// DecompGrid splits the cross plane into a 2-D grid of moving cuts.
+	DecompGrid = core.DecompGrid
+	// DecompVoronoi assigns space to drifting nearest-site cells.
+	DecompVoronoi = core.DecompVoronoi
+)
+
 // RunSequential executes the scenario on one node — the paper's
 // speedup baseline.
 func RunSequential(scn Scenario, node NodeType, comp Compiler) (*Result, error) {
