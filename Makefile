@@ -7,7 +7,7 @@ CORE_COVER_FLOOR ?= 85
 # is regenerated under comparable conditions across machines.
 BENCHTIME ?= 100x
 
-.PHONY: all build vet lint test race race-obs bench bench-tables bench-smoke decomp-smoke fuzz-smoke serve-smoke cover ci
+.PHONY: all build vet lint test race race-obs bench bench-tables bench-smoke decomp-smoke fuzz-smoke serve-smoke net-smoke cover ci
 
 all: ci
 
@@ -53,6 +53,9 @@ bench:
 	$(GO) test -run '^$$' -bench 'DecompImbalance' -benchtime 1x \
 	  ./internal/experiments/ | \
 	  tee /dev/stderr | $(GO) run ./cmd/psbench -benchjson BENCH_decomp.json
+	$(GO) test -run '^$$' -bench 'NetTransport' -benchtime $(BENCHTIME) -benchmem \
+	  ./internal/transport/ | \
+	  tee /dev/stderr | $(GO) run ./cmd/psbench -benchjson BENCH_nettransport.json
 
 # Full paper-table benchmark suite (slow; regenerates every experiment).
 bench-tables:
@@ -78,12 +81,20 @@ decomp-smoke:
 # compile. Target names are discovered with `go test -list`, so new
 # fuzzers join automatically.
 fuzz-smoke:
-	@set -e; for pkg in ./internal/scenario ./internal/particle ./internal/core ./internal/domain; do \
+	@set -e; for pkg in ./internal/scenario ./internal/particle ./internal/core ./internal/domain ./internal/transport; do \
 	  for f in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
 	    echo "fuzz $$pkg $$f"; \
 	    $(GO) test -run '^$$' -fuzz "^$$f$$" -fuzztime 10s $$pkg; \
 	  done; \
 	done
+
+# Net fabric smoke: launch a 4-process psnode loopback cluster (1
+# manager + 1 image generator + 2 calculators over real TCP sockets),
+# diff the image generator's per-frame checksums against the same
+# scenario's in-process `psanim -checksums` run, and scrape one live
+# /metrics exposition per rank.
+net-smoke:
+	GO=$(GO) sh scripts/net_smoke.sh
 
 # Telemetry smoke: run `psanim -serve` on a small scenario and drive
 # the live HTTP plane end to end — /healthz, /metrics (validated by

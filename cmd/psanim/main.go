@@ -69,6 +69,8 @@ func main() {
 		"kernel ablation: run each action as its own column pass instead of the fused kernels")
 	serve := flag.String("serve", "",
 		"serve live telemetry on this address while running (/metrics /healthz /status /trace /debug/pprof); requires an explicit -frames, keeps serving after the run until interrupted")
+	checksums := flag.Bool("checksums", false,
+		"print per-frame content checksums, diffable against a psnode -checksums image generator")
 	flag.Parse()
 
 	if err := validateFlags(*serve, *frames, *metricsOut, *traceOut); err != nil {
@@ -209,6 +211,13 @@ func main() {
 				first, steady, 1/steady)
 		} else {
 			fmt.Printf("frame cadence: first at %.3fs, remaining frames delivered immediately\n", first)
+		}
+	}
+	if *checksums {
+		// One line per frame, in the exact format psnode's image
+		// generator prints — the net-smoke script diffs the two outputs.
+		for i, c := range par.FrameChecksums {
+			fmt.Printf("frame %d checksum %016x\n", i, c)
 		}
 	}
 	fmt.Printf("exchanged particles: %d (%.1f KB total)\n",

@@ -1,0 +1,172 @@
+// Command psnode runs ONE rank of a multi-process particle-system
+// cluster over TCP — the deployable counterpart of psanim's in-process
+// run. Start one psnode per rank of a cluster config file (every
+// process must read the same file and the same scenario) and the four
+// roles execute the paper's Figure-2 pipeline over real sockets,
+// reproducing the in-process run's frame checksums and virtual times
+// bit for bit.
+//
+// Usage:
+//
+//	psnode -config cluster.json -rank N -scenario scenario.json
+//	       [-role manager|imggen|calc] [-frames N] [-serve ADDR]
+//	       [-checksums] [-iotimeout SECONDS] [-dialtimeout SECONDS]
+//
+// The config file maps ranks to roles and host:port listen addresses
+// (see internal/cluster, ParseNetMap). -role is an optional cross-check
+// against the config — the run refuses to start a rank under the wrong
+// role. -serve starts the rank's live telemetry plane (/metrics,
+// /healthz, /status, /trace, /debug/pprof) and keeps it serving after
+// the run until interrupted; -checksums prints one "frame N checksum
+// XXX" line per frame on the image generator, in the exact format
+// psanim -checksums uses, so the two runs diff cleanly.
+//
+// A quickstart walkthrough (1 manager + 2 calculators + 1 image
+// generator on loopback) is in the repository README.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pscluster/internal/cluster"
+	"pscluster/internal/core"
+	"pscluster/internal/obs"
+	"pscluster/internal/obs/live"
+	scenariojson "pscluster/internal/scenario"
+	"pscluster/internal/transport"
+)
+
+func main() {
+	config := flag.String("config", "", "cluster config JSON mapping ranks to roles and addresses (required)")
+	rank := flag.Int("rank", -1, "rank to run (required; 0 = manager, 1 = imggen, 2+ = calc)")
+	role := flag.String("role", "", "optional role cross-check: manager, imggen or calc")
+	scenarioPath := flag.String("scenario", "", "JSON scenario file (required; same file on every rank)")
+	frames := flag.Int("frames", 0, "frames to simulate (0 = scenario default; must match on every rank)")
+	serve := flag.String("serve", "",
+		"serve this rank's live telemetry on this address; keeps serving after the run until interrupted")
+	checksums := flag.Bool("checksums", false,
+		"print per-frame content checksums (image generator only), diffable against psanim -checksums")
+	ioTimeout := flag.Float64("iotimeout", 0, "per-frame socket read/write deadline in seconds (0 = default)")
+	dialTimeout := flag.Float64("dialtimeout", 0, "total per-peer dial budget in seconds (0 = default)")
+	flag.Parse()
+
+	if err := run(*config, *rank, *role, *scenarioPath, *frames, *serve,
+		*checksums, *ioTimeout, *dialTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "psnode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(config string, rank int, role, scenarioPath string, frames int,
+	serve string, checksums bool, ioTimeout, dialTimeout float64) error {
+	if config == "" || scenarioPath == "" || rank < 0 {
+		flag.Usage()
+		return fmt.Errorf("-config, -rank and -scenario are required")
+	}
+	data, err := os.ReadFile(config)
+	if err != nil {
+		return err
+	}
+	nm, err := cluster.ParseNetMap(data)
+	if err != nil {
+		return err
+	}
+	cfgRole, err := nm.Role(rank)
+	if err != nil {
+		return err
+	}
+	if role != "" && role != cfgRole {
+		return fmt.Errorf("rank %d is %q in %s, started as %q", rank, cfgRole, config, role)
+	}
+
+	scnData, err := os.ReadFile(scenarioPath)
+	if err != nil {
+		return err
+	}
+	scn, err := scenariojson.Decode(scnData)
+	if err != nil {
+		return err
+	}
+	if frames > 0 {
+		scn.Frames = frames
+	}
+
+	nCalc := nm.NCalc()
+	place, err := nm.Cluster.Place(nCalc)
+	if err != nil {
+		return err
+	}
+	opts := transport.NetOptions{
+		IOTimeout:   time.Duration(ioTimeout * float64(time.Second)),
+		DialTimeout: time.Duration(dialTimeout * float64(time.Second)),
+	}
+	fab, err := transport.ListenNet(rank, nm.NumRanks(), nm.Ranks[rank].Addr,
+		transport.DefaultCost(place, nm.Cluster.Net), opts)
+	if err != nil {
+		return err
+	}
+	defer fab.Close()
+	if err := fab.SetPeers(nm.Addrs()); err != nil {
+		return err
+	}
+	fmt.Printf("psnode rank %d (%s) listening on %s — scenario %s, %d frames, %d calculators\n",
+		rank, cfgRole, fab.Addr(), scn.Name, scn.Frames, nCalc)
+
+	var sink obs.FrameSink
+	var srv *live.Server
+	if serve != "" {
+		plane := live.NewPlane(live.Options{})
+		srv, err = live.Serve(serve, plane)
+		if err != nil {
+			return err
+		}
+		// The smoke script greps this exact line for the bound address.
+		fmt.Printf("telemetry serving on http://%s\n", srv.Addr)
+		sink = plane
+	}
+
+	res, err := core.RunNode(scn, nm.Cluster, nCalc, rank, fab, sink)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rank %d (%s) done: virtual time %.6fs, sent %d msgs (%d bytes), received %d msgs (%d bytes)\n",
+		res.Rank, res.Role, res.Time, res.MsgsSent, res.BytesSent, res.MsgsRecv, res.BytesRecv)
+	switch res.Role {
+	case core.RoleImageGen:
+		if checksums {
+			printChecksums(res.FrameChecksums)
+		}
+	case core.RoleManager:
+		fmt.Printf("load balancing: %d rounds\n", res.LBRounds)
+	case core.RoleCalc:
+		fmt.Printf("final stored particles: %d\n", res.CalcLoad)
+	}
+	// Graceful teardown before srv linger: peers may still be reading
+	// our final frames; Close waits for our readers, then drops conns.
+	if err := fab.Close(); err != nil {
+		return err
+	}
+
+	if srv != nil {
+		fmt.Println("run complete; telemetry still serving — interrupt to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		return srv.Close()
+	}
+	return nil
+}
+
+// printChecksums emits the per-frame checksum lines. The format is
+// shared with psanim -checksums: the net-smoke script diffs the two
+// outputs byte for byte.
+func printChecksums(sums []uint64) {
+	for i, c := range sums {
+		fmt.Printf("frame %d checksum %016x\n", i, c)
+	}
+}

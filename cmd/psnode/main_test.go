@@ -1,0 +1,153 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pscluster/internal/actions"
+	"pscluster/internal/core"
+	"pscluster/internal/geom"
+	scenariojson "pscluster/internal/scenario"
+)
+
+// freePorts reserves n distinct loopback ports by briefly binding them.
+// The window between release and psnode's rebind is small and the test
+// environment is quiet; the smoke script uses fixed ports instead.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	lns := make([]net.Listener, n)
+	for i := range ports {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		ports[i] = ln.Addr().(*net.TCPAddr).Port
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return ports
+}
+
+func smokeScenario() core.Scenario {
+	return core.Scenario{
+		Name: "psnode-smoke",
+		Systems: []core.System{{
+			Name: "sys0", Seed: 42,
+			Actions: []actions.Action{
+				&actions.Source{
+					Rate:  120,
+					Pos:   geom.BoxDomain{B: geom.Box(geom.V(-20, 35, -5), geom.V(20, 45, 5))},
+					Vel:   geom.BoxDomain{B: geom.Box(geom.V(-4, -12, -1), geom.V(4, -6, 1))},
+					Color: geom.PointDomain{P: geom.V(1, 1, 1)},
+					Size:  0.4, Alpha: 0.8,
+				},
+				&actions.Gravity{G: geom.V(0, -9.8, 0)},
+				&actions.Move{},
+			},
+		}},
+		Axis:   geom.AxisX,
+		Space:  geom.Box(geom.V(-60, -10, -10), geom.V(60, 60, 10)),
+		Frames: 4,
+		DT:     0.1,
+		Ratio:  4,
+		LB:     core.DynamicLB,
+	}
+}
+
+// TestRunLoopbackCluster drives the full psnode path — config parsing,
+// scenario loading, fabric setup, RunNode — as four concurrent "nodes"
+// in one process, over real loopback sockets.
+func TestRunLoopbackCluster(t *testing.T) {
+	dir := t.TempDir()
+
+	data, err := scenariojson.Encode(smokeScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scnPath := filepath.Join(dir, "scenario.json")
+	if err := os.WriteFile(scnPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ports := freePorts(t, 4)
+	roles := []string{"manager", "imggen", "calc", "calc"}
+	ranksJSON := ""
+	for r, role := range roles {
+		if r > 0 {
+			ranksJSON += ",\n"
+		}
+		ranksJSON += fmt.Sprintf(`    {"rank": %d, "role": %q, "addr": "127.0.0.1:%d"}`, r, role, ports[r])
+	}
+	cfgPath := filepath.Join(dir, "cluster.json")
+	cfg := fmt.Sprintf(`{
+  "net": "myrinet",
+  "nodes": [{"type": "B", "count": 4}],
+  "ranks": [
+%s
+  ]
+}`, ranksJSON)
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	errs := make([]error, 4)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = run(cfgPath, r, roles[r], scnPath, 0, "", r == 1, 0, 0)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "cluster.json")
+	cfg := `{
+  "net": "myrinet",
+  "nodes": [{"type": "B", "count": 4}],
+  "ranks": [
+    {"rank": 0, "role": "manager", "addr": "127.0.0.1:41101"},
+    {"rank": 1, "role": "imggen",  "addr": "127.0.0.1:41102"},
+    {"rank": 2, "role": "calc",    "addr": "127.0.0.1:41103"}
+  ]
+}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := scenariojson.Encode(smokeScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scnPath := filepath.Join(dir, "scenario.json")
+	if err := os.WriteFile(scnPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run("", 0, "", "", 0, "", false, 0, 0); err == nil {
+		t.Error("missing required flags accepted")
+	}
+	if err := run(cfgPath, 7, "", scnPath, 0, "", false, 0, 0); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if err := run(cfgPath, 0, "calc", scnPath, 0, "", false, 0, 0); err == nil {
+		t.Error("role mismatch accepted")
+	}
+	if err := run(cfgPath, 0, "", filepath.Join(dir, "missing.json"), 0, "", false, 0, 0); err == nil {
+		t.Error("missing scenario accepted")
+	}
+}

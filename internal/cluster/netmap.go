@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// This file is the deployment side of the cluster model: a NetMap binds
+// the abstract cluster (node types, network, compiler) to a concrete
+// multi-process run — which rank plays which role and where it listens.
+// cmd/psnode reads one NetMap per process; every process must read the
+// SAME file, because the cluster description feeds the cost model and
+// the placement that keep the distributed run bit-identical to the
+// in-process one.
+
+// Role names of the fixed process layout (paper §3.1.1): rank 0 is the
+// manager, rank 1 the image generator, ranks 2+ the calculators.
+const (
+	RoleManager  = "manager"
+	RoleImageGen = "imggen"
+	RoleCalc     = "calc"
+)
+
+// roleForRank returns the role the fixed layout assigns to a rank.
+func roleForRank(rank int) string {
+	switch rank {
+	case 0:
+		return RoleManager
+	case 1:
+		return RoleImageGen
+	default:
+		return RoleCalc
+	}
+}
+
+// RankSpec binds one rank to its role and listen address.
+type RankSpec struct {
+	Rank int    `json:"rank"`
+	Role string `json:"role"`
+	Addr string `json:"addr"` // host:port this rank listens on
+}
+
+// NetMap is a parsed cluster config file: the modeled cluster plus the
+// rank → (role, address) table of the processes that will run on it.
+type NetMap struct {
+	Cluster *Cluster
+	Ranks   []RankSpec
+}
+
+// netMapJSON is the on-disk form:
+//
+//	{
+//	  "net": "myrinet",
+//	  "compiler": "gcc",
+//	  "nodes": [{"type": "B", "count": 4}],
+//	  "ranks": [
+//	    {"rank": 0, "role": "manager", "addr": "127.0.0.1:42101"},
+//	    {"rank": 1, "role": "imggen",  "addr": "127.0.0.1:42102"},
+//	    {"rank": 2, "role": "calc",    "addr": "127.0.0.1:42103"},
+//	    {"rank": 3, "role": "calc",    "addr": "127.0.0.1:42104"}
+//	  ]
+//	}
+type netMapJSON struct {
+	Net      string         `json:"net"`
+	Compiler string         `json:"compiler,omitempty"`
+	Nodes    []nodeSpecJSON `json:"nodes"`
+	Ranks    []RankSpec     `json:"ranks"`
+}
+
+type nodeSpecJSON struct {
+	Type  string `json:"type"` // "A" (E60), "B" (E800), "C" (zx2000)
+	Count int    `json:"count"`
+}
+
+// ParseNetMap decodes and validates a cluster config file. Unknown
+// fields are rejected — a typo in a config that feeds the cost model
+// must fail loudly, not silently change the run.
+func ParseNetMap(data []byte) (*NetMap, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var raw netMapJSON
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("cluster: parsing net map: %w", err)
+	}
+
+	var net Network
+	switch raw.Net {
+	case "myrinet":
+		net = Myrinet
+	case "fast-ethernet":
+		net = FastEthernet
+	default:
+		return nil, fmt.Errorf("cluster: unknown network %q (want myrinet or fast-ethernet)", raw.Net)
+	}
+	var comp Compiler
+	switch raw.Compiler {
+	case "gcc", "":
+		comp = GCC
+	case "icc":
+		comp = ICC
+	default:
+		return nil, fmt.Errorf("cluster: unknown compiler %q (want gcc or icc)", raw.Compiler)
+	}
+	if len(raw.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: net map declares no nodes")
+	}
+	specs := make([]NodeSpec, len(raw.Nodes))
+	for i, n := range raw.Nodes {
+		var nt NodeType
+		switch n.Type {
+		case "A":
+			nt = TypeA
+		case "B":
+			nt = TypeB
+		case "C":
+			nt = TypeC
+		default:
+			return nil, fmt.Errorf("cluster: unknown node type %q (want A, B or C)", n.Type)
+		}
+		if n.Count <= 0 {
+			return nil, fmt.Errorf("cluster: node type %q has count %d", n.Type, n.Count)
+		}
+		specs[i] = NodeSpec{Type: nt, Count: n.Count}
+	}
+
+	if len(raw.Ranks) < 3 {
+		return nil, fmt.Errorf("cluster: net map has %d ranks; need at least 3 (manager, imggen, one calc)",
+			len(raw.Ranks))
+	}
+	addrs := map[string]int{}
+	for i, r := range raw.Ranks {
+		if r.Rank != i {
+			return nil, fmt.Errorf("cluster: ranks must be dense and ordered: entry %d has rank %d", i, r.Rank)
+		}
+		if want := roleForRank(i); r.Role != want {
+			return nil, fmt.Errorf("cluster: rank %d has role %q; the fixed layout requires %q", i, r.Role, want)
+		}
+		if r.Addr == "" {
+			return nil, fmt.Errorf("cluster: rank %d has no listen address", i)
+		}
+		if prev, dup := addrs[r.Addr]; dup {
+			return nil, fmt.Errorf("cluster: ranks %d and %d share the address %q", prev, i, r.Addr)
+		}
+		addrs[r.Addr] = i
+	}
+
+	return &NetMap{
+		Cluster: New(net, comp, specs...),
+		Ranks:   append([]RankSpec(nil), raw.Ranks...),
+	}, nil
+}
+
+// NCalc returns the calculator count of the mapped run.
+func (nm *NetMap) NCalc() int { return len(nm.Ranks) - 2 }
+
+// NumRanks returns the total process count.
+func (nm *NetMap) NumRanks() int { return len(nm.Ranks) }
+
+// Addrs returns the rank-indexed listen-address table, as the net
+// fabric's SetPeers expects it.
+func (nm *NetMap) Addrs() []string {
+	out := make([]string, len(nm.Ranks))
+	for i, r := range nm.Ranks {
+		out[i] = r.Addr
+	}
+	return out
+}
+
+// Role returns the role of a rank, or an error outside the map.
+func (nm *NetMap) Role(rank int) (string, error) {
+	if rank < 0 || rank >= len(nm.Ranks) {
+		return "", fmt.Errorf("cluster: rank %d outside net map of %d ranks", rank, len(nm.Ranks))
+	}
+	return nm.Ranks[rank].Role, nil
+}

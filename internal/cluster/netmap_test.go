@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+const validNetMap = `{
+  "net": "myrinet",
+  "compiler": "gcc",
+  "nodes": [{"type": "B", "count": 4}],
+  "ranks": [
+    {"rank": 0, "role": "manager", "addr": "127.0.0.1:42101"},
+    {"rank": 1, "role": "imggen",  "addr": "127.0.0.1:42102"},
+    {"rank": 2, "role": "calc",    "addr": "127.0.0.1:42103"},
+    {"rank": 3, "role": "calc",    "addr": "127.0.0.1:42104"}
+  ]
+}`
+
+func TestParseNetMapValid(t *testing.T) {
+	nm, err := ParseNetMap([]byte(validNetMap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.NCalc() != 2 || nm.NumRanks() != 4 {
+		t.Errorf("nCalc = %d, ranks = %d", nm.NCalc(), nm.NumRanks())
+	}
+	if nm.Cluster.Net.Name != "Myrinet" || nm.Cluster.Compiler != GCC {
+		t.Errorf("cluster = %v", nm.Cluster)
+	}
+	if len(nm.Cluster.Nodes) != 4 || nm.Cluster.Nodes[0].Type.Name != "B" {
+		t.Errorf("nodes = %v", nm.Cluster.Nodes)
+	}
+	addrs := nm.Addrs()
+	if len(addrs) != 4 || addrs[3] != "127.0.0.1:42104" {
+		t.Errorf("addrs = %v", addrs)
+	}
+	if role, _ := nm.Role(1); role != RoleImageGen {
+		t.Errorf("rank 1 role = %q", role)
+	}
+	if _, err := nm.Role(9); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}
+
+func TestParseNetMapDefaultsCompilerToGCC(t *testing.T) {
+	data := strings.Replace(validNetMap, `"compiler": "gcc",`, ``, 1)
+	nm, err := ParseNetMap([]byte(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.Cluster.Compiler != GCC {
+		t.Errorf("compiler = %v", nm.Cluster.Compiler)
+	}
+}
+
+func TestParseNetMapRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		wantErr string
+	}{
+		{"unknown network", func(s string) string {
+			return strings.Replace(s, "myrinet", "infiniband", 1)
+		}, "unknown network"},
+		{"unknown compiler", func(s string) string {
+			return strings.Replace(s, `"gcc"`, `"msvc"`, 1)
+		}, "unknown compiler"},
+		{"unknown node type", func(s string) string {
+			return strings.Replace(s, `"type": "B"`, `"type": "Z"`, 1)
+		}, "unknown node type"},
+		{"zero node count", func(s string) string {
+			return strings.Replace(s, `"count": 4`, `"count": 0`, 1)
+		}, "count 0"},
+		{"no nodes", func(s string) string {
+			return strings.Replace(s, `[{"type": "B", "count": 4}]`, `[]`, 1)
+		}, "no nodes"},
+		{"too few ranks", func(s string) string {
+			i := strings.Index(s, `,
+    {"rank": 2`)
+			return s[:i] + "\n  ]\n}"
+		}, "at least 3"},
+		{"sparse ranks", func(s string) string {
+			return strings.Replace(s, `"rank": 3`, `"rank": 7`, 1)
+		}, "dense and ordered"},
+		{"wrong role for rank", func(s string) string {
+			return strings.Replace(s, `"role": "imggen"`, `"role": "calc"`, 1)
+		}, `requires "imggen"`},
+		{"missing address", func(s string) string {
+			return strings.Replace(s, `"addr": "127.0.0.1:42103"`, `"addr": ""`, 1)
+		}, "no listen address"},
+		{"duplicate address", func(s string) string {
+			return strings.Replace(s, "127.0.0.1:42104", "127.0.0.1:42103", 1)
+		}, "share the address"},
+		{"unknown field", func(s string) string {
+			return strings.Replace(s, `"net"`, `"fabric_flavor": 1, "net"`, 1)
+		}, "unknown field"},
+		{"garbage", func(s string) string { return "{" }, "parsing net map"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseNetMap([]byte(tc.mutate(validNetMap)))
+			if err == nil {
+				t.Fatal("bad config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

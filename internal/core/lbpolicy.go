@@ -92,7 +92,7 @@ func (dynamicLB) managerSystemSteps(m *managerProc, si int) []step {
 				reports[i] = r
 				m.addFrameLoad(i, float64(r.Load))
 			}
-			m.ep.Clock.AdvanceWork(evalWorkPerCalc*float64(m.nCalc), m.rate)
+			m.ep.Clock().AdvanceWork(evalWorkPerCalc*float64(m.nCalc), m.rate)
 			m.fs.orders = m.balancers[si].Evaluate(reports, m.power)
 			if len(m.fs.orders) > 0 {
 				m.lbRounds++
@@ -226,7 +226,7 @@ func (dynamicLB) managerBatchSteps(m *managerProc) []step {
 					m.addFrameLoad(ci, float64(r.Load))
 				}
 			}
-			m.ep.Clock.AdvanceWork(evalWorkPerCalc*float64(m.nCalc*nSys), m.rate)
+			m.ep.Clock().AdvanceWork(evalWorkPerCalc*float64(m.nCalc*nSys), m.rate)
 			m.fs.ordersBySys = make([][]loadbalance.Order, nSys)
 			perCalcOrders := make([][]*loadbalance.Order, m.nCalc)
 			for c := range perCalcOrders {

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"pscluster/internal/transport"
+)
+
+// runNodesLoopback executes the scenario as NumRanks(nCalc) RunNode
+// calls over TCP loopback fabrics — one goroutine per rank, the
+// in-process stand-in for the psnode processes — and returns the
+// per-rank results.
+func runNodesLoopback(t *testing.T, scn Scenario, nCalc int) []*NodeResult {
+	t.Helper()
+	cl := testCluster(4)
+	place, err := cl.Place(nCalc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := transport.DefaultCost(place, cl.Net)
+	n := NumRanks(nCalc)
+	fabs := make([]*transport.NetFabric, n)
+	addrs := make([]string, n)
+	for r := 0; r < n; r++ {
+		f, err := transport.ListenNet(r, n, "127.0.0.1:0", cost, transport.NetOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fabs[r], addrs[r] = f, f.Addr()
+	}
+	for _, f := range fabs {
+		if err := f.SetPeers(addrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results := make([]*NodeResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = RunNode(scn, cl, nCalc, r, fabs[r], nil)
+		}(r)
+	}
+	wg.Wait()
+	for _, f := range fabs {
+		f.Close()
+	}
+	for r, e := range errs {
+		if e != nil {
+			t.Fatalf("rank %d: %v", r, e)
+		}
+	}
+	return results
+}
+
+// The acceptance property of the whole fabric abstraction: a run split
+// across net fabrics must reproduce the in-process run bit for bit —
+// same frame checksums, same frame delivery clocks, same per-process
+// virtual times, same traffic totals.
+func TestRunNodeLoopbackBitIdenticalToInProcess(t *testing.T) {
+	for _, lb := range []LBMode{StaticLB, DynamicLB} {
+		t.Run(fmt.Sprint(lb), func(t *testing.T) {
+			scn := miniSnow(lb, FiniteSpace)
+			scn.CollectParticles = false
+			const nCalc = 3
+
+			want, err := RunParallel(scn, testCluster(4), nCalc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes := runNodesLoopback(t, scn, nCalc)
+
+			img := nodes[rankImageGen]
+			if !reflect.DeepEqual(img.FrameChecksums, want.FrameChecksums) {
+				t.Errorf("frame checksums diverge:\n net %v\nvirt %v",
+					img.FrameChecksums, want.FrameChecksums)
+			}
+			if !reflect.DeepEqual(img.FrameTimes, want.FrameTimes) {
+				t.Errorf("frame times diverge:\n net %v\nvirt %v",
+					img.FrameTimes, want.FrameTimes)
+			}
+			var sent, recv, bsent, brecv int
+			for r, nr := range nodes {
+				if nr.Rank != r || nr.Role != RoleForRank(r) {
+					t.Errorf("rank %d labeled (%d, %s)", r, nr.Rank, nr.Role)
+				}
+				if nr.Time != want.PerProcTime[r] {
+					t.Errorf("rank %d clock %v, in-process %v", r, nr.Time, want.PerProcTime[r])
+				}
+				sent += nr.MsgsSent
+				recv += nr.MsgsRecv
+				bsent += nr.BytesSent
+				brecv += nr.BytesRecv
+			}
+			if sent != want.MsgsSent || bsent != want.BytesSent {
+				t.Errorf("send totals (%d msgs, %d bytes), in-process (%d, %d)",
+					sent, bsent, want.MsgsSent, want.BytesSent)
+			}
+			if recv != want.MsgsRecv || brecv != want.BytesRecv {
+				t.Errorf("recv totals (%d msgs, %d bytes), in-process (%d, %d)",
+					recv, brecv, want.MsgsRecv, want.BytesRecv)
+			}
+			var loads []int
+			for _, nr := range nodes[rankCalc0:] {
+				loads = append(loads, nr.CalcLoad)
+			}
+			if !reflect.DeepEqual(loads, want.CalcLoads) {
+				t.Errorf("calc loads %v, in-process %v", loads, want.CalcLoads)
+			}
+			if nodes[rankManager].LBRounds != want.LBRounds {
+				t.Errorf("LB rounds %d, in-process %d", nodes[rankManager].LBRounds, want.LBRounds)
+			}
+		})
+	}
+}
+
+func TestRunNodeValidatesInputs(t *testing.T) {
+	scn := miniSnow(StaticLB, FiniteSpace)
+	cl := testCluster(4)
+	place, _ := cl.Place(2)
+	cost := transport.DefaultCost(place, cl.Net)
+	fab, err := transport.ListenNet(0, 4, "127.0.0.1:0", cost, transport.NetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Close()
+	if _, err := RunNode(scn, cl, 2, 9, fab, nil); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if _, err := RunNode(scn, cl, 2, 1, fab, nil); err == nil {
+		t.Error("rank/fabric mismatch accepted")
+	}
+	if _, err := RunNode(scn, cl, 0, 0, fab, nil); err == nil {
+		t.Error("zero calculators accepted")
+	}
+}

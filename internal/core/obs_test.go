@@ -464,7 +464,7 @@ func TestProfileCoversAllRanks(t *testing.T) {
 
 // TestServedRunProfileBitNeutral is the live telemetry plane's
 // acceptance gate: attaching a live sink (the real plane, watchdogs and
-// all) must not change the run by a single bit. The Figure-2 facts — 
+// all) must not change the run by a single bit. The Figure-2 facts —
 // frame checksums, per-rank virtual clocks, trace events — and the
 // profile's metrics exposition must be byte-identical, JSON to JSON,
 // between a served run and an unserved one.

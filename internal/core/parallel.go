@@ -71,67 +71,17 @@ func runParallel(scn Scenario, cl *cluster.Cluster, nCalc int, profiled bool, si
 		return nil, nil, err
 	}
 	router := transport.NewRouter(place, cl.Net)
-	lo, hi := scn.SpaceInterval()
 
-	calcRanks := make([]int, nCalc)
-	power := make([]float64, nCalc)
-	for i := range calcRanks {
-		calcRanks[i] = rankCalc0 + i
-		if scn.IgnorePower {
-			power[i] = 1
-		} else {
-			power[i] = place.Rate(rankCalc0 + i)
-		}
-	}
-
-	newDecomps := func() ([]domain.Decomposition, error) {
-		ds := make([]domain.Decomposition, len(scn.Systems))
-		for i := range ds {
-			d, err := scn.newDecomposition(nCalc)
-			if err != nil {
-				return nil, err
-			}
-			ds[i] = d
-		}
-		return ds, nil
-	}
-
-	mgrDecomps, err := newDecomps()
+	mgr, err := newManagerProc(&scn, place, nCalc, router.Endpoint(rankManager))
 	if err != nil {
 		return nil, nil, err
 	}
-	mgr := &managerProc{
-		scn: &scn, ep: router.Endpoint(rankManager), rate: place.Rate(rankManager),
-		decomps: mgrDecomps, power: power, calcRanks: calcRanks, nCalc: nCalc,
-	}
-	img := &imageGenProc{
-		scn: &scn, ep: router.Endpoint(rankImageGen), rate: place.Rate(rankImageGen),
-		calcRanks: calcRanks,
-	}
+	img := newImageGenProc(&scn, place, nCalc, router.Endpoint(rankImageGen))
 	calcs := make([]*calcProc, nCalc)
 	for i := range calcs {
-		decomps, err := newDecomps()
+		c, err := newCalcProc(&scn, place, nCalc, i, router.Endpoint(rankCalc0+i))
 		if err != nil {
 			return nil, nil, err
-		}
-		c := &calcProc{
-			scn: &scn, idx: i, ep: router.Endpoint(rankCalc0 + i),
-			rate: place.Rate(rankCalc0 + i), decomps: decomps, nCalc: nCalc,
-			power: power,
-		}
-		c.stores = make([]particle.Set, len(scn.Systems))
-		for si := range c.stores {
-			// The store's axis interval drives sub-domain binning. Slab
-			// domains are axis intervals, so the store covers exactly the
-			// owned slice (and donation sorts only edge bins); the other
-			// strategies own regions no interval describes, so the store
-			// bins over the full extent and ownership lives in the
-			// decomposition alone.
-			slo, shi := lo, hi
-			if t, ok := decomps[si].(*domain.Table); ok {
-				slo, shi = t.Bounds(i)
-			}
-			c.stores[si] = scn.newStore(slo, shi)
 		}
 		calcs[i] = c
 	}
@@ -141,12 +91,12 @@ func runParallel(scn Scenario, cl *cluster.Cluster, nCalc int, profiled bool, si
 	// WaitGroup barrier below.
 	if profiled {
 		mgr.rec = obs.NewRecorder(rankManager, "manager")
-		mgr.ep.Obs = mgr.rec
+		mgr.ep.SetObserver(mgr.rec)
 		img.rec = obs.NewRecorder(rankImageGen, "image generator")
-		img.ep.Obs = img.rec
+		img.ep.SetObserver(img.rec)
 		for i, c := range calcs {
 			c.rec = obs.NewRecorder(rankCalc0+i, fmt.Sprintf("calculator %d", i))
-			c.ep.Obs = c.rec
+			c.ep.SetObserver(c.rec)
 		}
 		if sink != nil {
 			mgr.rec.AttachSink(sink)
@@ -271,27 +221,27 @@ func assembleResult(scn *Scenario, mgr *managerProc, img *imageGenProc, calcs []
 		LBRounds:       mgr.lbRounds,
 		FrameImbalance: mgr.imbalance,
 	}
-	res.PerProcTime = append(res.PerProcTime, mgr.ep.Clock.Now(), img.ep.Clock.Now())
+	res.PerProcTime = append(res.PerProcTime, mgr.ep.Clock().Now(), img.ep.Clock().Now())
 	for _, c := range calcs {
-		res.PerProcTime = append(res.PerProcTime, c.ep.Clock.Now())
+		res.PerProcTime = append(res.PerProcTime, c.ep.Clock().Now())
 	}
 	for _, t := range res.PerProcTime {
 		if t > res.Time {
 			res.Time = t
 		}
 	}
-	res.MsgsSent = mgr.ep.Stats.MsgsSent + img.ep.Stats.MsgsSent
-	res.BytesSent = mgr.ep.Stats.BytesSent + img.ep.Stats.BytesSent
-	res.MsgsRecv = mgr.ep.Stats.MsgsRecv + img.ep.Stats.MsgsRecv
-	res.BytesRecv = mgr.ep.Stats.BytesRecv + img.ep.Stats.BytesRecv
+	res.MsgsSent = mgr.ep.Stats().MsgsSent + img.ep.Stats().MsgsSent
+	res.BytesSent = mgr.ep.Stats().BytesSent + img.ep.Stats().BytesSent
+	res.MsgsRecv = mgr.ep.Stats().MsgsRecv + img.ep.Stats().MsgsRecv
+	res.BytesRecv = mgr.ep.Stats().BytesRecv + img.ep.Stats().BytesRecv
 	exchanged, calcMoved := 0, 0
 	for _, c := range calcs {
 		exchanged += c.exchangedStored
 		calcMoved += c.lbMovedStored
-		res.MsgsSent += c.ep.Stats.MsgsSent
-		res.BytesSent += c.ep.Stats.BytesSent
-		res.MsgsRecv += c.ep.Stats.MsgsRecv
-		res.BytesRecv += c.ep.Stats.BytesRecv
+		res.MsgsSent += c.ep.Stats().MsgsSent
+		res.BytesSent += c.ep.Stats().BytesSent
+		res.MsgsRecv += c.ep.Stats().MsgsRecv
+		res.BytesRecv += c.ep.Stats().BytesRecv
 		load := 0
 		for _, st := range c.stores {
 			load += st.Len()
@@ -320,6 +270,100 @@ func assembleResult(scn *Scenario, mgr *managerProc, img *imageGenProc, calcs []
 		}
 	}
 	return res
+}
+
+// calcRankList returns the calculator ranks for an nCalc-calculator
+// run, ascending.
+func calcRankList(nCalc int) []int {
+	ranks := make([]int, nCalc)
+	for i := range ranks {
+		ranks[i] = rankCalc0 + i
+	}
+	return ranks
+}
+
+// calcPower returns the relative compute-power vector the manager and
+// the calculators share for balancing decisions: the placement's rate
+// per calculator rank, or flat 1s when the scenario ignores power.
+func calcPower(scn *Scenario, place *cluster.Placement, nCalc int) []float64 {
+	power := make([]float64, nCalc)
+	for i := range power {
+		if scn.IgnorePower {
+			power[i] = 1
+		} else {
+			power[i] = place.Rate(rankCalc0 + i)
+		}
+	}
+	return power
+}
+
+// newDecomps builds one fresh decomposition per particle system. Every
+// process keeps its own replica (as the paper's per-process dimension
+// tables do) and updates it from the same broadcast orders.
+func newDecomps(scn *Scenario, nCalc int) ([]domain.Decomposition, error) {
+	ds := make([]domain.Decomposition, len(scn.Systems))
+	for i := range ds {
+		d, err := scn.newDecomposition(nCalc)
+		if err != nil {
+			return nil, err
+		}
+		ds[i] = d
+	}
+	return ds, nil
+}
+
+// newManagerProc builds the manager-role process state over fab. The
+// constructors are shared between the in-process runner (runParallel,
+// every role over one virtual router) and the multi-process runner
+// (RunNode, one role per OS process over a net fabric): both build
+// bit-identical process state.
+func newManagerProc(scn *Scenario, place *cluster.Placement, nCalc int, fab transport.Fabric) (*managerProc, error) {
+	decomps, err := newDecomps(scn, nCalc)
+	if err != nil {
+		return nil, err
+	}
+	return &managerProc{
+		scn: scn, ep: fab, rate: place.Rate(rankManager),
+		decomps: decomps, power: calcPower(scn, place, nCalc),
+		calcRanks: calcRankList(nCalc), nCalc: nCalc,
+	}, nil
+}
+
+// newCalcProc builds calculator idx's process state over fab.
+func newCalcProc(scn *Scenario, place *cluster.Placement, nCalc, idx int, fab transport.Fabric) (*calcProc, error) {
+	decomps, err := newDecomps(scn, nCalc)
+	if err != nil {
+		return nil, err
+	}
+	c := &calcProc{
+		scn: scn, idx: idx, ep: fab,
+		rate: place.Rate(rankCalc0 + idx), decomps: decomps, nCalc: nCalc,
+		power: calcPower(scn, place, nCalc),
+	}
+	lo, hi := scn.SpaceInterval()
+	c.stores = make([]particle.Set, len(scn.Systems))
+	for si := range c.stores {
+		// The store's axis interval drives sub-domain binning. Slab
+		// domains are axis intervals, so the store covers exactly the
+		// owned slice (and donation sorts only edge bins); the other
+		// strategies own regions no interval describes, so the store
+		// bins over the full extent and ownership lives in the
+		// decomposition alone.
+		slo, shi := lo, hi
+		if t, ok := decomps[si].(*domain.Table); ok {
+			slo, shi = t.Bounds(idx)
+		}
+		c.stores[si] = scn.newStore(slo, shi)
+	}
+	return c, nil
+}
+
+// newImageGenProc builds the image-generator process state over fab.
+func newImageGenProc(scn *Scenario, place *cluster.Placement, nCalc int, fab transport.Fabric) *imageGenProc {
+	return &imageGenProc{
+		scn: scn, ep: fab, rate: place.Rate(rankImageGen),
+		calcRanks: calcRankList(nCalc),
+	}
 }
 
 // billed inflates a payload size by the representation ratio.
@@ -358,7 +402,7 @@ func groupOwnerBatches(b *particle.Batch, d domain.Decomposition, nCalc int) []*
 
 type managerProc struct {
 	scn       *Scenario
-	ep        *transport.Endpoint
+	ep        transport.Fabric
 	rate      float64
 	decomps   []domain.Decomposition
 	power     []float64
@@ -423,12 +467,12 @@ func (m *managerProc) recordImbalance() {
 	m.imbalance = append(m.imbalance, imb)
 }
 
-func (m *managerProc) scenario() *Scenario           { return m.scn }
-func (m *managerProc) endpoint() *transport.Endpoint { return m.ep }
-func (m *managerProc) recorder() *obs.Recorder       { return m.rec }
-func (m *managerProc) rank() int                     { return rankManager }
-func (m *managerProc) beginFrame(frame int)          { m.fs = managerFrame{frame: frame} }
-func (m *managerProc) pushEvent(ev Event)            { m.events = append(m.events, ev) }
+func (m *managerProc) scenario() *Scenario        { return m.scn }
+func (m *managerProc) endpoint() transport.Fabric { return m.ep }
+func (m *managerProc) recorder() *obs.Recorder    { return m.rec }
+func (m *managerProc) rank() int                  { return rankManager }
+func (m *managerProc) beginFrame(frame int)       { m.fs = managerFrame{frame: frame} }
+func (m *managerProc) pushEvent(ev Event)         { m.events = append(m.events, ev) }
 
 func (m *managerProc) annotateLive(fr *obs.FrameRecord) {
 	fr.LBRounds = m.lbRounds
@@ -458,7 +502,7 @@ func (m *managerProc) run() error {
 type calcProc struct {
 	scn     *Scenario
 	idx     int // calculator index (rank - 2)
-	ep      *transport.Endpoint
+	ep      transport.Fabric
 	rate    float64
 	decomps []domain.Decomposition
 	stores  []particle.Set
@@ -503,10 +547,10 @@ type calcFrame struct {
 	donations []*particle.Batch
 }
 
-func (c *calcProc) scenario() *Scenario           { return c.scn }
-func (c *calcProc) endpoint() *transport.Endpoint { return c.ep }
-func (c *calcProc) recorder() *obs.Recorder       { return c.rec }
-func (c *calcProc) rank() int                     { return rankCalc0 + c.idx }
+func (c *calcProc) scenario() *Scenario        { return c.scn }
+func (c *calcProc) endpoint() transport.Fabric { return c.ep }
+func (c *calcProc) recorder() *obs.Recorder    { return c.rec }
+func (c *calcProc) rank() int                  { return rankCalc0 + c.idx }
 
 func (c *calcProc) beginFrame(frame int) {
 	work, oldLoad := c.fs.work, c.fs.oldLoad
@@ -573,7 +617,7 @@ func (c *calcProc) run() error {
 
 type imageGenProc struct {
 	scn       *Scenario
-	ep        *transport.Endpoint
+	ep        transport.Fabric
 	rate      float64
 	calcRanks []int
 
@@ -595,12 +639,12 @@ type imageFrame struct {
 	frameSum uint64
 }
 
-func (g *imageGenProc) scenario() *Scenario           { return g.scn }
-func (g *imageGenProc) endpoint() *transport.Endpoint { return g.ep }
-func (g *imageGenProc) recorder() *obs.Recorder       { return g.rec }
-func (g *imageGenProc) rank() int                     { return rankImageGen }
-func (g *imageGenProc) beginFrame(frame int)          { g.fs = imageFrame{frame: frame} }
-func (g *imageGenProc) pushEvent(ev Event)            { g.events = append(g.events, ev) }
+func (g *imageGenProc) scenario() *Scenario        { return g.scn }
+func (g *imageGenProc) endpoint() transport.Fabric { return g.ep }
+func (g *imageGenProc) recorder() *obs.Recorder    { return g.rec }
+func (g *imageGenProc) rank() int                  { return rankImageGen }
+func (g *imageGenProc) beginFrame(frame int)       { g.fs = imageFrame{frame: frame} }
+func (g *imageGenProc) pushEvent(ev Event)         { g.events = append(g.events, ev) }
 
 func (g *imageGenProc) annotateLive(fr *obs.FrameRecord) {
 	fr.FramesDone = len(g.checksums)

@@ -35,7 +35,7 @@ func always(fn func() error) func() (bool, error) {
 // and its trace sink.
 type proc interface {
 	scenario() *Scenario
-	endpoint() *transport.Endpoint
+	endpoint() transport.Fabric
 	recorder() *obs.Recorder
 	rank() int
 	// beginFrame resets the role's per-frame scratch state.
@@ -63,7 +63,7 @@ func runProgram(p proc, prog []step) error {
 		// Correlation stamping is unconditional: outbound CorrIDs are a
 		// pure function of (frame, rank, send order), observed or not.
 		ep.SetFrame(frame)
-		rec.BeginFrame(frame, ep.Clock.Now()) //pslint:span-ok a step error aborts the whole run and the profile is discarded
+		rec.BeginFrame(frame, ep.Clock().Now()) //pslint:span-ok a step error aborts the whole run and the profile is discarded
 
 		p.beginFrame(frame)
 		for i := range prog {
@@ -75,16 +75,16 @@ func runProgram(p proc, prog []step) error {
 			if !emit || s.phase == "" {
 				continue
 			}
-			now := ep.Clock.Now()
+			now := ep.Clock().Now()
 			if s.traced && scn.Trace {
 				p.pushEvent(Event{Frame: frame, System: s.sys,
 					Proc: p.rank(), Phase: s.phase, T: now})
 			}
 			rec.Phase(s.sys, s.phase, now)
 		}
-		rec.EndFrame(ep.Clock.Now())
+		rec.EndFrame(ep.Clock().Now())
 		if rec.LiveEnabled() {
-			fr := rec.SnapshotFrame(ep.Clock.Now())
+			fr := rec.SnapshotFrame(ep.Clock().Now())
 			fr.Queue = ep.QueueDepth()
 			p.annotateLive(&fr)
 			rec.Publish(fr)

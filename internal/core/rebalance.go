@@ -40,7 +40,7 @@ func (rebalanceLB) managerSystemSteps(m *managerProc, si int) []step {
 				loads[i] = r.Time
 				m.addFrameLoad(i, float64(r.Load))
 			}
-			m.ep.Clock.AdvanceWork(evalWorkPerCalc*float64(m.nCalc), m.rate)
+			m.ep.Clock().AdvanceWork(evalWorkPerCalc*float64(m.nCalc), m.rate)
 			if m.decomps[si].Rebalance(loads) {
 				m.lbRounds++
 			}
@@ -106,7 +106,7 @@ func (rebalanceLB) managerBatchSteps(m *managerProc) []step {
 					m.addFrameLoad(ci, float64(r.Load))
 				}
 			}
-			m.ep.Clock.AdvanceWork(evalWorkPerCalc*float64(m.nCalc*nSys), m.rate)
+			m.ep.Clock().AdvanceWork(evalWorkPerCalc*float64(m.nCalc*nSys), m.rate)
 			for si := range scn.Systems {
 				if m.decomps[si].Rebalance(loads[si]) {
 					m.lbRounds++

@@ -59,7 +59,7 @@ func (perSystemPlan) compileManager(m *managerProc, pol lbPolicy) []step {
 			prog = append(prog, step{phase: "particle-creation", sys: si, traced: true,
 				run: always(func() error {
 					ps := ca.Generate(m.ctxs[si])
-					m.ep.Clock.AdvanceWork(cost*float64(len(ps))*scn.Ratio, m.rate)
+					m.ep.Clock().AdvanceWork(cost*float64(len(ps))*scn.Ratio, m.rate)
 					groups := groupByOwner(ps, m.decomps[si], m.nCalc)
 					for c := 0; c < m.nCalc; c++ {
 						m.ep.SendScaled(rankCalc0+c, transport.TagParticles,
@@ -167,7 +167,7 @@ func (batchedPlan) compileManager(m *managerProc, pol lbPolicy) []step {
 					continue
 				}
 				ps := ca.Generate(m.ctxs[si])
-				m.ep.Clock.AdvanceWork(a.Cost()*float64(len(ps))*scn.Ratio, m.rate)
+				m.ep.Clock().AdvanceWork(a.Cost()*float64(len(ps))*scn.Ratio, m.rate)
 				groups := groupByOwner(ps, m.decomps[si], m.nCalc)
 				for c := 0; c < m.nCalc; c++ {
 					perCalc[c] = append(perCalc[c], groups[c])
@@ -256,19 +256,19 @@ func (c *calcProc) applyRun(si int, r *actions.Run) error {
 			return err
 		}
 		w *= scn.Ratio
-		c.ep.Clock.AdvanceWork(w, c.rate)
+		c.ep.Clock().AdvanceWork(w, c.rate)
 		c.fs.work[si] += w
 	case r.Fused != nil:
 		applyKernelToSet(st, c.ctxs[si], r.Fused, c.pool)
 		for _, a := range r.Acts {
 			w := a.Cost() * float64(st.Len()) * scn.Ratio
-			c.ep.Clock.AdvanceWork(w, c.rate)
+			c.ep.Clock().AdvanceWork(w, c.rate)
 			c.fs.work[si] += w
 		}
 	case len(r.Acts) == 1:
 		applyToSet(st, c.ctxs[si], r.Acts[0], c.pool)
 		w := r.Acts[0].Cost() * float64(st.Len()) * scn.Ratio
-		c.ep.Clock.AdvanceWork(w, c.rate)
+		c.ep.Clock().AdvanceWork(w, c.rate)
 		c.fs.work[si] += w
 	default:
 		name := "nil"
@@ -296,7 +296,7 @@ func (c *calcProc) runScripted(si int) {
 	for _, pa := range scn.scriptedFor(c.fs.frame, si) {
 		applyToSet(st, c.ctxs[si], pa, c.pool)
 		w := pa.Cost() * float64(st.Len()) * scn.Ratio
-		c.ep.Clock.AdvanceWork(w, c.rate)
+		c.ep.Clock().AdvanceWork(w, c.rate)
 		c.fs.work[si] += w
 	}
 }
@@ -323,7 +323,7 @@ func (c *calcProc) exchangeSystem(si int) error {
 	scn := c.scn
 	st := c.stores[si]
 	scanWork := scn.ExchangeScanWork * float64(st.Len()) * scn.Ratio
-	c.ep.Clock.AdvanceWork(scanWork, c.rate)
+	c.ep.Clock().AdvanceWork(scanWork, c.rate)
 	c.fs.work[si] += scanWork
 
 	out := c.partitionOut(si)
@@ -427,7 +427,7 @@ func (c *calcProc) batchedCompute(hasCreate bool) error {
 		st.RemoveDead()
 		c.fs.oldLoad[si] = st.Len()
 		scanWork := scn.ExchangeScanWork * float64(st.Len()) * scn.Ratio
-		c.ep.Clock.AdvanceWork(scanWork, c.rate)
+		c.ep.Clock().AdvanceWork(scanWork, c.rate)
 		c.fs.work[si] += scanWork
 	}
 	// The created slots alias the payload, so the message is released
@@ -520,7 +520,7 @@ func imageSteps(g *imageGenProc, collect func() error) []step {
 			return collect()
 		})},
 		{phase: "image-generation", sys: -1, traced: true, run: always(func() error {
-			g.ep.Clock.AdvanceWork(scn.Render.FrameOverhead, g.rate)
+			g.ep.Clock().AdvanceWork(scn.Render.FrameOverhead, g.rate)
 			if g.fb != nil {
 				g.fs.frameSum = g.fb.Checksum()
 				if err := maybeWriteFrame(scn, g.fs.frame, g.fb); err != nil {
@@ -528,11 +528,11 @@ func imageSteps(g *imageGenProc, collect func() error) []step {
 				}
 			}
 			g.checksums = append(g.checksums, g.fs.frameSum)
-			g.frameTimes = append(g.frameTimes, g.ep.Clock.Now())
+			g.frameTimes = append(g.frameTimes, g.ep.Clock().Now())
 			return nil
 		})},
 		{run: always(func() error {
-			g.rec.FrameDelivered(g.ep.Clock.Now())
+			g.rec.FrameDelivered(g.ep.Clock().Now())
 			if !scn.PipelineFrames {
 				g.ep.Send(rankManager, transport.TagFrameDone, nil)
 				for _, r := range g.calcRanks {
@@ -549,7 +549,7 @@ func imageSteps(g *imageGenProc, collect func() error) []step {
 func (g *imageGenProc) ingestBlob(blob []byte) error {
 	scn := g.scn
 	count := (len(blob) - 4) / renderRecordSize
-	g.ep.Clock.AdvanceWork(scn.Render.CostPerParticle*float64(count)*scn.Ratio, g.rate)
+	g.ep.Clock().AdvanceWork(scn.Render.CostPerParticle*float64(count)*scn.Ratio, g.rate)
 	g.fs.frameSum += hashRenderRecords(blob)
 	if g.fb != nil {
 		cols, err := decodeRenderColumns(blob)

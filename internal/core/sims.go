@@ -109,14 +109,14 @@ func RunSimsBaseline(scn Scenario, cl *cluster.Cluster, nCalc int) (*Result, err
 	}
 
 	res := &Result{Frames: scn.Frames, FrameChecksums: img.checksums, FrameTimes: img.frameTimes}
-	res.PerProcTime = append(res.PerProcTime, mgr.ep.Clock.Now(), img.ep.Clock.Now())
-	res.MsgsSent = mgr.ep.Stats.MsgsSent + img.ep.Stats.MsgsSent
-	res.BytesSent = mgr.ep.Stats.BytesSent + img.ep.Stats.BytesSent
+	res.PerProcTime = append(res.PerProcTime, mgr.ep.Clock().Now(), img.ep.Clock().Now())
+	res.MsgsSent = mgr.ep.Stats().MsgsSent + img.ep.Stats().MsgsSent
+	res.BytesSent = mgr.ep.Stats().BytesSent + img.ep.Stats().BytesSent
 	ghosts := 0
 	for _, c := range calcs {
-		res.PerProcTime = append(res.PerProcTime, c.ep.Clock.Now())
-		res.MsgsSent += c.ep.Stats.MsgsSent
-		res.BytesSent += c.ep.Stats.BytesSent
+		res.PerProcTime = append(res.PerProcTime, c.ep.Clock().Now())
+		res.MsgsSent += c.ep.Stats().MsgsSent
+		res.BytesSent += c.ep.Stats().BytesSent
 		ghosts += c.ghostsSent
 		load := 0
 		for _, set := range c.sets {
@@ -150,7 +150,7 @@ func RunSimsBaseline(scn Scenario, cl *cluster.Cluster, nCalc int) (*Result, err
 // simsManager creates particles and deals them round-robin.
 type simsManager struct {
 	scn   *Scenario
-	ep    *transport.Endpoint
+	ep    transport.Fabric
 	rate  float64
 	nCalc int
 }
@@ -169,7 +169,7 @@ func (m *simsManager) run() error {
 					continue
 				}
 				ps := ca.Generate(ctxs[si])
-				m.ep.Clock.AdvanceWork(a.Cost()*float64(len(ps))*scn.Ratio, m.rate)
+				m.ep.Clock().AdvanceWork(a.Cost()*float64(len(ps))*scn.Ratio, m.rate)
 				groups := make([][]particle.Particle, m.nCalc)
 				for i := range ps {
 					groups[i%m.nCalc] = append(groups[i%m.nCalc], ps[i])
@@ -193,7 +193,7 @@ func (m *simsManager) run() error {
 type simsCalc struct {
 	scn   *Scenario
 	idx   int
-	ep    *transport.Endpoint
+	ep    transport.Fabric
 	rate  float64
 	nCalc int
 	sets  [][]particle.Particle
@@ -233,13 +233,13 @@ func (c *simsCalc) run() error {
 					st := particle.NewStore(scn.Axis, lo, hi, 1)
 					st.AddSlice(c.sets[si])
 					w := act.ApplyWithGhosts(ctxs[si], st, ghosts) * scn.Ratio
-					c.ep.Clock.AdvanceWork(w, c.rate)
+					c.ep.Clock().AdvanceWork(w, c.rate)
 					c.sets[si] = st.All()
 				case actions.ParticleAction:
 					for i := range c.sets[si] {
 						act.Apply(ctxs[si], &c.sets[si][i])
 					}
-					c.ep.Clock.AdvanceWork(a.Cost()*float64(len(c.sets[si]))*scn.Ratio, c.rate)
+					c.ep.Clock().AdvanceWork(a.Cost()*float64(len(c.sets[si]))*scn.Ratio, c.rate)
 				default:
 					return fmt.Errorf("core: sims baseline cannot run action %q", a.Name())
 				}
@@ -248,7 +248,7 @@ func (c *simsCalc) run() error {
 				for i := range c.sets[si] {
 					pa.Apply(ctxs[si], &c.sets[si][i])
 				}
-				c.ep.Clock.AdvanceWork(pa.Cost()*float64(len(c.sets[si]))*scn.Ratio, c.rate)
+				c.ep.Clock().AdvanceWork(pa.Cost()*float64(len(c.sets[si]))*scn.Ratio, c.rate)
 			}
 			// Compact the dead.
 			kept := c.sets[si][:0]

@@ -1,0 +1,65 @@
+package transport_test
+
+import (
+	"testing"
+
+	"pscluster/internal/cluster"
+	"pscluster/internal/transport"
+	"pscluster/internal/transport/fabrictest"
+)
+
+// The two in-tree Fabric implementations run the same black-box
+// conformance suite: the virtual router is the deterministic reference,
+// and the TCP fabric on loopback must be indistinguishable through the
+// Fabric interface.
+
+func conformanceCost(t *testing.T, nRanks int) (transport.CostModel, *cluster.Placement, cluster.Network) {
+	t.Helper()
+	c := cluster.New(cluster.Myrinet, cluster.GCC, cluster.NodeSpec{Type: cluster.TypeB, Count: 4})
+	p, err := c.Place(nRanks - 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return transport.DefaultCost(p, c.Net), p, c.Net
+}
+
+func TestVirtualFabricConformance(t *testing.T) {
+	fabrictest.Run(t, func(t *testing.T, ranks []int, nRanks int) []transport.Fabric {
+		t.Helper()
+		_, p, net := conformanceCost(t, nRanks)
+		r := transport.NewRouter(p, net)
+		fabs := make([]transport.Fabric, len(ranks))
+		for i, rk := range ranks {
+			fabs[i] = r.Endpoint(rk)
+		}
+		return fabs
+	})
+}
+
+func TestNetFabricConformance(t *testing.T) {
+	fabrictest.Run(t, func(t *testing.T, ranks []int, nRanks int) []transport.Fabric {
+		t.Helper()
+		cost, _, _ := conformanceCost(t, nRanks)
+		fabs := make([]transport.Fabric, len(ranks))
+		addrs := make([]string, nRanks)
+		for i, rk := range ranks {
+			f, err := transport.ListenNet(rk, nRanks, "127.0.0.1:0", cost, transport.NetOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fabs[i] = f
+			addrs[rk] = f.Addr()
+		}
+		for _, f := range fabs {
+			if err := f.(*transport.NetFabric).SetPeers(addrs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Cleanup(func() {
+			for _, f := range fabs {
+				f.Close()
+			}
+		})
+		return fabs
+	})
+}

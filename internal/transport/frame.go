@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Net fabric wire framing: every message travels as one length-prefixed
+// frame
+//
+//	magic   uint32   "PSF1" — protocol/version marker
+//	corr    uint64   CorrID trace-stitching stamp
+//	ready   uint64   virtual arrival time, IEEE-754 bits
+//	from    uint32   sender rank
+//	to      uint32   receiver rank
+//	billed  uint32   billed bytes (>= payload length under scaling)
+//	plen    uint32   payload length in bytes
+//	tag     uint8    message tag
+//	payload plen bytes
+//
+// all fixed-width fields little-endian, matching the particle wire
+// codecs. Carrying ready and billed keeps the LogP virtual-time cost
+// model bit-identical across OS processes: the receiver fuses and
+// charges exactly as the in-process router does. The decoder is
+// hardened the same way the payload codecs are — magic, tag, billed and
+// length are validated against MaxFramePayload before any allocation,
+// so a corrupt or hostile peer cannot make a rank allocate unbounded
+// memory or mis-route a frame.
+
+const (
+	// frameMagic marks (and versions) every net-fabric frame: "PSF1".
+	frameMagic = 0x50534631
+
+	// frameHeaderSize is the fixed encoded header length in bytes.
+	frameHeaderSize = 4 + 8 + 8 + 4 + 4 + 4 + 4 + 1
+
+	// MaxFramePayload caps a single frame's payload — the decode-side
+	// allocation bound. It matches the wire-buffer pool's largest
+	// capacity class (bufpool maxClass, 64 MiB): no well-formed message
+	// of the model comes close, and anything larger is a corrupt or
+	// hostile frame.
+	MaxFramePayload = 1 << 26
+)
+
+// encodeFrameHeader writes the frame header for m into dst, which must
+// hold frameHeaderSize bytes. The payload follows separately (the send
+// path writes it zero-copy from the encoder's pooled buffer).
+func encodeFrameHeader(dst []byte, m *Message) {
+	le := binary.LittleEndian
+	le.PutUint32(dst[0:], frameMagic)
+	le.PutUint64(dst[4:], uint64(m.Corr))
+	le.PutUint64(dst[12:], math.Float64bits(m.Ready))
+	le.PutUint32(dst[20:], uint32(m.From))
+	le.PutUint32(dst[24:], uint32(m.To))
+	le.PutUint32(dst[28:], uint32(m.Bytes))
+	le.PutUint32(dst[32:], uint32(len(m.Payload)))
+	dst[36] = byte(m.Tag)
+}
+
+// decodeFrameHeader parses and validates one frame header, returning
+// the message metadata (Payload nil — the caller reads plen bytes
+// next) and the payload length.
+func decodeFrameHeader(h []byte) (Message, int, error) {
+	if len(h) < frameHeaderSize {
+		return Message{}, 0, fmt.Errorf("transport: truncated frame header: %d bytes, want %d",
+			len(h), frameHeaderSize)
+	}
+	le := binary.LittleEndian
+	if got := le.Uint32(h[0:]); got != frameMagic {
+		return Message{}, 0, fmt.Errorf("transport: bad frame magic %#08x", got)
+	}
+	corr := CorrID(le.Uint64(h[4:]))
+	ready := math.Float64frombits(le.Uint64(h[12:]))
+	from := le.Uint32(h[20:])
+	to := le.Uint32(h[24:])
+	billed := le.Uint32(h[28:])
+	plen := le.Uint32(h[32:])
+	tag := Tag(h[36])
+	if tag >= numTags {
+		return Message{}, 0, fmt.Errorf("transport: unknown frame tag %d", tag)
+	}
+	if plen > MaxFramePayload {
+		return Message{}, 0, fmt.Errorf("transport: frame payload %d exceeds cap %d",
+			plen, MaxFramePayload)
+	}
+	if billed < plen {
+		return Message{}, 0, fmt.Errorf("transport: frame billed %d below payload %d",
+			billed, plen)
+	}
+	if math.IsNaN(ready) || math.IsInf(ready, 0) || ready < 0 {
+		return Message{}, 0, fmt.Errorf("transport: frame ready time %v out of range", ready)
+	}
+	m := Message{
+		From: int(from), To: int(to), Tag: tag,
+		Ready: ready, Bytes: int(billed), Corr: corr,
+	}
+	return m, int(plen), nil
+}
+
+// DecodeNetFrame parses one whole frame (header + payload) from the
+// front of data, returning the message (Payload aliasing data — the
+// socket path copies into a pooled buffer instead) and the total bytes
+// consumed. It is the pure decode half of the net fabric's read loop,
+// shared with the fuzz target.
+func DecodeNetFrame(data []byte) (Message, int, error) {
+	m, plen, err := decodeFrameHeader(data)
+	if err != nil {
+		return Message{}, 0, err
+	}
+	total := frameHeaderSize + plen
+	if len(data) < total {
+		return Message{}, 0, fmt.Errorf("transport: truncated frame payload: %d bytes, want %d",
+			len(data)-frameHeaderSize, plen)
+	}
+	if plen > 0 {
+		m.Payload = data[frameHeaderSize:total]
+	}
+	return m, total, nil
+}

@@ -1,0 +1,158 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+// encodeWholeFrame builds header+payload the way the send path does.
+func encodeWholeFrame(m *Message) []byte {
+	buf := make([]byte, frameHeaderSize+len(m.Payload))
+	encodeFrameHeader(buf, m)
+	copy(buf[frameHeaderSize:], m.Payload)
+	return buf
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := Message{
+		From: 2, To: 1, Tag: TagRenderBatch,
+		Payload: []byte("twelve bytes"),
+		Ready:   3.5, Bytes: 384, Corr: MakeCorr(7, 2, 41),
+	}
+	data := encodeWholeFrame(&in)
+	out, n, err := DecodeNetFrame(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(data) {
+		t.Errorf("consumed %d of %d bytes", n, len(data))
+	}
+	if out.From != 2 || out.To != 1 || out.Tag != TagRenderBatch ||
+		out.Ready != 3.5 || out.Bytes != 384 || out.Corr != in.Corr {
+		t.Errorf("decoded %+v", out)
+	}
+	if !bytes.Equal(out.Payload, in.Payload) {
+		t.Errorf("payload = %q", out.Payload)
+	}
+}
+
+func TestFrameRoundTripEmptyPayload(t *testing.T) {
+	in := Message{From: 0, To: 3, Tag: TagFrameDone, Ready: 0, Bytes: 0}
+	out, n, err := DecodeNetFrame(encodeWholeFrame(&in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != frameHeaderSize || out.Payload != nil {
+		t.Errorf("empty frame: consumed %d, payload %v", n, out.Payload)
+	}
+}
+
+// TestDecodeFrameRejectsCorruption drives the decoder through every
+// validation branch with deliberately damaged headers.
+func TestDecodeFrameRejectsCorruption(t *testing.T) {
+	le := binary.LittleEndian
+	valid := func() []byte {
+		return encodeWholeFrame(&Message{
+			From: 2, To: 1, Tag: TagParticles,
+			Payload: []byte("payload"), Ready: 1.0, Bytes: 7,
+		})
+	}
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "truncated frame header"},
+		{"short header", func(b []byte) []byte { return b[:frameHeaderSize-1] }, "truncated frame header"},
+		{"bad magic", func(b []byte) []byte { le.PutUint32(b, 0xdeadbeef); return b }, "bad frame magic"},
+		{"unknown tag", func(b []byte) []byte { b[36] = byte(numTags); return b }, "unknown frame tag"},
+		{"oversized payload length", func(b []byte) []byte {
+			le.PutUint32(b[32:], MaxFramePayload+1)
+			return b
+		}, "exceeds cap"},
+		{"billed below payload", func(b []byte) []byte { le.PutUint32(b[28:], 3); return b }, "billed 3 below payload"},
+		{"NaN ready", func(b []byte) []byte {
+			le.PutUint64(b[12:], math.Float64bits(math.NaN()))
+			return b
+		}, "ready time"},
+		{"infinite ready", func(b []byte) []byte {
+			le.PutUint64(b[12:], math.Float64bits(math.Inf(1)))
+			return b
+		}, "ready time"},
+		{"negative ready", func(b []byte) []byte {
+			le.PutUint64(b[12:], math.Float64bits(-1.5))
+			return b
+		}, "ready time"},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-2] }, "truncated frame payload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := DecodeNetFrame(tc.mutate(valid()))
+			if err == nil {
+				t.Fatal("corrupt frame decoded without error")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestDecodeFrameCapBoundsAllocation: the payload-length cap must be
+// checked before any allocation — a hostile 4 GiB length field must be
+// rejected outright, and the largest legal length accepted.
+func TestDecodeFrameCapBoundsAllocation(t *testing.T) {
+	var hdr [frameHeaderSize]byte
+	encodeFrameHeader(hdr[:], &Message{From: 2, To: 1, Tag: TagParticles})
+	le := binary.LittleEndian
+	le.PutUint32(hdr[28:], math.MaxUint32) // billed
+	le.PutUint32(hdr[32:], math.MaxUint32) // plen
+	if _, _, err := DecodeNetFrame(hdr[:]); err == nil ||
+		!strings.Contains(err.Error(), "exceeds cap") {
+		t.Errorf("4 GiB length field: err = %v", err)
+	}
+	le.PutUint32(hdr[28:], MaxFramePayload)
+	le.PutUint32(hdr[32:], MaxFramePayload)
+	if _, _, err := DecodeNetFrame(hdr[:]); err == nil ||
+		!strings.Contains(err.Error(), "truncated frame payload") {
+		t.Errorf("cap-sized frame must pass the header check: err = %v", err)
+	}
+}
+
+// FuzzDecodeNetFrame hammers the decoder with arbitrary bytes: it must
+// never panic, and an accepted frame must re-encode to the exact bytes
+// it was decoded from (the codec is bijective on valid frames).
+func FuzzDecodeNetFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeWholeFrame(&Message{
+		From: 2, To: 1, Tag: TagParticles,
+		Payload: []byte("seed payload"), Ready: 2.25, Bytes: 120,
+		Corr: MakeCorr(3, 2, 9),
+	}))
+	f.Add(encodeWholeFrame(&Message{From: 0, To: 5, Tag: TagFrameDone}))
+	bad := encodeWholeFrame(&Message{From: 1, To: 0, Tag: TagGhosts, Payload: []byte("x"), Bytes: 1})
+	bad[0] ^= 0xff
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := DecodeNetFrame(data)
+		if err != nil {
+			return
+		}
+		if n < frameHeaderSize || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		if m.Tag >= numTags {
+			t.Fatalf("accepted unknown tag %d", m.Tag)
+		}
+		if len(m.Payload) > MaxFramePayload || m.Bytes < len(m.Payload) {
+			t.Fatalf("accepted payload %d billed %d", len(m.Payload), m.Bytes)
+		}
+		reenc := encodeWholeFrame(&m)
+		if !bytes.Equal(reenc, data[:n]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", reenc, data[:n])
+		}
+	})
+}

@@ -1,0 +1,287 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"pscluster/internal/cluster"
+)
+
+// netFabrics builds TCP loopback fabrics for the given ranks of an
+// nRanks-process run, fully wired (every listener up, peer table set)
+// and torn down with the test.
+func netFabrics(t testing.TB, ranks []int, nRanks int) []*NetFabric {
+	t.Helper()
+	c := cluster.New(cluster.Myrinet, cluster.GCC, cluster.NodeSpec{Type: cluster.TypeB, Count: 4})
+	p, err := c.Place(nRanks - 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := DefaultCost(p, c.Net)
+	fabs := make([]*NetFabric, len(ranks))
+	addrs := make([]string, nRanks)
+	for i, r := range ranks {
+		f, err := ListenNet(r, nRanks, "127.0.0.1:0", cost, NetOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fabs[i] = f
+		addrs[r] = f.Addr()
+	}
+	for _, f := range fabs {
+		if err := f.SetPeers(addrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, f := range fabs {
+			f.Close()
+		}
+	})
+	return fabs
+}
+
+func TestNetSendRecvBasic(t *testing.T) {
+	fabs := netFabrics(t, []int{2, 3}, 4)
+	a, b := fabs[0], fabs[1]
+	a.Send(3, TagParticles, []byte("hello"))
+	m := b.Recv(2, TagParticles)
+	if string(m.Payload) != "hello" || m.From != 2 || m.Tag != TagParticles {
+		t.Errorf("got %+v", m)
+	}
+	m.Release()
+}
+
+// The same message script over the virtual router and the TCP fabric
+// must leave bit-identical virtual clocks, stats and correlation stamps
+// — the property the whole multi-process design rests on.
+func TestNetVirtualClockParity(t *testing.T) {
+	script := func(a, b Fabric) ([]CorrID, []CorrID) {
+		a.SetFrame(3)
+		b.SetFrame(3)
+		a.Clock().Advance(0.5)
+		a.SendSized(b.Rank(), TagParticles, make([]byte, 1000), 32000)
+		a.Send(b.Rank(), TagLBOrder, nil)
+		m1 := b.Recv(a.Rank(), TagParticles)
+		m2 := b.Recv(a.Rank(), TagLBOrder)
+		b.Clock().Advance(0.25)
+		b.SendScaled(a.Rank(), TagLoadReport, make([]byte, 64), 16)
+		m3 := a.Recv(b.Rank(), TagLoadReport)
+		return []CorrID{m1.Corr, m2.Corr, m3.Corr},
+			[]CorrID{MakeCorr(3, a.Rank(), 0), MakeCorr(3, a.Rank(), 1), MakeCorr(3, b.Rank(), 0)}
+	}
+
+	_, va, vb := twoProcRouter(t)
+	vCorr, vWant := script(va, vb)
+	if !reflect.DeepEqual(vCorr, vWant) {
+		t.Fatalf("virtual corr stamps %v, want %v", vCorr, vWant)
+	}
+
+	fabs := netFabrics(t, []int{2, 3}, 4)
+	na, nb := fabs[0], fabs[1]
+	nCorr, _ := script(na, nb)
+	if !reflect.DeepEqual(nCorr, vCorr) {
+		t.Errorf("net corr stamps %v, virtual %v", nCorr, vCorr)
+	}
+	if na.Clock().Now() != va.Clock().Now() || nb.Clock().Now() != vb.Clock().Now() {
+		t.Errorf("clocks diverge: net (%v, %v) virtual (%v, %v)",
+			na.Clock().Now(), nb.Clock().Now(), va.Clock().Now(), vb.Clock().Now())
+	}
+	if !reflect.DeepEqual(na.Stats(), va.Stats()) || !reflect.DeepEqual(nb.Stats(), vb.Stats()) {
+		t.Errorf("stats diverge:\nnet a %+v\nvirt a %+v\nnet b %+v\nvirt b %+v",
+			na.Stats(), va.Stats(), nb.Stats(), vb.Stats())
+	}
+}
+
+// Socket receive paths must hand every receiver its own pool-backed
+// payload copy: a sender broadcasting one buffer to two peers must not
+// create shared ownership, and both receivers may Release
+// unconditionally. Run under -race this also asserts the reader
+// goroutines never touch a delivered payload again.
+func TestNetRecvPayloadsUniquelyOwned(t *testing.T) {
+	fabs := netFabrics(t, []int{0, 2, 3}, 4)
+	src := fabs[0]
+	shared := []byte("broadcast payload shared between two receivers")
+	src.Send(2, TagLBOrder, shared)
+	src.Send(3, TagLBOrder, shared)
+	m2 := fabs[1].Recv(0, TagLBOrder)
+	m3 := fabs[2].Recv(0, TagLBOrder)
+	if string(m2.Payload) != string(shared) || string(m3.Payload) != string(shared) {
+		t.Fatalf("payloads corrupted: %q / %q", m2.Payload, m3.Payload)
+	}
+	if &m2.Payload[0] == &shared[0] || &m3.Payload[0] == &shared[0] {
+		t.Error("received payload aliases the sender's buffer")
+	}
+	if &m2.Payload[0] == &m3.Payload[0] {
+		t.Error("two receivers share one payload buffer")
+	}
+	// The fix for the broadcast double-Release hazard: on the net fabric
+	// BOTH receivers of a shared send may Release — each owns its copy.
+	m2.Release()
+	m3.Release()
+	// The sender's buffer is untouched and still the sender's to reuse.
+	if string(shared) != "broadcast payload shared between two receivers" {
+		t.Error("sender buffer clobbered")
+	}
+}
+
+func TestNetTagDemuxAndQueueDepth(t *testing.T) {
+	fabs := netFabrics(t, []int{2, 3}, 4)
+	a, b := fabs[0], fabs[1]
+	a.Send(3, TagParticles, []byte("p"))
+	a.Send(3, TagLoadReport, []byte("l"))
+	a.Send(3, TagParticles, []byte("q"))
+	if m := b.Recv(2, TagLoadReport); string(m.Payload) != "l" {
+		t.Errorf("load report = %q", m.Payload)
+	}
+	// The two particles messages are stashed or in flight; they must
+	// come out in send order.
+	if m := b.Recv(2, TagParticles); string(m.Payload) != "p" {
+		t.Errorf("first particles = %q", m.Payload)
+	}
+	if m := b.Recv(2, TagParticles); string(m.Payload) != "q" {
+		t.Errorf("second particles = %q", m.Payload)
+	}
+	if d := b.QueueDepth(); d != 0 {
+		t.Errorf("queue depth after draining = %d", d)
+	}
+}
+
+func TestNetAbortUnblocksRecv(t *testing.T) {
+	fabs := netFabrics(t, []int{2, 3}, 4)
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		fabs[0].Recv(3, TagParticles)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the Recv block
+	fabs[0].Abort()
+	p := <-done
+	if err, ok := p.(error); !ok || !errors.Is(err, ErrAborted) {
+		t.Errorf("blocked Recv panicked with %v, want ErrAborted", p)
+	}
+}
+
+func TestNetSendAfterAbortPanics(t *testing.T) {
+	fabs := netFabrics(t, []int{2, 3}, 4)
+	fabs[0].Abort()
+	defer func() {
+		if p := recover(); p == nil {
+			t.Error("send after abort did not panic")
+		}
+	}()
+	fabs[0].Send(3, TagParticles, []byte("x"))
+}
+
+// Per-peer teardown: closing the send connection to one peer must be
+// transparent — the next send dials a fresh connection.
+func TestNetClosePeerRedials(t *testing.T) {
+	fabs := netFabrics(t, []int{2, 3}, 4)
+	a, b := fabs[0], fabs[1]
+	a.Send(3, TagParticles, []byte("before"))
+	if m := b.Recv(2, TagParticles); string(m.Payload) != "before" {
+		t.Fatalf("first message = %q", m.Payload)
+	}
+	a.ClosePeer(3)
+	a.Send(3, TagParticles, []byte("after"))
+	if m := b.Recv(2, TagParticles); string(m.Payload) != "after" {
+		t.Fatalf("post-teardown message = %q", m.Payload)
+	}
+}
+
+// A peer writing garbage must fail the fabric with a descriptive error,
+// not ErrAborted — the run operator needs to know the frame stream was
+// corrupt.
+func TestNetCorruptFrameFailsFabric(t *testing.T) {
+	fabs := netFabrics(t, []int{2, 3}, 4)
+	b := fabs[1]
+	conn, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(make([]byte, frameHeaderSize)); err != nil {
+		t.Fatal(err)
+	}
+	p := func() (p any) {
+		defer func() { p = recover() }()
+		b.Recv(2, TagParticles)
+		return nil
+	}()
+	perr, ok := p.(error)
+	if !ok {
+		t.Fatalf("recv on corrupted fabric returned %v, want error panic", p)
+	}
+	if errors.Is(perr, ErrAborted) {
+		t.Error("corruption reported as plain ErrAborted — error detail lost")
+	}
+	if !strings.Contains(perr.Error(), "magic") {
+		t.Errorf("error %q does not describe the bad frame", perr)
+	}
+}
+
+func TestNetMisaddressedFrameFailsFabric(t *testing.T) {
+	fabs := netFabrics(t, []int{2, 3}, 4)
+	b := fabs[1]
+	conn, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	frame := encodeWholeFrame(&Message{From: 2, To: 0, Tag: TagParticles}) // b is rank 3
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	p := func() (p any) {
+		defer func() { p = recover() }()
+		b.Recv(2, TagParticles)
+		return nil
+	}()
+	perr, ok := p.(error)
+	if !ok || !strings.Contains(perr.Error(), "addressed to rank 0") {
+		t.Errorf("misaddressed frame: panic = %v", p)
+	}
+}
+
+func TestNetSetPeersValidatesLength(t *testing.T) {
+	fabs := netFabrics(t, []int{2}, 4)
+	if err := fabs[0].SetPeers([]string{"127.0.0.1:1"}); err == nil {
+		t.Error("short peer table accepted")
+	}
+}
+
+func TestNetSendToSelfPanics(t *testing.T) {
+	fabs := netFabrics(t, []int{2, 3}, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("send-to-self did not panic")
+		}
+	}()
+	fabs[0].Send(2, TagParticles, nil)
+}
+
+func TestNetCloseIsIdempotentAndQuiet(t *testing.T) {
+	fabs := netFabrics(t, []int{2, 3}, 4)
+	a, b := fabs[0], fabs[1]
+	a.Send(3, TagParticles, []byte("x"))
+	m := b.Recv(2, TagParticles)
+	m.Release()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// b's reader saw a's connection drop after Close — a deliberate
+	// teardown must not have recorded an error.
+	b.mu.Lock()
+	err := b.firstErr
+	b.mu.Unlock()
+	if err != nil {
+		t.Errorf("peer recorded error after clean close: %v", err)
+	}
+}

@@ -1,6 +1,9 @@
 // Package transport is the message-passing substrate of the model — the
-// stand-in for the MPI layer the paper's library used. Processes are
-// goroutines; each owns an Endpoint with a private virtual clock.
+// stand-in for the MPI layer the paper's library used. The engines talk
+// to an abstract Fabric (fabric.go); this file implements the virtual
+// fabric, where processes are goroutines and each owns an Endpoint with
+// a private virtual clock. The net fabric (net.go) carries the same
+// protocol between OS processes over TCP.
 //
 // The cost model is LogGP-flavoured with receiver occupancy:
 //
@@ -34,8 +37,8 @@ import (
 )
 
 // ErrAborted is the panic value raised out of blocked Send/Recv calls
-// when the run is torn down by Router.Abort. Process wrappers recover
-// it and exit quietly.
+// when the run is torn down by Abort. Process wrappers recover it and
+// exit quietly.
 var ErrAborted = errors.New("transport: run aborted")
 
 // Tag classifies messages by the model phase they belong to (Figure 2).
@@ -71,9 +74,9 @@ func (t Tag) String() string {
 // CorrID is the cross-rank trace-stitching stamp every wire message
 // carries: (frame, sender rank, per-frame send sequence) packed into a
 // uint64. The observability layer uses it to connect the sender's and
-// receiver's span trees in one trace; when the real-network transport
-// replaces the in-process router, the same ID travels in the message
-// header and the stitching works across OS processes unchanged.
+// receiver's span trees in one trace; over the net fabric the same ID
+// travels in the frame header and the stitching works across OS
+// processes unchanged.
 type CorrID uint64
 
 // MakeCorr packs (frame, rank, seq) into a CorrID. Frame occupies the
@@ -107,10 +110,13 @@ type Message struct {
 // clears it. Call it only when this receiver uniquely owns the payload
 // — the sender encoded it through the pooled wire codecs for this
 // destination alone — and only after the payload is fully decoded.
-// Payloads a sender shares between several receivers (broadcast
-// dimension tables, replicated load reports) must never be released:
-// a missed Release merely leaves the buffer to the garbage collector,
-// but a double Put would hand the same backing memory to two users.
+// Over the virtual fabric, payloads a sender shares between several
+// receivers (broadcast dimension tables, replicated load reports) must
+// never be released: a missed Release merely leaves the buffer to the
+// garbage collector, but a double Put would hand the same backing
+// memory to two users. The net fabric removes that hazard class on its
+// receive path by construction — every received payload is a pool-
+// backed copy owned uniquely by this receiver (see NetFabric).
 func (m *Message) Release() {
 	if m.Payload == nil {
 		return
@@ -151,35 +157,26 @@ type Observer interface {
 	MsgRecv(from int, tag string, bytes int, corr CorrID, wait, ser, now float64)
 }
 
-// Router connects the processes of one run. Inboxes are buffered
-// channels; capacity is sized so that the model's phase-structured
-// communication can never fill one.
+// Router connects the processes of one in-process run. Inboxes are
+// buffered channels; capacity is sized so that the model's
+// phase-structured communication can never fill one.
 type Router struct {
-	place   *cluster.Placement
-	net     cluster.Network
 	inboxes []chan Message
 
 	abort     chan struct{}
 	abortOnce sync.Once
 
-	// SendCPU is the sender-side per-byte packing cost in seconds.
-	SendCPU float64
-	// LocalLatency and LocalBandwidth apply between processes on the
-	// same node (shared memory instead of the network).
-	LocalLatency   float64
-	LocalBandwidth float64
+	// Cost is the virtual-time accounting shared with every Endpoint
+	// the router hands out. Adjust it before the first Endpoint call.
+	Cost CostModel
 }
 
 // NewRouter builds a router for every process of the placement.
 func NewRouter(place *cluster.Placement, net cluster.Network) *Router {
 	r := &Router{
-		place:          place,
-		net:            net,
-		inboxes:        make([]chan Message, place.NumProcs()),
-		abort:          make(chan struct{}),
-		SendCPU:        2e-10, // ~0.2 ns/byte of packing work
-		LocalLatency:   1e-6,
-		LocalBandwidth: 2e9, // on-node memory copy
+		inboxes: make([]chan Message, place.NumProcs()),
+		abort:   make(chan struct{}),
+		Cost:    DefaultCost(place, net),
 	}
 	for i := range r.inboxes {
 		r.inboxes[i] = make(chan Message, 1<<14)
@@ -187,56 +184,24 @@ func NewRouter(place *cluster.Placement, net cluster.Network) *Router {
 	return r
 }
 
-// Endpoint returns the endpoint for process rank.
+// Endpoint returns the virtual fabric for process rank.
 func (r *Router) Endpoint(rank int) *Endpoint {
 	return &Endpoint{
-		rank:   rank,
-		router: r,
-		Stats: Stats{
-			ByTag: map[Tag]int{}, ByTagRecv: map[Tag]int{},
-			MsgsByTag: map[Tag]int{}, MsgsByTagRecv: map[Tag]int{},
-		},
+		endpointCore: newEndpointCore(rank, r.Cost),
+		router:       r,
 	}
 }
 
-// Endpoint is one process's handle on the router. It is owned by a
-// single goroutine; Clock, Stats and Obs are not synchronized.
+// Endpoint is one process's handle on the virtual router — the
+// in-process Fabric implementation. It is owned by a single goroutine;
+// Clock, Stats and the observer are not synchronized.
 type Endpoint struct {
-	rank   int
+	endpointCore
 	router *Router
-	Clock  cluster.Clock
-	Stats  Stats
-
-	// Obs, when non-nil, is notified of every send and consumed receive.
-	// Set it before the run starts; it is called on the owning goroutine.
-	Obs Observer
-
-	// frame and seq feed the CorrID stamped on every outbound message:
-	// the engine's frame loop calls SetFrame at each frame boundary and
-	// seq counts sends within the frame. Both are deterministic functions
-	// of the run, so stamps are identical whether or not anyone observes.
-	frame int
-	seq   int
-
-	// pending holds received-but-unmatched messages, keyed by (from, tag).
-	pending map[pendKey][]Message
 }
 
-type pendKey struct {
-	from int
-	tag  Tag
-}
-
-// Rank returns this endpoint's process rank.
-func (e *Endpoint) Rank() int { return e.rank }
-
-// SetFrame marks the start of frame f for correlation stamping: the
-// per-frame send sequence resets so outbound CorrIDs read
-// (f, rank, 0..n). Called by the owning goroutine only.
-func (e *Endpoint) SetFrame(f int) {
-	e.frame = f
-	e.seq = 0
-}
+// Endpoint implements Fabric.
+var _ Fabric = (*Endpoint)(nil)
 
 // QueueDepth returns how many inbound messages are waiting on this
 // endpoint: stashed-but-unmatched messages plus the inbox channel
@@ -273,34 +238,13 @@ func (e *Endpoint) SendScaled(to int, tag Tag, payload []byte, ratio float64) {
 // when a representation ratio inflates the virtual traffic). The
 // sender's clock advances by the packing cost; Send never blocks.
 func (e *Endpoint) SendSized(to int, tag Tag, payload []byte, bytes int) {
-	if to == e.rank {
-		panic("transport: send to self")
-	}
-	if bytes < len(payload) {
-		panic("transport: billed bytes smaller than payload")
-	}
-	r := e.router
-	pack := r.SendCPU * float64(bytes)
-	e.Clock.Advance(pack)
-	lat := r.net.Latency
-	if r.place.SameNode(e.rank, to) {
-		lat = r.LocalLatency
-	}
-	corr := MakeCorr(e.frame, e.rank, e.seq)
-	e.seq++
-	e.Stats.MsgsSent++
-	e.Stats.BytesSent += bytes
-	e.Stats.ByTag[tag] += bytes
-	e.Stats.MsgsByTag[tag]++
-	if e.Obs != nil {
-		e.Obs.MsgSent(to, tag.String(), bytes, corr, pack, e.Clock.Now())
-	}
+	corr, ready := e.chargeSend(to, tag, len(payload), bytes)
 	select {
-	case r.inboxes[to] <- Message{
+	case e.router.inboxes[to] <- Message{
 		From: e.rank, To: to, Tag: tag, Payload: payload,
-		Ready: e.Clock.Now() + lat, Bytes: bytes, Corr: corr,
+		Ready: ready, Bytes: bytes, Corr: corr,
 	}:
-	case <-r.abort:
+	case <-e.router.abort:
 		panic(ErrAborted)
 	}
 }
@@ -310,6 +254,13 @@ func (e *Endpoint) SendSized(to int, tag Tag, payload []byte, bytes int) {
 // is idempotent.
 func (r *Router) Abort() { r.abortOnce.Do(func() { close(r.abort) }) }
 
+// Abort tears down the whole router this endpoint belongs to (every
+// rank of the run, matching the net fabric's process-kill semantics).
+func (e *Endpoint) Abort() { e.router.Abort() }
+
+// Close is a no-op: the virtual fabric holds no OS resources.
+func (e *Endpoint) Close() error { return nil }
+
 // Recv blocks until a message with the given tag from the given sender
 // is available, fuses the clock with its ready time, pays the ingest
 // serialization cost, and returns it. Messages for other (sender, tag)
@@ -317,38 +268,11 @@ func (r *Router) Abort() { r.abortOnce.Do(func() { close(r.abort) }) }
 func (e *Endpoint) Recv(from int, tag Tag) Message {
 	key := pendKey{from, tag}
 	for {
-		if q := e.pending[key]; len(q) > 0 {
-			m := q[0]
-			e.pending[key] = q[1:]
+		if m, ok := e.takePending(key); ok {
 			e.ingest(m)
 			return m
 		}
 		e.stashOne()
-	}
-}
-
-// ingest applies the receive-side cost model to a consumed message and
-// updates the receive-side statistics. The time spent blocked on the
-// sender is the clock-fuse delta — the difference between the receiver's
-// clock before the fuse and the message's ready time.
-func (e *Endpoint) ingest(m Message) {
-	wait := m.Ready - e.Clock.Now()
-	if wait < 0 {
-		wait = 0
-	}
-	e.Clock.Fuse(m.Ready)
-	bw := e.router.net.Bandwidth
-	if e.router.place.SameNode(m.From, e.rank) {
-		bw = e.router.LocalBandwidth
-	}
-	ser := float64(m.Bytes) / bw
-	e.Clock.Advance(ser)
-	e.Stats.MsgsRecv++
-	e.Stats.BytesRecv += m.Bytes
-	e.Stats.ByTagRecv[m.Tag] += m.Bytes
-	e.Stats.MsgsByTagRecv[m.Tag]++
-	if e.Obs != nil {
-		e.Obs.MsgRecv(m.From, m.Tag.String(), m.Bytes, m.Corr, wait, ser, e.Clock.Now())
 	}
 }
 
@@ -372,19 +296,5 @@ func (e *Endpoint) stashOne() {
 	case <-e.router.abort:
 		panic(ErrAborted)
 	}
-	if e.pending == nil {
-		e.pending = map[pendKey][]Message{}
-	}
-	key := pendKey{m.From, m.Tag}
-	e.pending[key] = append(e.pending[key], m)
-}
-
-// PendingCount returns how many messages are buffered but unconsumed —
-// zero at the end of a well-formed run.
-func (e *Endpoint) PendingCount() int {
-	n := 0
-	for _, q := range e.pending {
-		n += len(q)
-	}
-	return n
+	e.stash(m)
 }

@@ -31,12 +31,12 @@ func TestSendRecvBasic(t *testing.T) {
 
 func TestRecvFusesClockAndPaysIngest(t *testing.T) {
 	_, a, b := twoProcRouter(t)
-	a.Clock.Advance(5)
+	a.Clock().Advance(5)
 	a.Send(3, TagParticles, make([]byte, 1000))
 	m := b.Recv(2, TagParticles)
 	// Receiver ends at ready time + serialization.
 	want := m.Ready + 1000/cluster.Myrinet.Bandwidth
-	if got := b.Clock.Now(); got != want {
+	if got := b.Clock().Now(); got != want {
 		t.Errorf("clock %v, want %v", got, want)
 	}
 	// Ready must include send time and latency.
@@ -48,10 +48,10 @@ func TestRecvFusesClockAndPaysIngest(t *testing.T) {
 func TestRecvDoesNotLowerClock(t *testing.T) {
 	_, a, b := twoProcRouter(t)
 	a.Send(3, TagParticles, nil)
-	b.Clock.Advance(100)
+	b.Clock().Advance(100)
 	b.Recv(2, TagParticles)
-	if b.Clock.Now() != 100 {
-		t.Errorf("receive lowered clock to %v", b.Clock.Now())
+	if b.Clock().Now() != 100 {
+		t.Errorf("receive lowered clock to %v", b.Clock().Now())
 	}
 }
 
@@ -68,7 +68,7 @@ func TestReceiverSerializesConcurrentSenders(t *testing.T) {
 	recv.Recv(3, TagRenderBatch)
 	recv.Recv(4, TagRenderBatch)
 	minTotal := 2 * mb / cluster.FastEthernet.Bandwidth
-	if got := recv.Clock.Now(); got < minTotal {
+	if got := recv.Clock().Now(); got < minTotal {
 		t.Errorf("receiver clock %v < serialized minimum %v", got, minTotal)
 	}
 }
@@ -76,8 +76,8 @@ func TestReceiverSerializesConcurrentSenders(t *testing.T) {
 func TestSendSizedBillsInflatedBytes(t *testing.T) {
 	_, a, b := twoProcRouter(t)
 	a.SendSized(3, TagParticles, make([]byte, 100), 100*32)
-	if a.Stats.BytesSent != 3200 {
-		t.Errorf("billed %d bytes, want 3200", a.Stats.BytesSent)
+	if a.Stats().BytesSent != 3200 {
+		t.Errorf("billed %d bytes, want 3200", a.Stats().BytesSent)
 	}
 	m := b.Recv(2, TagParticles)
 	if m.Bytes != 3200 || len(m.Payload) != 100 {
@@ -85,7 +85,7 @@ func TestSendSizedBillsInflatedBytes(t *testing.T) {
 	}
 	// Ingest must be charged at the billed size.
 	want := m.Ready + 3200/cluster.Myrinet.Bandwidth
-	if got := b.Clock.Now(); got != want {
+	if got := b.Clock().Now(); got != want {
 		t.Errorf("clock %v, want %v", got, want)
 	}
 }
@@ -109,7 +109,7 @@ func TestSameNodeSkipsNetwork(t *testing.T) {
 	a.Send(3, TagParticles, payload)
 	b.Recv(2, TagParticles)
 	// 1 MB over Fast-Ethernet would be ~0.1 s; on-node it must be far less.
-	if got := b.Clock.Now(); got > 0.01 {
+	if got := b.Clock().Now(); got > 0.01 {
 		t.Errorf("same-node delivery took %v, looks like it crossed the network", got)
 	}
 }
@@ -161,11 +161,11 @@ func TestStats(t *testing.T) {
 	_, a, b := twoProcRouter(t)
 	a.Send(3, TagParticles, make([]byte, 100))
 	a.Send(3, TagRenderBatch, make([]byte, 50))
-	if a.Stats.MsgsSent != 2 || a.Stats.BytesSent != 150 {
-		t.Errorf("stats = %+v", a.Stats)
+	if a.Stats().MsgsSent != 2 || a.Stats().BytesSent != 150 {
+		t.Errorf("stats = %+v", a.Stats())
 	}
-	if a.Stats.ByTag[TagParticles] != 100 || a.Stats.ByTag[TagRenderBatch] != 50 {
-		t.Errorf("by-tag = %v", a.Stats.ByTag)
+	if a.Stats().ByTag[TagParticles] != 100 || a.Stats().ByTag[TagRenderBatch] != 50 {
+		t.Errorf("by-tag = %v", a.Stats().ByTag)
 	}
 	b.Recv(2, TagParticles)
 	b.Recv(2, TagRenderBatch)
@@ -178,20 +178,20 @@ func TestRecvStats(t *testing.T) {
 	b.Recv(2, TagParticles)
 	b.Recv(2, TagRenderBatch)
 	// Receive-side totals must mirror the send side, in billed bytes.
-	if b.Stats.MsgsRecv != a.Stats.MsgsSent {
-		t.Errorf("msgs: sent %d, received %d", a.Stats.MsgsSent, b.Stats.MsgsRecv)
+	if b.Stats().MsgsRecv != a.Stats().MsgsSent {
+		t.Errorf("msgs: sent %d, received %d", a.Stats().MsgsSent, b.Stats().MsgsRecv)
 	}
-	if b.Stats.BytesRecv != a.Stats.BytesSent || b.Stats.BytesRecv != 300 {
-		t.Errorf("bytes: sent %d, received %d", a.Stats.BytesSent, b.Stats.BytesRecv)
+	if b.Stats().BytesRecv != a.Stats().BytesSent || b.Stats().BytesRecv != 300 {
+		t.Errorf("bytes: sent %d, received %d", a.Stats().BytesSent, b.Stats().BytesRecv)
 	}
-	if b.Stats.ByTagRecv[TagParticles] != 100 || b.Stats.ByTagRecv[TagRenderBatch] != 200 {
-		t.Errorf("by-tag recv = %v", b.Stats.ByTagRecv)
+	if b.Stats().ByTagRecv[TagParticles] != 100 || b.Stats().ByTagRecv[TagRenderBatch] != 200 {
+		t.Errorf("by-tag recv = %v", b.Stats().ByTagRecv)
 	}
-	if b.Stats.MsgsByTagRecv[TagParticles] != 1 || b.Stats.MsgsByTagRecv[TagRenderBatch] != 1 {
-		t.Errorf("msgs-by-tag recv = %v", b.Stats.MsgsByTagRecv)
+	if b.Stats().MsgsByTagRecv[TagParticles] != 1 || b.Stats().MsgsByTagRecv[TagRenderBatch] != 1 {
+		t.Errorf("msgs-by-tag recv = %v", b.Stats().MsgsByTagRecv)
 	}
-	if a.Stats.MsgsByTag[TagParticles] != 1 || a.Stats.MsgsByTag[TagRenderBatch] != 1 {
-		t.Errorf("msgs-by-tag sent = %v", a.Stats.MsgsByTag)
+	if a.Stats().MsgsByTag[TagParticles] != 1 || a.Stats().MsgsByTag[TagRenderBatch] != 1 {
+		t.Errorf("msgs-by-tag sent = %v", a.Stats().MsgsByTag)
 	}
 }
 
@@ -200,12 +200,12 @@ func TestRecvStatsCountConsumedOnly(t *testing.T) {
 	a.Send(3, TagParticles, make([]byte, 10))
 	a.Send(3, TagLoadReport, make([]byte, 20))
 	b.Recv(2, TagLoadReport) // the particles message gets stashed, not consumed
-	if b.Stats.MsgsRecv != 1 || b.Stats.BytesRecv != 20 {
-		t.Errorf("stashed message counted as received: %+v", b.Stats)
+	if b.Stats().MsgsRecv != 1 || b.Stats().BytesRecv != 20 {
+		t.Errorf("stashed message counted as received: %+v", b.Stats())
 	}
 	b.Recv(2, TagParticles)
-	if b.Stats.MsgsRecv != 2 || b.Stats.BytesRecv != 30 {
-		t.Errorf("consumed message not counted: %+v", b.Stats)
+	if b.Stats().MsgsRecv != 2 || b.Stats().BytesRecv != 30 {
+		t.Errorf("consumed message not counted: %+v", b.Stats())
 	}
 }
 
@@ -237,9 +237,10 @@ func (o *obsRecord) MsgRecv(from int, tag string, bytes int, corr CorrID, wait, 
 func TestObserverCallbacks(t *testing.T) {
 	_, a, b := twoProcRouter(t)
 	oa, ob := &obsRecord{}, &obsRecord{}
-	a.Obs, b.Obs = oa, ob
+	a.SetObserver(oa)
+	b.SetObserver(ob)
 
-	a.Clock.Advance(5)
+	a.Clock().Advance(5)
 	a.Send(3, TagParticles, make([]byte, 1000))
 	m := b.Recv(2, TagParticles)
 
@@ -266,7 +267,8 @@ func TestObserverCallbacks(t *testing.T) {
 func TestCorrelationIDsStitchSendToRecv(t *testing.T) {
 	_, a, b := twoProcRouter(t)
 	oa, ob := &obsRecord{}, &obsRecord{}
-	a.Obs, b.Obs = oa, ob
+	a.SetObserver(oa)
+	b.SetObserver(ob)
 
 	a.SetFrame(7)
 	a.Send(3, TagParticles, make([]byte, 8))
@@ -318,9 +320,9 @@ func TestQueueDepthCountsInboxAndStash(t *testing.T) {
 func TestObserverWaitZeroWhenMessageAlreadyArrived(t *testing.T) {
 	_, a, b := twoProcRouter(t)
 	ob := &obsRecord{}
-	b.Obs = ob
+	b.SetObserver(ob)
 	a.Send(3, TagParticles, nil)
-	b.Clock.Advance(100) // receiver is late: the message waited for it
+	b.Clock().Advance(100) // receiver is late: the message waited for it
 	b.Recv(2, TagParticles)
 	if ob.wait[0] != 0 {
 		t.Errorf("late receiver observed wait %v, want 0", ob.wait[0])
@@ -347,7 +349,7 @@ func TestConcurrentPingPongDeterministicClocks(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				a.Clock.Advance(0.001)
+				a.Clock().Advance(0.001)
 				a.Send(3, TagParticles, make([]byte, 64))
 				a.Recv(3, TagParticles)
 			}
@@ -356,12 +358,12 @@ func TestConcurrentPingPongDeterministicClocks(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
 				b.Recv(2, TagParticles)
-				b.Clock.Advance(0.002)
+				b.Clock().Advance(0.002)
 				b.Send(2, TagParticles, make([]byte, 64))
 			}
 		}()
 		wg.Wait()
-		return a.Clock.Now(), b.Clock.Now()
+		return a.Clock().Now(), b.Clock().Now()
 	}
 	a1, b1 := run()
 	a2, b2 := run()

@@ -30,6 +30,7 @@ import (
 	"pscluster/internal/particle"
 	"pscluster/internal/render"
 	"pscluster/internal/scenario"
+	"pscluster/internal/transport"
 )
 
 // ---------------------------------------------------------------------
@@ -302,6 +303,58 @@ func ServeTelemetry(addr string, p *TelemetryPlane) (*TelemetryServer, error) {
 // to an unserved run's.
 func RunParallelServed(scn Scenario, cl *Cluster, nCalc int, p *TelemetryPlane) (*Result, *Profile, error) {
 	return core.RunParallelServed(scn, cl, nCalc, p)
+}
+
+// ---------------------------------------------------------------------
+// Multi-process runs (the TCP net fabric)
+// ---------------------------------------------------------------------
+
+// Fabric is the transport seam: the interface both the in-process
+// virtual router and the TCP net fabric implement (see DESIGN.md §14).
+type Fabric = transport.Fabric
+
+// NetFabric is the TCP transport: one rank per OS process, with the
+// virtual-time cost model riding in the frame headers so distributed
+// runs reproduce in-process runs bit for bit.
+type NetFabric = transport.NetFabric
+
+// NetOptions tunes the net fabric's dial and I/O deadlines; the zero
+// value picks defaults.
+type NetOptions = transport.NetOptions
+
+// Placement maps ranks to cluster nodes (built by Cluster.Place).
+type Placement = cluster.Placement
+
+// CostModel is the virtual-time accounting every fabric charges.
+type CostModel = transport.CostModel
+
+// DefaultCost returns the standard cost model for a placement and
+// network — pass it to ListenNet.
+func DefaultCost(place *Placement, net Network) CostModel {
+	return transport.DefaultCost(place, net)
+}
+
+// NetMap is a parsed cluster config file: the simulated cluster shape
+// plus the rank → (role, address) table psnode processes share.
+type NetMap = cluster.NetMap
+
+// ParseNetMap parses and validates a cluster config file.
+func ParseNetMap(data []byte) (*NetMap, error) { return cluster.ParseNetMap(data) }
+
+// ListenNet starts a net fabric listening for its peers.
+func ListenNet(rank, nRanks int, addr string, cost CostModel, opts NetOptions) (*NetFabric, error) {
+	return transport.ListenNet(rank, nRanks, addr, cost, opts)
+}
+
+// NodeResult is one process's share of a distributed run.
+type NodeResult = core.NodeResult
+
+// RunNode executes one rank of the scenario over a connected fabric —
+// the per-process engine entry point cmd/psnode wraps. A loopback
+// cluster of RunNode calls reproduces RunParallel's frame checksums,
+// virtual clocks and traffic totals exactly.
+func RunNode(scn Scenario, cl *Cluster, nCalc, rank int, fab Fabric, sink obs.FrameSink) (*NodeResult, error) {
+	return core.RunNode(scn, cl, nCalc, rank, fab, sink)
 }
 
 // RunSimsBaseline executes the scenario with the Karl Sims CM-2

@@ -1,0 +1,122 @@
+#!/bin/sh
+# Net fabric smoke test: run ONE scenario twice — once in-process with
+# `psanim -checksums`, once as a 4-process psnode cluster (1 manager +
+# 1 image generator + 2 calculators) over TCP loopback — and require
+# the image generator's per-frame checksum lines to match the
+# in-process run byte for byte. Each psnode also serves its live
+# telemetry plane; the script scrapes one /metrics exposition per rank
+# and validates it with `psbench -checkprom`. Run via `make net-smoke`.
+set -eu
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+pids=""
+
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+fail() { echo "FAIL: $1"; exit 1; }
+
+echo "building psanim, psnode and psbench..."
+$GO build -o "$workdir/psanim" ./cmd/psanim
+$GO build -o "$workdir/psnode" ./cmd/psnode
+$GO build -o "$workdir/psbench" ./cmd/psbench
+
+# One small scenario, dumped once and shared by both runs.
+"$workdir/psanim" -scenario snow -frames 8 -dump "$workdir/scenario.json" \
+    || fail "scenario dump"
+
+# In-process reference run: 2 calculators on the same 4×B Myrinet
+# cluster shape the psnode config below describes.
+"$workdir/psanim" -config "$workdir/scenario.json" -procs 2 -nodes 4 \
+    -checksums >"$workdir/psanim.log" 2>&1 \
+    || { cat "$workdir/psanim.log"; fail "in-process reference run"; }
+grep '^frame [0-9]* checksum ' "$workdir/psanim.log" >"$workdir/want.sums"
+[ -s "$workdir/want.sums" ] || fail "psanim printed no checksum lines"
+
+# The multi-process cluster: fixed loopback ports, one JSON config
+# every rank reads.
+cat >"$workdir/cluster.json" <<'EOF'
+{
+  "net": "myrinet",
+  "compiler": "gcc",
+  "nodes": [{"type": "B", "count": 4}],
+  "ranks": [
+    {"rank": 0, "role": "manager", "addr": "127.0.0.1:42101"},
+    {"rank": 1, "role": "imggen",  "addr": "127.0.0.1:42102"},
+    {"rank": 2, "role": "calc",    "addr": "127.0.0.1:42103"},
+    {"rank": 3, "role": "calc",    "addr": "127.0.0.1:42104"}
+  ]
+}
+EOF
+
+roles="manager imggen calc calc"
+rank=0
+for role in $roles; do
+    flags=""
+    [ "$rank" -eq 1 ] && flags="-checksums"
+    "$workdir/psnode" -config "$workdir/cluster.json" -rank "$rank" \
+        -role "$role" -scenario "$workdir/scenario.json" \
+        -serve 127.0.0.1:0 $flags >"$workdir/rank$rank.log" 2>&1 &
+    pids="$pids $!"
+    rank=$((rank + 1))
+done
+
+# Wait for every rank to report its run done (the telemetry servers
+# keep the processes alive afterwards by design).
+for _ in $(seq 1 300); do
+    done_count=0
+    for r in 0 1 2 3; do
+        grep -q ') done: virtual time' "$workdir/rank$r.log" && \
+            done_count=$((done_count + 1))
+    done
+    [ "$done_count" -eq 4 ] && break
+    for p in $pids; do
+        kill -0 "$p" 2>/dev/null || {
+            echo "a psnode exited early; logs:"
+            for r in 0 1 2 3; do
+                echo "--- rank $r"; cat "$workdir/rank$r.log"
+            done
+            exit 1
+        }
+    done
+    sleep 0.1
+done
+[ "$done_count" -eq 4 ] || {
+    echo "cluster never finished; logs:"
+    for r in 0 1 2 3; do echo "--- rank $r"; cat "$workdir/rank$r.log"; done
+    exit 1
+}
+
+# The acceptance signal: the image generator's checksum lines must
+# equal the in-process run's, byte for byte.
+grep '^frame [0-9]* checksum ' "$workdir/rank1.log" >"$workdir/got.sums"
+diff -u "$workdir/want.sums" "$workdir/got.sums" \
+    || fail "net-run frame checksums diverge from the in-process run"
+echo "frame checksums identical across $(wc -l <"$workdir/want.sums") frames"
+
+# Every rank serves live telemetry; scrape and validate one exposition
+# per rank, and require the engine traffic counter family on each.
+for r in 0 1 2 3; do
+    addr=$(sed -n 's|^telemetry serving on http://||p' "$workdir/rank$r.log" | head -n 1)
+    [ -n "$addr" ] || fail "rank $r never announced its telemetry address"
+    curl -fsS "http://$addr/metrics" >"$workdir/metrics$r.prom" \
+        || fail "rank $r /metrics did not answer 200"
+    grep -q '^pscluster_msgs_sent_total' "$workdir/metrics$r.prom" \
+        || fail "rank $r /metrics lacks pscluster_msgs_sent_total"
+    "$workdir/psbench" -checkprom "$workdir/metrics$r.prom" >/dev/null \
+        || fail "rank $r /metrics is not valid Prometheus exposition"
+done
+echo "scraped valid /metrics from all 4 ranks"
+
+# Graceful shutdown: SIGINT must end every rank with exit 0.
+for p in $pids; do kill -INT "$p" 2>/dev/null || true; done
+rc=0
+for p in $pids; do wait "$p" || rc=$?; done
+pids=""
+[ "$rc" -eq 0 ] || fail "a psnode exited $rc on SIGINT"
+
+echo "net-smoke OK"
