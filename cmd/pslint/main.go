@@ -1,8 +1,8 @@
 // Command pslint is the engine's static-analysis multichecker: it runs
-// the four pslint analyzers (determinism, hotpathalloc,
-// clockdiscipline, spanpairing — see internal/analyzers and the
-// "Static invariants" section of DESIGN.md) over every package of the
-// build, driven by the Go toolchain:
+// the six pslint analyzers (determinism, hotpathalloc,
+// clockdiscipline, spanpairing, bufownership, resourcelifetime — see
+// internal/analyzers and the "Static invariants" section of DESIGN.md)
+// over every package of the build, driven by the Go toolchain:
 //
 //	go build -o bin/pslint ./cmd/pslint
 //	go vet -vettool=bin/pslint ./...
@@ -24,6 +24,15 @@
 // (VetxOnly); the pslint suite uses no cross-package facts, so those
 // invocations write an empty facts file and exit immediately — only
 // the packages named on the vet command line are analyzed.
+//
+// Output modes: the default text mode prints unsuppressed findings as
+// "file:line:col: analyzer: message" and exits 2 when any exist. JSON
+// mode — `pslint -json <vet.cfg>`, or PSLINT_JSON=1 in the environment
+// for `go vet` runs (vet consumes a -json flag of its own, so the env
+// var is the only way through the driver) — emits every finding,
+// including suppressed ones, as one JSON object per line for CI diff
+// annotation. The exit status counts unsuppressed findings only in
+// both modes.
 package main
 
 import (
@@ -69,9 +78,10 @@ func main() {
 func run() int {
 	versionFlag := flag.String("V", "", "print version (-V=full, for the build cache)")
 	flagsFlag := flag.Bool("flags", false, "print the tool's flag list as JSON")
+	jsonFlag := flag.Bool("json", false, "emit findings as JSON lines (also: PSLINT_JSON=1)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: go vet -vettool=pslint [packages]  (or: pslint <vet.cfg>)\n")
+			"usage: go vet -vettool=pslint [packages]  (or: pslint [-json] <vet.cfg>)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -80,7 +90,8 @@ func run() int {
 		return printVersion(*versionFlag)
 	}
 	if *flagsFlag {
-		// No tool-specific flags: the suite always runs whole.
+		// No driver-forwarded flags: `go vet -json` means something
+		// else to cmd/go, so JSON mode rides the environment instead.
 		fmt.Println("[]")
 		return 0
 	}
@@ -89,7 +100,8 @@ func run() int {
 		flag.Usage()
 		return 1
 	}
-	return checkPackage(args[0])
+	jsonMode := *jsonFlag || os.Getenv("PSLINT_JSON") != ""
+	return checkPackage(args[0], jsonMode)
 }
 
 // printVersion implements the -V=full handshake: cmd/go keys its vet
@@ -121,7 +133,7 @@ func printVersion(mode string) int {
 }
 
 // checkPackage analyzes the one package described by the cfg file.
-func checkPackage(cfgPath string) int {
+func checkPackage(cfgPath string, jsonMode bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pslint: %v\n", err)
@@ -169,11 +181,24 @@ func checkPackage(cfgPath string) int {
 		return 1
 	}
 
-	diags := runSuite(fset, files, pkg, info)
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
+	findings := runSuite(fset, files, pkg, info)
+	active := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			active++
+		}
+		if jsonMode {
+			line, err := json.Marshal(f)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pslint: %v\n", err)
+				return 1
+			}
+			fmt.Fprintln(os.Stderr, string(line))
+		} else if !f.Suppressed {
+			fmt.Fprintln(os.Stderr, renderText(f))
+		}
 	}
-	if len(diags) > 0 {
+	if active > 0 {
 		return 2
 	}
 	return 0
@@ -236,14 +261,30 @@ func buildArch() string {
 	return runtime.GOARCH
 }
 
-// runSuite applies every analyzer and returns rendered, position-sorted
-// diagnostic lines. The package path handed to the analyzers is the
-// import path with any " [pkg.test]" variant suffix stripped, so test
-// builds of the engine packages stay in scope for the engine-only
-// checks (their _test.go files are skipped inside the analyzers).
-func runSuite(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []string {
-	var diags []string
+// finding is one rendered diagnostic: the unit of both output modes.
+type finding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// renderText formats a finding as the classic vet line.
+func renderText(f finding) string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// runSuite applies every analyzer and returns position-sorted findings.
+// The package path handed to the analyzers is the import path with any
+// " [pkg.test]" variant suffix stripped, so test builds of the engine
+// packages stay in scope for the engine-only checks (their _test.go
+// files are skipped inside the analyzers).
+func runSuite(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []finding {
+	var findings []finding
 	for _, a := range analyzers.Suite() {
+		name := a.Name
 		pass := &analyzers.Pass{
 			Analyzer:  a,
 			Fset:      fset,
@@ -252,13 +293,35 @@ func runSuite(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *
 			TypesInfo: info,
 			Report: func(d analyzers.Diagnostic) {
 				pos := fset.Position(d.Pos)
-				diags = append(diags, fmt.Sprintf("%s: %s", pos, d.Message))
+				findings = append(findings, finding{
+					File:       pos.Filename,
+					Line:       pos.Line,
+					Col:        pos.Column,
+					Analyzer:   name,
+					Message:    d.Message,
+					Suppressed: d.Suppressed,
+				})
 			},
 		}
 		if err := a.Run(pass); err != nil {
-			diags = append(diags, fmt.Sprintf("pslint: analyzer %s: %v", a.Name, err))
+			findings = append(findings, finding{Analyzer: name, Message: fmt.Sprintf("analyzer error: %v", err)})
 		}
 	}
-	sort.Strings(diags)
-	return diags
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings
 }

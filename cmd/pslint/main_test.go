@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -8,6 +9,73 @@ import (
 	"strings"
 	"testing"
 )
+
+// TestFindingOutputFormats locks both output renderings of a finding:
+// the classic vet text line and the JSON object CI consumes. Every
+// field — file, position, analyzer, message, and the suppressed flag —
+// must survive the round trip, because downstream diff annotation keys
+// on exactly these names.
+func TestFindingOutputFormats(t *testing.T) {
+	cases := []struct {
+		name     string
+		f        finding
+		wantText string
+		wantJSON string
+	}{
+		{
+			name: "active",
+			f: finding{
+				File: "internal/core/sims.go", Line: 287, Col: 4,
+				Analyzer: "bufownership",
+				Message:  "payload may be sent more than once",
+			},
+			wantText: "internal/core/sims.go:287:4: bufownership: payload may be sent more than once",
+			wantJSON: `{"file":"internal/core/sims.go","line":287,"col":4,"analyzer":"bufownership","message":"payload may be sent more than once","suppressed":false}`,
+		},
+		{
+			name: "suppressed",
+			f: finding{
+				File: "internal/transport/net.go", Line: 12, Col: 9,
+				Analyzer: "resourcelifetime",
+				Message:  "conn c may reach this return without Close/Abort",
+				Suppressed: true,
+			},
+			wantText: "internal/transport/net.go:12:9: resourcelifetime: conn c may reach this return without Close/Abort",
+			wantJSON: `{"file":"internal/transport/net.go","line":12,"col":9,"analyzer":"resourcelifetime","message":"conn c may reach this return without Close/Abort","suppressed":true}`,
+		},
+		{
+			name: "message with quotes",
+			f: finding{
+				File: "a.go", Line: 1, Col: 1,
+				Analyzer: "determinism",
+				Message:  `map iteration over "hot" state`,
+			},
+			wantText: `a.go:1:1: determinism: map iteration over "hot" state`,
+			wantJSON: `{"file":"a.go","line":1,"col":1,"analyzer":"determinism","message":"map iteration over \"hot\" state","suppressed":false}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := renderText(tc.f); got != tc.wantText {
+				t.Errorf("text:\n got %q\nwant %q", got, tc.wantText)
+			}
+			raw, err := json.Marshal(tc.f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(raw) != tc.wantJSON {
+				t.Errorf("json:\n got %s\nwant %s", raw, tc.wantJSON)
+			}
+			var back finding
+			if err := json.Unmarshal(raw, &back); err != nil {
+				t.Fatal(err)
+			}
+			if back != tc.f {
+				t.Errorf("round trip: got %+v, want %+v", back, tc.f)
+			}
+		})
+	}
+}
 
 // TestVetToolCatchesWallClock is the suite's end-to-end proof: it
 // builds pslint, assembles a throwaway module whose internal/core
@@ -55,6 +123,78 @@ func Frame() float64 {
 	}
 	if !strings.Contains(string(out), "determinism: time.Now reads the host wall clock") {
 		t.Fatalf("vet failed without the expected diagnostic:\n%s", out)
+	}
+}
+
+// TestVetToolJSONMode drives the same failing module with PSLINT_JSON=1
+// in the environment (the only route to JSON output under the vet
+// driver, which claims -json for itself) and checks that the finding
+// arrives as a parseable JSON line carrying the analyzer name and the
+// suppressed flag.
+func TestVetToolJSONMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets a module; skipped in -short")
+	}
+	goTool := filepath.Join(runtime.GOROOT(), "bin", "go")
+	if _, err := os.Stat(goTool); err != nil {
+		t.Skipf("go tool not found: %v", err)
+	}
+
+	tmp := t.TempDir()
+	pslint := filepath.Join(tmp, "pslint")
+	build := exec.Command(goTool, "build", "-o", pslint, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building pslint: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "mod")
+	corePkg := filepath.Join(mod, "internal", "core")
+	if err := os.MkdirAll(corePkg, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(mod, "go.mod"), "module pscluster\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(corePkg, "core.go"), `package core
+
+import "time"
+
+// Frame deliberately reads the wall clock: pslint must refuse it.
+func Frame() float64 {
+	return float64(time.Now().UnixNano())
+}
+`)
+
+	vet := exec.Command(goTool, "vet", "-vettool="+pslint, "./...")
+	vet.Dir = mod
+	vet.Env = append(os.Environ(), "PSLINT_JSON=1")
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed; want the determinism analyzer to fail the build\noutput:\n%s", out)
+	}
+	var got *finding
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "{") {
+			continue
+		}
+		var f finding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("unparseable JSON line %q: %v", line, err)
+		}
+		if f.Analyzer == "determinism" {
+			got = &f
+		}
+	}
+	if got == nil {
+		t.Fatalf("no determinism finding in JSON output:\n%s", out)
+	}
+	if got.Suppressed {
+		t.Errorf("finding marked suppressed: %+v", got)
+	}
+	if !strings.HasSuffix(got.File, "core.go") || got.Line == 0 || got.Col == 0 {
+		t.Errorf("finding position incomplete: %+v", got)
+	}
+	if !strings.Contains(got.Message, "wall clock") {
+		t.Errorf("finding message %q does not name the wall clock", got.Message)
 	}
 }
 

@@ -1,11 +1,13 @@
-// Package analyzers is the engine's static-analysis suite: four
+// Package analyzers is the engine's static-analysis suite: six
 // checkers that mechanically enforce the invariants the paper's model
 // depends on — bit-deterministic runs (virtual Clock advancement, no
-// wall-clock reads, ordered iteration), allocation-free hot paths, and
-// paired observability spans. The suite is run over the whole tree by
-// cmd/pslint through `go vet -vettool=` (see `make lint`), and each
-// analyzer carries its own testdata tree exercised by the analyzertest
-// harness.
+// wall-clock reads, ordered iteration), allocation-free hot paths,
+// paired observability spans, and — through the flow-sensitive engine
+// in cfg.go/dataflow.go — the pooled-buffer ownership contract and the
+// teardown discipline of fabric resources. The suite is run over the
+// whole tree by cmd/pslint through `go vet -vettool=` (see
+// `make lint`), and each analyzer carries its own testdata tree
+// exercised by the analyzertest harness.
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis —
 // an Analyzer with a Run(*Pass) hook reporting position-tagged
@@ -18,9 +20,17 @@
 //	//pslint:nondeterministic-ok <reason>   (determinism)
 //	//pslint:clock-ok <reason>              (clockdiscipline)
 //	//pslint:span-ok <reason>               (spanpairing)
+//	//pslint:own-ok <reason>                (bufownership)
+//	//pslint:lifetime-ok <reason>           (resourcelifetime)
 //
-// and hot-path functions opt in to the allocation checks with a
-// //pslint:hotpath line in their doc comment.
+// hot-path functions opt in to the allocation checks with a
+// //pslint:hotpath line in their doc comment, functions returning a
+// pooled wire buffer declare it with //pslint:pooled, and functions
+// acquiring a closeable resource declare it with //pslint:acquires.
+//
+// Suppressed findings are not discarded: they are emitted with
+// Diagnostic.Suppressed set, so drivers can either hide them (the vet
+// text protocol) or surface them for audit (pslint -json).
 package analyzers
 
 import (
@@ -55,15 +65,47 @@ type Pass struct {
 	directives map[*ast.File]*directiveIndex
 }
 
-// Diagnostic is one finding at one source position.
+// Diagnostic is one finding at one source position. Suppressed marks a
+// finding covered by a reasoned //pslint:<directive> annotation; such
+// findings are hidden by the vet text protocol but kept for -json
+// output and the analyzertest `// want-suppressed` clauses.
 type Diagnostic struct {
-	Pos     token.Pos
-	Message string
+	Pos        token.Pos
+	Message    string
+	Suppressed bool
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Flag reports a finding at pos that the named directive can suppress.
+// A directive on the finding's line (or the line above) marks the
+// diagnostic Suppressed instead of dropping it; a directive without a
+// reason additionally earns a "needs a reason" finding, so silent
+// opt-outs are impossible.
+func (p *Pass) Flag(pos token.Pos, directive, format string, args ...any) {
+	p.FlagAt(pos, nil, directive, format, args...)
+}
+
+// FlagAt is Flag with extra positions whose lines may also carry the
+// suppression directive. Flow analyzers use it so a leak reported at a
+// `return` can be waived either there or at the acquisition site.
+func (p *Pass) FlagAt(pos token.Pos, alt []token.Pos, directive, format string, args ...any) {
+	sup := false
+	for _, at := range append([]token.Pos{pos}, alt...) {
+		d, ok := p.suppression(at, directive)
+		if !ok {
+			continue
+		}
+		sup = true
+		if d.reason == "" {
+			p.Reportf(pos, "//pslint:%s needs a reason: state why this site may break the invariant", directive)
+		}
+		break
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Suppressed: sup})
 }
 
 // Suite returns every analyzer of the pslint suite, in the order they
@@ -74,6 +116,8 @@ func Suite() []*Analyzer {
 		HotpathAlloc,
 		ClockDiscipline,
 		SpanPairing,
+		BufOwnership,
+		ResourceLifetime,
 	}
 }
 

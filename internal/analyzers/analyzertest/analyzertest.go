@@ -5,6 +5,13 @@
 // time, math/rand, ...), runs one analyzer, and diffs the reported
 // diagnostics against `// want` expectations in the testdata.
 //
+// Testdata packages may be multi-file, and may import *sibling*
+// directories by bare name: a fixture at testdata/bufownership/own
+// importing "bufpool" resolves to testdata/bufownership/bufpool, so
+// flow fixtures can model the real pool/transport APIs without
+// dragging in heavyweight stdlib packages. Sibling packages are
+// type-checked but not analyzed.
+//
 // Expectations use the analysistest convention: a line that should
 // produce a diagnostic carries a trailing comment
 //
@@ -14,6 +21,15 @@
 // match a diagnostic reported on that line. Multiple `// want` clauses
 // on one line expect multiple diagnostics. Diagnostics on lines with no
 // expectation, and expectations with no diagnostic, both fail the test.
+//
+// Findings silenced by a reasoned //pslint: directive are reported
+// with Diagnostic.Suppressed set; assert them with
+//
+//	bufpool.Put(b) // want-suppressed `double-Release`
+//
+// Unasserted suppressed findings are not errors (suppression is the
+// point), but a `// want-suppressed` clause with no matching finding
+// fails, so testdata can prove a directive actually covers a hazard.
 package analyzertest
 
 import (
@@ -36,18 +52,30 @@ import (
 // wantRe matches one expectation clause: want `regexp` or want "regexp".
 var wantRe = regexp.MustCompile("// want (`[^`]*`|\"[^\"]*\")")
 
+// wantSupRe matches a suppressed-finding expectation.
+var wantSupRe = regexp.MustCompile("// want-suppressed (`[^`]*`|\"[^\"]*\")")
+
 // Run loads the package in dir (its base name becomes the import path,
 // so a directory named "core" type-checks as engine package "core"),
 // runs the analyzer over it and reports any mismatch against the
-// `// want` expectations as test errors.
+// `// want` / `// want-suppressed` expectations as test errors.
 func Run(t *testing.T, a *analyzers.Analyzer, dir string) {
 	t.Helper()
 	fset := token.NewFileSet()
-	files, src := parseDir(t, fset, dir)
+	files, src, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	pkgPath := filepath.Base(dir)
+	imp := &siblingImporter{
+		fset: fset,
+		root: filepath.Dir(dir),
+		base: importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*types.Package{},
+	}
 	conf := types.Config{
-		Importer: importer.ForCompiler(fset, "source", nil),
+		Importer: imp,
 		Error:    func(err error) { t.Errorf("typecheck: %v", err) },
 	}
 	info := &types.Info{
@@ -78,46 +106,81 @@ func Run(t *testing.T, a *analyzers.Analyzer, dir string) {
 	checkDiagnostics(t, fset, src, got)
 }
 
+// siblingImporter resolves imports against the testdata fixture's
+// sibling directories first, then falls back to the stdlib source
+// importer. Helper packages import through the same mechanism, so
+// fixtures can layer (own → transport → bufpool).
+type siblingImporter struct {
+	fset *token.FileSet
+	root string
+	base types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (imp *siblingImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := imp.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(imp.root, path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() && !strings.Contains(path, "/") {
+		files, _, err := parseDir(imp.fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(path, imp.fset, files, nil)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck sibling package %s: %w", path, err)
+		}
+		imp.pkgs[path] = pkg
+		return pkg, nil
+	}
+	return imp.base.Import(path)
+}
+
 // parseDir parses every non-test .go file of dir, returning the syntax
 // trees and the raw sources keyed by filename.
-func parseDir(t *testing.T, fset *token.FileSet, dir string) ([]*ast.File, map[string][]byte) {
-	t.Helper()
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, map[string][]byte, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		t.Fatalf("read testdata dir: %v", err)
+		return nil, nil, fmt.Errorf("read testdata dir: %w", err)
 	}
 	var files []*ast.File
 	src := map[string][]byte{}
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
 			continue
 		}
 		path := filepath.Join(dir, e.Name())
 		data, err := os.ReadFile(path)
 		if err != nil {
-			t.Fatalf("read %s: %v", path, err)
+			return nil, nil, fmt.Errorf("read %s: %w", path, err)
 		}
 		f, err := parser.ParseFile(fset, path, data, parser.ParseComments)
 		if err != nil {
-			t.Fatalf("parse %s: %v", path, err)
+			return nil, nil, fmt.Errorf("parse %s: %w", path, err)
 		}
 		files = append(files, f)
 		src[path] = data
 	}
 	if len(files) == 0 {
-		t.Fatalf("no .go files in %s", dir)
+		return nil, nil, fmt.Errorf("no .go files in %s", dir)
 	}
-	return files, src
+	return files, src, nil
 }
 
-// expectation is one `// want` clause.
+// expectation is one `// want` or `// want-suppressed` clause.
 type expectation struct {
-	file string
-	line int
-	re   *regexp.Regexp
+	file       string
+	line       int
+	re         *regexp.Regexp
+	suppressed bool
 }
 
 // checkDiagnostics diffs reported diagnostics against expectations.
+// Active diagnostics must match `// want` clauses one-to-one;
+// suppressed ones must cover every `// want-suppressed` clause but may
+// otherwise go unasserted.
 func checkDiagnostics(t *testing.T, fset *token.FileSet, src map[string][]byte, got []analyzers.Diagnostic) {
 	t.Helper()
 	wants := collectWants(t, src)
@@ -127,26 +190,42 @@ func checkDiagnostics(t *testing.T, fset *token.FileSet, src map[string][]byte, 
 		line int
 	}
 	unmatched := map[key][]string{}
+	supAt := map[key][]string{}
 	for _, d := range got {
 		pos := fset.Position(d.Pos)
 		k := key{pos.Filename, pos.Line}
-		unmatched[k] = append(unmatched[k], d.Message)
+		if d.Suppressed {
+			supAt[k] = append(supAt[k], d.Message)
+		} else {
+			unmatched[k] = append(unmatched[k], d.Message)
+		}
 	}
 	for _, w := range wants {
 		k := key{w.file, w.line}
-		msgs := unmatched[k]
+		pool := unmatched[k]
+		if w.suppressed {
+			pool = supAt[k]
+		}
 		idx := -1
-		for i, m := range msgs {
+		for i, m := range pool {
 			if w.re.MatchString(m) {
 				idx = i
 				break
 			}
 		}
 		if idx < 0 {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got %v", w.file, w.line, w.re, msgs)
+			kind := "diagnostic"
+			if w.suppressed {
+				kind = "suppressed diagnostic"
+			}
+			t.Errorf("%s:%d: expected %s matching %q, got %v", w.file, w.line, kind, w.re, pool)
 			continue
 		}
-		unmatched[k] = append(msgs[:idx], msgs[idx+1:]...)
+		if w.suppressed {
+			supAt[k] = append(pool[:idx], pool[idx+1:]...)
+		} else {
+			unmatched[k] = append(pool[:idx], pool[idx+1:]...)
+		}
 	}
 	var leftovers []string
 	for k, msgs := range unmatched {
@@ -160,7 +239,7 @@ func checkDiagnostics(t *testing.T, fset *token.FileSet, src map[string][]byte, 
 	}
 }
 
-// collectWants scans the raw sources for `// want` clauses line by
+// collectWants scans the raw sources for expectation clauses line by
 // line, so expectations live exactly where analysistest puts them.
 func collectWants(t *testing.T, src map[string][]byte) []expectation {
 	t.Helper()
@@ -168,14 +247,22 @@ func collectWants(t *testing.T, src map[string][]byte) []expectation {
 	for path, data := range src {
 		for i, line := range strings.Split(string(data), "\n") {
 			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
-				pat := m[1][1 : len(m[1])-1] // strip quotes/backquotes
-				re, err := regexp.Compile(pat)
-				if err != nil {
-					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, pat, err)
-				}
-				wants = append(wants, expectation{file: path, line: i + 1, re: re})
+				wants = append(wants, expectation{file: path, line: i + 1, re: mustCompile(t, path, i+1, m[1])})
+			}
+			for _, m := range wantSupRe.FindAllStringSubmatch(line, -1) {
+				wants = append(wants, expectation{file: path, line: i + 1, re: mustCompile(t, path, i+1, m[1]), suppressed: true})
 			}
 		}
 	}
 	return wants
+}
+
+func mustCompile(t *testing.T, path string, line int, quoted string) *regexp.Regexp {
+	t.Helper()
+	pat := quoted[1 : len(quoted)-1] // strip quotes/backquotes
+	re, err := regexp.Compile(pat)
+	if err != nil {
+		t.Fatalf("%s:%d: bad want regexp %q: %v", path, line, pat, err)
+	}
+	return re
 }

@@ -1,0 +1,404 @@
+package analyzers
+
+// cfg.go builds the intraprocedural control-flow graphs the flow
+// analyzers (bufownership, resourcelifetime) run over. The graph is
+// deliberately small: blocks hold *atomic* nodes only — simple
+// statements and the condition/header expressions of compound
+// statements — so a dataflow transfer function can walk a node's
+// subtree without ever seeing a nested branch. Compound statements
+// (if/for/range/switch/select) are decomposed into blocks and edges;
+// `goto` marks the whole function unanalyzable (none of the engine
+// uses it), and explicit `panic(...)` calls terminate a block with a
+// panic exit so teardown checks can treat crash paths separately from
+// ordinary returns.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Block terminators. A block with termNone and no successors falls off
+// the end of the function, which the builder normalizes to termReturn.
+const (
+	termNone = iota
+	termReturn
+	termPanic
+)
+
+// cfgEdge is one control transfer. When cond is non-nil the edge is
+// taken iff cond evaluates to `when`; trackers use this to refine
+// state along `if err != nil` branches.
+type cfgEdge struct {
+	to   *cfgBlock
+	cond ast.Expr
+	when bool
+}
+
+// cfgBlock is a straight-line run of atomic nodes.
+type cfgBlock struct {
+	index   int
+	nodes   []ast.Node
+	succs   []cfgEdge
+	term    int
+	termPos token.Pos
+}
+
+// funcCFG is one function body's graph plus its deferred calls, which
+// the engine replays (last-in first-out) at every exit.
+type funcCFG struct {
+	blocks []*cfgBlock
+	defers []*ast.DeferStmt
+	ok     bool // false: goto present, analysis skipped
+}
+
+// loopCtx records where break/continue jump for one enclosing loop or
+// breakable statement (switch/select have breakTo only).
+type loopCtx struct {
+	label      string
+	breakTo    *cfgBlock
+	continueTo *cfgBlock // nil for switch/select
+}
+
+type cfgBuilder struct {
+	info   *types.Info
+	blocks []*cfgBlock
+	cur    *cfgBlock
+	loops  []loopCtx
+	defers []*ast.DeferStmt
+	// fallTo is the next case clause's block while building a switch
+	// clause, the target of a `fallthrough` statement.
+	fallTo *cfgBlock
+	// pendingLabel names the next loop/switch statement, set by an
+	// enclosing *ast.LabeledStmt.
+	pendingLabel string
+	bad          bool
+}
+
+// buildCFG constructs the graph for one function body (a FuncDecl's or
+// FuncLit's). end anchors the implicit return of a body that falls off
+// its closing brace.
+func buildCFG(info *types.Info, body *ast.BlockStmt, end token.Pos) *funcCFG {
+	b := &cfgBuilder{info: info}
+	b.cur = b.newBlock()
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.cur.term = termReturn
+		b.cur.termPos = end
+	}
+	if b.bad {
+		return &funcCFG{ok: false}
+	}
+	return &funcCFG{blocks: b.blocks, defers: b.defers, ok: true}
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.blocks)}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// add appends an atomic node to the current block, opening a fresh
+// (unreachable) block after a terminator if needed.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+func edge(from, to *cfgBlock, cond ast.Expr, when bool) {
+	if from == nil {
+		return
+	}
+	from.succs = append(from.succs, cfgEdge{to: to, cond: cond, when: when})
+}
+
+// takeLabel consumes the label an enclosing LabeledStmt attached to
+// the statement being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// isPanicCall reports whether e is a call of the predeclared panic.
+func (b *cfgBuilder) isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := b.info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "panic"
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = s.Label.Name
+			b.stmt(s.Stmt)
+		default:
+			// A bare label is a goto target; give up like goto does.
+			b.bad = true
+			b.stmt(s.Stmt)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.cur
+		join := b.newBlock()
+		thenB := b.newBlock()
+		edge(head, thenB, s.Cond, true)
+		b.cur = thenB
+		b.stmt(s.Body)
+		edge(b.cur, join, nil, false)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			edge(head, elseB, s.Cond, false)
+			b.cur = elseB
+			b.stmt(s.Else)
+			edge(b.cur, join, nil, false)
+		} else {
+			edge(head, join, s.Cond, false)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		edge(b.cur, head, nil, false)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		head = b.cur // add may not move cur, but keep the invariant local
+		after := b.newBlock()
+		contTo := head
+		var post *cfgBlock
+		if s.Post != nil {
+			post = b.newBlock()
+			contTo = post
+		}
+		body := b.newBlock()
+		if s.Cond != nil {
+			edge(head, body, s.Cond, true)
+			edge(head, after, s.Cond, false)
+		} else {
+			edge(head, body, nil, false)
+		}
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after, continueTo: contTo})
+		b.cur = body
+		b.stmt(s.Body)
+		edge(b.cur, contTo, nil, false)
+		b.loops = b.loops[:len(b.loops)-1]
+		if post != nil {
+			b.cur = post
+			b.add(s.Post)
+			edge(b.cur, head, nil, false)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		edge(b.cur, head, nil, false)
+		b.cur = head
+		// The RangeStmt itself is the head's atomic node: trackers read
+		// X/Key/Value from it and must not descend into Body.
+		b.add(s)
+		after := b.newBlock()
+		body := b.newBlock()
+		edge(head, body, nil, false)
+		edge(head, after, nil, false)
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body)
+		edge(b.cur, head, nil, false)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(label, s.Body.List, func(cc *ast.CaseClause) {
+			for _, e := range cc.List {
+				b.add(e)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(label, s.Body.List, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		if head == nil {
+			head = b.newBlock()
+			b.cur = head
+		}
+		after := b.newBlock()
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: after})
+		reachable := len(s.Body.List) == 0
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			cb := b.newBlock()
+			edge(head, cb, nil, false)
+			b.cur = cb
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmts(cc.Body)
+			if b.cur != nil {
+				edge(b.cur, after, nil, false)
+				reachable = true
+			}
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		if reachable {
+			b.cur = after
+		} else {
+			b.cur = nil
+		}
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.GOTO:
+			b.bad = true
+		case token.FALLTHROUGH:
+			if b.fallTo != nil {
+				edge(b.cur, b.fallTo, nil, false)
+			}
+			b.cur = nil
+		case token.BREAK:
+			if t := b.findLoop(s.Label, false); t != nil {
+				edge(b.cur, t, nil, false)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := b.findLoop(s.Label, true); t != nil {
+				edge(b.cur, t, nil, false)
+			}
+			b.cur = nil
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur.term = termReturn
+		b.cur.termPos = s.Pos()
+		b.cur = nil
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.defers = append(b.defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if b.isPanicCall(s.X) {
+			b.cur.term = termPanic
+			b.cur.termPos = s.Pos()
+			b.cur = nil
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, GoStmt, ...
+		b.add(s)
+	}
+}
+
+// switchClauses builds the clause blocks of a (type) switch. caseExprs,
+// when non-nil, emits each clause's case expressions into the head
+// block (they are all evaluated there in source order).
+func (b *cfgBuilder) switchClauses(label string, clauses []ast.Stmt, caseExprs func(*ast.CaseClause)) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	if caseExprs != nil {
+		for _, cl := range clauses {
+			caseExprs(cl.(*ast.CaseClause))
+		}
+		head = b.cur
+	}
+	after := b.newBlock()
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: after})
+	blocks := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		blocks[i] = b.newBlock()
+		edge(head, blocks[i], nil, false)
+		if len(cl.(*ast.CaseClause).List) == 0 {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		edge(head, after, nil, false)
+	}
+	savedFall := b.fallTo
+	for i, cl := range clauses {
+		if i+1 < len(blocks) {
+			b.fallTo = blocks[i+1]
+		} else {
+			b.fallTo = nil
+		}
+		b.cur = blocks[i]
+		b.stmts(cl.(*ast.CaseClause).Body)
+		edge(b.cur, after, nil, false)
+	}
+	b.fallTo = savedFall
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+// findLoop resolves a break/continue target, optionally labeled.
+// continue skips non-loop contexts (switch/select).
+func (b *cfgBuilder) findLoop(label *ast.Ident, cont bool) *cfgBlock {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		lc := b.loops[i]
+		if cont && lc.continueTo == nil {
+			continue
+		}
+		if label != nil && lc.label != label.Name {
+			continue
+		}
+		if cont {
+			return lc.continueTo
+		}
+		return lc.breakTo
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package analyzers
+
+// dataflow.go is the forward may-analysis engine shared by the
+// bufownership and resourcelifetime analyzers. State is a small
+// bitmask lattice per tracked variable:
+//
+//	absent      — not tracked (bottom)
+//	stOwned     — holds a live resource the function must dispose of
+//	stReleased  — Released/Put/Closed on some path
+//	stSent      — ownership transferred (fabric send, channel send)
+//
+// Join is bitwise union, so "owned on one branch, released on the
+// other" is {owned|released}; a terminal state still carrying stOwned
+// means at least one path leaks. Transfer functions perform strong
+// updates (re-acquiring resets the mask), which keeps loops precise:
+// a buffer Get/Released every iteration never accumulates a false
+// double-release. Iteration runs a worklist-free round-robin to a
+// fixpoint with a generous pass cap, then a single deterministic
+// reporting pass replays every block in source order so each
+// diagnostic is emitted exactly once.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+type absState uint8
+
+const (
+	stOwned absState = 1 << iota
+	stReleased
+	stSent
+)
+
+// flowState maps each tracked variable to its abstract state.
+type flowState map[types.Object]absState
+
+func cloneState(st flowState) flowState {
+	out := make(flowState, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+func unionInto(dst, src flowState) {
+	for k, v := range src {
+		dst[k] |= v
+	}
+}
+
+func statesEqual(a, b flowState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// flowTracker is the analyzer-specific half of the engine: how nodes
+// change state, how branch conditions refine it, and what must hold at
+// exits. Reporting happens only when final is true — the engine
+// guarantees each node (and each exit) is replayed exactly once with
+// final set, after the fixpoint.
+type flowTracker interface {
+	node(st flowState, n ast.Node, final bool)
+	refine(st flowState, cond ast.Expr, when bool)
+	deferred(st flowState, d *ast.DeferStmt, final bool)
+	exit(st flowState, pos token.Pos, panicking bool, final bool)
+}
+
+// runFlow drives tracker t over the graph to fixpoint, then replays
+// once for reporting. Functions the builder refused (goto) are
+// silently skipped — unsoundness in a linter beats false positives.
+func runFlow(g *funcCFG, t flowTracker) {
+	if !g.ok || len(g.blocks) == 0 {
+		return
+	}
+	in := make([]flowState, len(g.blocks))
+	out := make([]flowState, len(g.blocks))
+	for i := range g.blocks {
+		in[i] = flowState{}
+		out[i] = flowState{}
+	}
+
+	apply := func(blk *cfgBlock, st flowState, final bool) flowState {
+		for _, n := range blk.nodes {
+			t.node(st, n, final)
+		}
+		if blk.term != termNone {
+			for i := len(g.defers) - 1; i >= 0; i-- {
+				t.deferred(st, g.defers[i], final)
+			}
+			t.exit(st, blk.termPos, blk.term == termPanic, final)
+		}
+		return st
+	}
+
+	// joinIn recomputes a block's entry state from every predecessor
+	// edge, refining along conditional edges.
+	joinIn := func(target *cfgBlock) flowState {
+		acc := flowState{}
+		for _, p := range g.blocks {
+			for _, e := range p.succs {
+				if e.to != target {
+					continue
+				}
+				s := out[p.index]
+				if e.cond != nil {
+					s = cloneState(s)
+					t.refine(s, e.cond, e.when)
+				}
+				unionInto(acc, s)
+			}
+		}
+		return acc
+	}
+
+	// The strong updates make transfer functions non-monotone in
+	// theory; the pass cap bounds any pathological oscillation. Real
+	// functions converge in (loop nesting + 2) passes.
+	maxPasses := 4*len(g.blocks) + 16
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for i, blk := range g.blocks {
+			var st flowState
+			if i == 0 {
+				st = flowState{}
+			} else {
+				st = joinIn(blk)
+			}
+			if !statesEqual(st, in[i]) {
+				in[i] = st
+				changed = true
+			}
+			st = apply(blk, cloneState(st), false)
+			if !statesEqual(st, out[i]) {
+				out[i] = st
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for i, blk := range g.blocks {
+		apply(blk, cloneState(in[i]), true)
+	}
+}
+
+// errRefinement matches the `err != nil` / `err == nil` comparisons
+// that guard error returns, returning the error variable and the
+// polarity under which the condition means "err is non-nil".
+func errRefinement(info *types.Info, cond ast.Expr) (errObj types.Object, nonNilWhen bool, ok bool) {
+	bin, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+		return nil, false, false
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	ident, nilSide := x, y
+	if isNilIdent(info, x) {
+		ident, nilSide = y, x
+	}
+	if !isNilIdent(info, nilSide) {
+		return nil, false, false
+	}
+	id, isIdent := ident.(*ast.Ident)
+	if !isIdent {
+		return nil, false, false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil, false, false
+	}
+	return obj, bin.Op == token.NEQ, true
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// funcBodies yields every function-like body of a file: declarations
+// and literals. Each is analyzed as its own graph; a closure capturing
+// a tracked variable counts as an escape in the enclosing function.
+type funcBody struct {
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	body *ast.BlockStmt
+}
+
+func funcBodies(f *ast.File) []funcBody {
+	var out []funcBody
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, funcBody{decl: n, body: n.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcBody{lit: n, body: n.Body})
+		}
+		return true
+	})
+	return out
+}

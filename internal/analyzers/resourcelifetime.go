@@ -1,0 +1,454 @@
+package analyzers
+
+// resourcelifetime applies the cfg.go/dataflow.go engine to the fabric
+// plane's long-lived resources: net.Conn / net.Listener values,
+// transport fabrics, and anything returned by a function whose doc
+// carries //pslint:acquires. Scope is deliberately narrow — the
+// packages that own sockets (internal/transport, internal/obs/live) —
+// because that is where a missed Close turns into a leaked fd per
+// session once cmd/pssrv multiplies these paths.
+//
+// The invariant: every acquire reaches a Close or Abort on every
+// ordinary path out of the function, including the error returns that
+// are easiest to get wrong. Escapes (storing the conn in a struct,
+// handing it to a goroutine or callee, returning it) transfer the
+// obligation and end tracking; explicit panic exits are crash paths
+// and exempt. `c, err := Dial(...)` acquisitions are linked to their
+// error variable, and `if err != nil` branch edges drop the resource
+// on the error side — on failure there is nothing to close.
+//
+// A second, syntactic check guards goroutine spawn in loops: a
+// `go` statement whose innermost enclosing loop has no WaitGroup.Add
+// bound is an unbounded spawn — the accept-loop shape must tie every
+// reader goroutine to a wait/abort mechanism.
+//
+// Suppress with //pslint:lifetime-ok <reason> on the finding's line or
+// the acquisition line.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+)
+
+var ResourceLifetime = &Analyzer{
+	Name: "resourcelifetime",
+	Doc: "flow-sensitive teardown discipline for conns, listeners and fabrics: every acquire " +
+		"reaches Close/Abort on all paths, and loop-spawned goroutines are bounded",
+	Run: runResourceLifetime,
+}
+
+// lifetimePackages scopes the analyzer, matched like enginePackages:
+// by path tail for both real module paths and bare testdata paths.
+var lifetimePackages = map[string]bool{
+	"transport": true,
+	"live":      true,
+	"rl":        true, // testdata
+}
+
+func isLifetimePackage(pkgPath string) bool {
+	if strings.HasSuffix(pkgPath, ".test") || strings.HasSuffix(pkgPath, "_test") {
+		return false
+	}
+	base := pkgPath
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if !lifetimePackages[base] {
+		return false
+	}
+	return pkgPath == base || strings.HasPrefix(pkgPath, "pscluster/internal/")
+}
+
+func runResourceLifetime(pass *Pass) error {
+	if !isLifetimePackage(pass.Pkg.Path()) {
+		return nil
+	}
+	acquires := directiveFuncs(pass, "acquires")
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, fb := range funcBodies(f) {
+			t := &rlTracker{
+				pass:     pass,
+				acquires: acquires,
+				vars:     map[types.Object]rlVar{},
+				errLinks: map[types.Object][]errLink{},
+				seen:     map[string]bool{},
+			}
+			runFlow(buildCFG(pass.TypesInfo, fb.body, fb.body.Rbrace), t)
+			t.checkLoopGoroutines(fb.body)
+		}
+	}
+	return nil
+}
+
+// rlVar is the per-resource bookkeeping.
+type rlVar struct {
+	label  string // "net.Conn", "net.Listener", "transport.NetFabric", ...
+	origin token.Pos
+	name   string
+}
+
+// errLink ties one acquisition to the error variable assigned next to
+// it, positionally: a later `if err != nil` refines only the latest
+// acquisition textually before it, so re-using one err variable across
+// several dials (the idiomatic shape) keeps earlier conns tracked.
+type errLink struct {
+	res types.Object
+	pos token.Pos
+}
+
+type rlTracker struct {
+	pass     *Pass
+	acquires map[*types.Func]bool
+	vars     map[types.Object]rlVar
+	errLinks map[types.Object][]errLink
+	seen     map[string]bool
+}
+
+func (t *rlTracker) flag(pos, origin token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if t.seen[key] {
+		return
+	}
+	t.seen[key] = true
+	var alt []token.Pos
+	if origin.IsValid() {
+		alt = []token.Pos{origin}
+	}
+	t.pass.FlagAt(pos, alt, "lifetime-ok", "%s", msg)
+}
+
+// netAcquireFuncs are the package-net entry points that hand the
+// caller a live fd.
+var netAcquireFuncs = map[string]bool{
+	"Dial": true, "DialTimeout": true, "DialTCP": true, "DialUDP": true,
+	"Listen": true, "ListenTCP": true, "ListenUDP": true, "ListenPacket": true,
+	"FileListener": true, "FileConn": true,
+}
+
+// closeableType labels a type that carries a teardown obligation, or
+// returns "" for everything else.
+func closeableType(typ types.Type) string {
+	if p, ok := typ.(*types.Pointer); ok {
+		typ = p.Elem()
+	}
+	n, ok := typ.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	base := path.Base(n.Obj().Pkg().Path())
+	name := n.Obj().Name()
+	switch {
+	case base == "net" && (name == "Conn" || name == "Listener" || name == "TCPConn" ||
+		name == "TCPListener" || name == "UDPConn" || name == "PacketConn"):
+		return "net." + name
+	case base == "transport" && (name == "Fabric" || name == "NetFabric"):
+		return "transport." + name
+	}
+	return base + "." + name
+}
+
+// acquireOf classifies an acquisition call and returns the label of
+// the resource it yields.
+func (t *rlTracker) acquireOf(call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(t.pass.TypesInfo, call)
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	first := sig.Results().At(0).Type()
+	label := closeableType(first)
+	base := path.Base(funcPkgPath(fn))
+	switch {
+	case t.acquires[fn]:
+		if label == "" {
+			label = "resource"
+		}
+		return label, true
+	case base == "net" && netAcquireFuncs[fn.Name()]:
+		return label, true
+	case (fn.Name() == "Accept" || fn.Name() == "AcceptTCP") && strings.HasPrefix(label, "net."):
+		return label, true
+	case base == "transport" && fn.Name() == "ListenNet":
+		return label, true
+	}
+	return "", false
+}
+
+// isTeardown matches c.Close() / f.Abort() on a tracked receiver and
+// returns the receiver object.
+func (t *rlTracker) teardownTarget(call *ast.CallExpr) types.Object {
+	fn := calleeFunc(t.pass.TypesInfo, call)
+	if fn == nil || (fn.Name() != "Close" && fn.Name() != "Abort") {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if id := rootIdent(sel.X); id != nil {
+		return t.pass.TypesInfo.Uses[id]
+	}
+	return nil
+}
+
+// --- flowTracker -------------------------------------------------------
+
+func (t *rlTracker) node(st flowState, n ast.Node, final bool) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		t.assign(st, n, final)
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			t.escapeExpr(st, r)
+		}
+	case *ast.DeferStmt:
+		if t.teardownTarget(n.Call) == nil {
+			// Opaque deferred call: captured resources escape.
+			t.escapeExpr(st, n.Call)
+		}
+	case *ast.GoStmt:
+		t.escapeExpr(st, n.Call)
+	case *ast.SendStmt:
+		t.escapeExpr(st, n.Value)
+	case *ast.RangeStmt:
+		// Head node only — the body has its own blocks.
+		t.escapeExpr(st, n.X)
+	case ast.Node:
+		// Everything else: teardown calls release, other calls and
+		// stores make tracked resources escape.
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.CallExpr:
+				if obj := t.teardownTarget(c); obj != nil {
+					if _, tracked := st[obj]; tracked {
+						st[obj] = stReleased
+						return false
+					}
+				}
+				// Receiver method calls (c.Write, ln.Addr) are uses,
+				// not escapes; arguments escape.
+				if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+					t.nodeInner(st, sel.X, final)
+				}
+				for _, a := range c.Args {
+					t.escapeExpr(st, a)
+				}
+				return false
+			case *ast.FuncLit:
+				t.escapeExpr(st, c)
+				return false
+			case *ast.CompositeLit:
+				t.escapeExpr(st, c)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// nodeInner re-walks a sub-expression with full node semantics (used
+// for call receivers, which may themselves contain calls).
+func (t *rlTracker) nodeInner(st flowState, e ast.Expr, final bool) {
+	if e == nil {
+		return
+	}
+	t.node(st, e, final)
+}
+
+// escapeExpr untracks every tracked identifier appearing anywhere in
+// e: stored, captured, sent or passed on — the obligation moved.
+func (t *rlTracker) escapeExpr(st flowState, e ast.Node) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := t.pass.TypesInfo.Uses[id]; obj != nil {
+				if _, tracked := t.vars[obj]; tracked {
+					delete(st, obj)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (t *rlTracker) assign(st flowState, a *ast.AssignStmt, final bool) {
+	// `c, err := acquire(...)` and `c := acquire(...)`.
+	if len(a.Rhs) == 1 {
+		if call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr); ok {
+			if label, isAcq := t.acquireOf(call); isAcq {
+				for _, arg := range call.Args {
+					t.escapeExpr(st, arg)
+				}
+				t.trackAcquire(st, a.Lhs, call, label)
+				return
+			}
+		}
+	}
+	for _, r := range a.Rhs {
+		t.node(st, r, final)
+		t.escapeExpr(st, r) // aliasing or storing transfers the obligation
+	}
+	for _, l := range a.Lhs {
+		if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+			if obj := identObj(t.pass.TypesInfo, id); obj != nil {
+				delete(st, obj) // overwritten
+			}
+		} else {
+			t.escapeExpr(st, l)
+		}
+	}
+}
+
+func (t *rlTracker) trackAcquire(st flowState, lhs []ast.Expr, call *ast.CallExpr, label string) {
+	id, ok := lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return // acquired into a field or blank: escaped at birth
+	}
+	obj := identObj(t.pass.TypesInfo, id)
+	if obj == nil {
+		return
+	}
+	st[obj] = stOwned
+	t.vars[obj] = rlVar{label: label, origin: call.Pos(), name: id.Name}
+	if len(lhs) == 2 {
+		if errID, ok := lhs[1].(*ast.Ident); ok && errID.Name != "_" {
+			if errObj := identObj(t.pass.TypesInfo, errID); errObj != nil {
+				t.errLinks[errObj] = append(t.errLinks[errObj], errLink{res: obj, pos: call.Pos()})
+			}
+		}
+	}
+}
+
+func (t *rlTracker) refine(st flowState, cond ast.Expr, when bool) {
+	obj, nonNilWhen, ok := errRefinement(t.pass.TypesInfo, cond)
+	if !ok {
+		return
+	}
+	// The branch where err != nil holds no live resource from the
+	// acquisition this check actually guards: the latest one linked to
+	// err before the condition.
+	if nonNilWhen == when {
+		var latest types.Object
+		var latestPos token.Pos
+		for _, l := range t.errLinks[obj] {
+			if l.pos < cond.Pos() && l.pos >= latestPos {
+				latest, latestPos = l.res, l.pos
+			}
+		}
+		if latest != nil {
+			delete(st, latest)
+		}
+	}
+	// `if c == nil { ... }`: the nil branch holds nothing either.
+	if _, tracked := t.vars[obj]; tracked && nonNilWhen != when {
+		delete(st, obj)
+	}
+}
+
+func (t *rlTracker) deferred(st flowState, d *ast.DeferStmt, final bool) {
+	if obj := t.teardownTarget(d.Call); obj != nil {
+		if _, tracked := st[obj]; tracked {
+			st[obj] = stReleased
+		}
+	}
+}
+
+func (t *rlTracker) exit(st flowState, pos token.Pos, panicking, final bool) {
+	if !final || panicking {
+		return
+	}
+	var leaked []types.Object
+	for obj, s := range st {
+		if _, ok := t.vars[obj]; ok && s&stOwned != 0 {
+			leaked = append(leaked, obj)
+		}
+	}
+	sort.Slice(leaked, func(i, j int) bool {
+		return t.vars[leaked[i]].origin < t.vars[leaked[j]].origin
+	})
+	for _, obj := range leaked {
+		v := t.vars[obj]
+		t.flag(pos, v.origin, "%s %s may reach this return without Close/Abort — tear it down on every path, including error returns", v.label, v.name)
+	}
+}
+
+// --- loop-spawned goroutines ------------------------------------------
+
+// checkLoopGoroutines flags `go` statements whose innermost enclosing
+// loop lacks a WaitGroup.Add bound: an unbounded spawn per iteration.
+// The walk stops at FuncLit boundaries — literals are visited as their
+// own bodies.
+func (t *rlTracker) checkLoopGoroutines(body *ast.BlockStmt) {
+	var walk func(n ast.Node, loop *ast.BlockStmt)
+	walk = func(n ast.Node, loop *ast.BlockStmt) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt:
+				walkStmtsExceptBody(c, func(sub ast.Node) { walk(sub, loop) })
+				walk(c.Body, c.Body)
+				return false
+			case *ast.RangeStmt:
+				walk(c.Body, c.Body)
+				return false
+			case *ast.GoStmt:
+				if loop != nil && !t.loopBounds(loop) {
+					t.flag(c.Pos(), token.NoPos,
+						"goroutine started per loop iteration without a WaitGroup bound (wg.Add before go) — unbounded spawn")
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(body, nil)
+}
+
+// walkStmtsExceptBody visits a for statement's init/cond/post so
+// nested function literals there still get walked with the outer loop
+// context.
+func walkStmtsExceptBody(f *ast.ForStmt, visit func(ast.Node)) {
+	if f.Init != nil {
+		visit(f.Init)
+	}
+	if f.Cond != nil {
+		visit(f.Cond)
+	}
+	if f.Post != nil {
+		visit(f.Post)
+	}
+}
+
+// loopBounds reports whether the loop body ties spawned goroutines to
+// a sync.WaitGroup (an Add call on one, at any depth outside nested
+// literals' own loops).
+func (t *rlTracker) loopBounds(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		fn := calleeFunc(t.pass.TypesInfo, call)
+		if fn != nil && fn.Name() == "Add" && recvTypeName(fn) == "WaitGroup" {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -41,6 +41,21 @@ func TestSpanPairing(t *testing.T) {
 	analyzertest.Run(t, analyzers.SpanPairing, "testdata/spanpair/sp")
 }
 
+func TestBufOwnership(t *testing.T) {
+	analyzertest.Run(t, analyzers.BufOwnership, "testdata/bufownership/own")
+}
+
+func TestResourceLifetime(t *testing.T) {
+	analyzertest.Run(t, analyzers.ResourceLifetime, "testdata/resourcelifetime/rl")
+}
+
+// TestResourceLifetimeScope proves the lifetime analyzer ignores
+// packages outside the fabric plane: the same hazard shapes in a
+// neutral package produce nothing.
+func TestResourceLifetimeScope(t *testing.T) {
+	analyzertest.Run(t, analyzers.ResourceLifetime, "testdata/resourcelifetime/util")
+}
+
 func TestSuiteNamesUnique(t *testing.T) {
 	seen := map[string]bool{}
 	for _, a := range analyzers.Suite() {
@@ -52,7 +67,7 @@ func TestSuiteNamesUnique(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 4 {
-		t.Errorf("suite has %d analyzers, want 4", len(seen))
+	if len(seen) != 6 {
+		t.Errorf("suite has %d analyzers, want 6", len(seen))
 	}
 }

@@ -1,0 +1,11 @@
+// Package bufpool is a shape-faithful stand-in for the engine's
+// internal/bufpool, so ownership fixtures type-check without the real
+// module. The analyzer matches origins by package base name + function
+// name, which this fake satisfies.
+package bufpool
+
+// Get hands out a buffer the caller owns.
+func Get(n int) []byte { return make([]byte, n) }
+
+// Put returns a buffer to the pool, ending its ownership.
+func Put(buf []byte) { _ = buf }

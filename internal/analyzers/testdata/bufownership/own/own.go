@@ -1,0 +1,160 @@
+// Package own exercises the bufownership analyzer's flow-sensitive
+// hazard classes: leak-to-GC on a branch, double-Release (branchy,
+// deferred, and in-loop), use-after-Release, broadcast of an owned
+// buffer, and the clean ownership-transfer shapes that must stay
+// silent. The second file (own2.go) holds the cross-function and
+// directive-driven cases.
+package own
+
+import (
+	"errors"
+
+	"bufpool"
+	"transport"
+)
+
+var errFixture = errors.New("fixture")
+
+// LeakOnError forgets the buffer on the early error return.
+func LeakOnError(f *transport.Fabric, n int, fail bool) error {
+	buf := bufpool.Get(n)
+	if fail {
+		return errFixture // want `buf may reach this return still owned`
+	}
+	f.Send(1, 0, buf)
+	return nil
+}
+
+// MaybeDoubleRelease releases once on the branch and once after it.
+func MaybeDoubleRelease(n int, c bool) {
+	buf := bufpool.Get(n)
+	if c {
+		bufpool.Put(buf)
+	}
+	bufpool.Put(buf) // want `buf may already be Released`
+}
+
+// DeferThenExplicit registers a deferred Put and then Puts anyway.
+func DeferThenExplicit(n int) {
+	buf := bufpool.Get(n)
+	defer bufpool.Put(buf) // want `buf may already be Released`
+	bufpool.Put(buf)
+}
+
+// ReleaseInLoop Puts the same buffer every iteration.
+func ReleaseInLoop(n, k int) {
+	buf := bufpool.Get(n)
+	for i := 0; i < k; i++ {
+		bufpool.Put(buf) // want `buf may already be Released`
+	}
+} // want `buf may reach this return still owned`
+
+// UseAfterRelease reads the buffer after returning it to the pool.
+func UseAfterRelease(n int) int {
+	buf := bufpool.Get(n)
+	bufpool.Put(buf)
+	return len(buf) // want `buf may be used after Release`
+}
+
+// BroadcastShared sends one owned buffer to every peer: the second
+// iteration sends a buffer whose ownership the first send consumed,
+// and the zero-iteration path leaks it outright.
+func BroadcastShared(f *transport.Fabric, n, peers int) {
+	buf := bufpool.Get(n)
+	for p := 0; p < peers; p++ {
+		f.Send(p, 0, buf) // want `buf may be sent more than once`
+	}
+} // want `buf may reach this return still owned`
+
+// DoubleChannelSend hands the buffer to the channel twice.
+func DoubleChannelSend(ch chan []byte, n int) {
+	buf := bufpool.Get(n)
+	ch <- buf
+	ch <- buf // want `buf may be sent more than once`
+}
+
+// Discard drops a pooled result on the floor.
+func Discard(n int) {
+	bufpool.Get(n) // want `pooled buffer returned here is discarded`
+}
+
+// ReacquireWithoutRelease overwrites an owned buffer with a fresh Get.
+func ReacquireWithoutRelease(n int) {
+	buf := bufpool.Get(n)
+	buf = bufpool.Get(n) // want `buf is reacquired while a previous pooled buffer`
+	bufpool.Put(buf)
+}
+
+// MsgDoubleRelease releases a received message on two paths that can
+// both execute.
+func MsgDoubleRelease(f *transport.Fabric, twice bool) {
+	m := f.Recv(1, 0)
+	m.Release()
+	if twice {
+		m.Release() // want `m may already be Released`
+	}
+}
+
+// MsgUseAfterRelease touches the payload after Release returned it.
+func MsgUseAfterRelease(f *transport.Fabric) byte {
+	m := f.Recv(1, 0)
+	m.Release()
+	return m.Payload[0] // want `m.Payload may be read after Release`
+}
+
+// MsgFromChannel: the channel receive is an acquisition too.
+func MsgFromChannel(ch chan transport.Message) {
+	m := <-ch
+	m.Release()
+	m.Release() // want `m may already be Released`
+}
+
+// --- clean shapes: no diagnostics --------------------------------------
+
+// BranchClean meets the obligation on both branches.
+func BranchClean(f *transport.Fabric, n int, send bool) {
+	buf := bufpool.Get(n)
+	if send {
+		f.Send(1, 0, buf)
+		return
+	}
+	bufpool.Put(buf)
+}
+
+// DeferClean: the deferred Put covers every exit.
+func DeferClean(n int) int {
+	buf := bufpool.Get(n)
+	defer bufpool.Put(buf)
+	if n > 4 {
+		return 4
+	}
+	return n
+}
+
+// TransferViaChannel: the receiver owns it now.
+func TransferViaChannel(ch chan []byte, n int) {
+	buf := bufpool.Get(n)
+	ch <- buf
+}
+
+// AcquireForCaller: returning transfers ownership out.
+func AcquireForCaller(n int) []byte {
+	return bufpool.Get(n)
+}
+
+// EncodePerPeer re-acquires inside the loop — the fixed broadcast
+// shape, silent by construction.
+func EncodePerPeer(f *transport.Fabric, n, peers int) {
+	for p := 0; p < peers; p++ {
+		buf := bufpool.Get(n)
+		f.SendSized(p, 0, buf, len(buf))
+	}
+}
+
+// MsgClean reads then releases exactly once.
+func MsgClean(f *transport.Fabric) int {
+	m := f.Recv(1, 0)
+	n := len(m.Payload)
+	m.Release()
+	return n + m.From // non-Payload fields survive Release
+}

@@ -1,0 +1,77 @@
+// own2.go: the multi-file half of the fixture — cross-function cases
+// whose origin (encodeFrame) lives in this file while suppressed and
+// escape cases below lean on declarations from own.go, proving the
+// harness loads the package as a unit.
+package own
+
+import (
+	"bufpool"
+	"transport"
+)
+
+// encodeFrame is a package-local pooled origin, declared by directive
+// exactly like the engine's encode*Pooled helpers.
+//
+//pslint:pooled
+func encodeFrame(n int) []byte {
+	return bufpool.Get(n)
+}
+
+// LeakFromLocalPooled loses the frame on the early return.
+func LeakFromLocalPooled(f *transport.Fabric, n int, early bool) {
+	frame := encodeFrame(n)
+	if early {
+		return // want `frame may reach this return still owned`
+	}
+	f.Send(1, 0, frame)
+}
+
+// SendThenRead uses the buffer after the send consumed it.
+func SendThenRead(f *transport.Fabric, n int) int {
+	frame := encodeFrame(n)
+	f.SendScaled(1, 0, frame, 0.5)
+	return cap(frame) // want `frame may be used after a send`
+}
+
+// SuppressedDoubleRelease proves //pslint:own-ok keeps the finding
+// but silences it.
+func SuppressedDoubleRelease(n int) {
+	buf := bufpool.Get(n)
+	bufpool.Put(buf)
+	//pslint:own-ok fixture: directive must cover a real double-Release
+	bufpool.Put(buf) // want-suppressed `buf may already be Released`
+}
+
+// SuppressedNeedsReason: a bare directive suppresses but demands its
+// reason.
+func SuppressedNeedsReason(n int, early bool) {
+	buf := bufpool.Get(n)
+	if early {
+		//pslint:own-ok
+		return // want `needs a reason` // want-suppressed `still owned`
+	}
+	bufpool.Put(buf)
+}
+
+// EscapeToStruct hands the buffer to a longer-lived holder: clean.
+type holder struct{ b []byte }
+
+func EscapeToStruct(n int) *holder {
+	buf := bufpool.Get(n)
+	return &holder{b: buf}
+}
+
+// EscapeToCallee: the callee owns it now, whatever it does.
+func EscapeToCallee(n int) {
+	buf := bufpool.Get(n)
+	stash(buf)
+}
+
+func stash(b []byte) { _ = b }
+
+// CaptureByClosure: the closure may release or keep it — tracking
+// stops at the capture.
+func CaptureByClosure(n int) func() {
+	buf := bufpool.Get(n)
+	return func() { bufpool.Put(buf) }
+}

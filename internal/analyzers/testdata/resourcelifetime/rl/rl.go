@@ -1,0 +1,175 @@
+// Package rl exercises the resourcelifetime analyzer: acquisitions
+// must reach Close/Abort on every ordinary path (error branches drop
+// the resource via the err-link refinement), escapes transfer the
+// obligation, and loop-spawned goroutines need a WaitGroup bound.
+// The directory name "rl" is in the analyzer's scope list.
+package rl
+
+import (
+	"errors"
+	"sync"
+
+	"transport"
+)
+
+var errFixture = errors.New("fixture")
+
+// conn is a local closeable resource, acquired through the directive
+// functions below exactly like the engine's accessor-vs-acquirer
+// split.
+type conn struct{ open bool }
+
+func (c *conn) Close() error { c.open = false; return nil }
+func (c *conn) Ping() error  { return nil }
+
+// dial acquires a conn or fails.
+//
+//pslint:acquires
+func dial(addr string) (*conn, error) {
+	if addr == "" {
+		return nil, errFixture
+	}
+	return &conn{open: true}, nil
+}
+
+// LeakOnBranch closes on the long path but not the early return.
+func LeakOnBranch(addr string, early bool) error {
+	c, err := dial(addr)
+	if err != nil {
+		return err // clean: the error branch holds no conn
+	}
+	if early {
+		return nil // want `rl.conn c may reach this return without Close/Abort`
+	}
+	return c.Close()
+}
+
+// LeakOnSecondDialFailure: the classic double-acquire bug — the
+// second failure path forgets the first conn.
+func LeakOnSecondDialFailure(addr string) error {
+	a, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	b, err := dial(addr)
+	if err != nil {
+		return err // want `rl.conn a may reach this return without Close/Abort`
+	}
+	if err := a.Close(); err != nil {
+		return err // want `rl.conn b may reach this return without Close/Abort`
+	}
+	return b.Close()
+}
+
+// FabricLeakOnBranch: same shape through the fabric surface.
+func FabricLeakOnBranch(addr string, bad bool) error {
+	f, err := transport.ListenNet(addr)
+	if err != nil {
+		return err
+	}
+	if bad {
+		return nil // want `transport.Fabric f may reach this return without Close/Abort`
+	}
+	return f.Close()
+}
+
+// SwitchLeak loses the conn in one arm of the switch.
+func SwitchLeak(addr string, mode int) error {
+	c, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case 0:
+		return c.Close()
+	case 1:
+		return errFixture // want `rl.conn c may reach this return without Close/Abort`
+	}
+	return c.Close()
+}
+
+// UnboundedSpawn starts a goroutine per iteration with nothing
+// waiting on it.
+func UnboundedSpawn(n int, work func()) {
+	for i := 0; i < n; i++ {
+		go work() // want `without a WaitGroup bound`
+	}
+}
+
+// --- clean shapes: no diagnostics --------------------------------------
+
+// AbortOnFailure: Abort is a teardown too.
+func AbortOnFailure(addr string, bad bool) error {
+	f, err := transport.ListenNet(addr)
+	if err != nil {
+		return err
+	}
+	if bad {
+		f.Abort()
+		return errFixture
+	}
+	return f.Close()
+}
+
+// DeferClose covers every exit.
+func DeferClose(addr string) error {
+	c, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return c.Ping()
+}
+
+// EscapeToCaller: returning the conn transfers the obligation.
+func EscapeToCaller(addr string) (*conn, error) {
+	return dial(addr)
+}
+
+// EscapeToStruct: the server owns its listener now.
+type server struct{ c *conn }
+
+func EscapeToStruct(addr string) (*server, error) {
+	c, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &server{c: c}, nil
+}
+
+// EscapeToGoroutine: the reader goroutine owns the conn, and the
+// WaitGroup bounds the spawn loop.
+func EscapeToGoroutine(addr string, n int, wg *sync.WaitGroup, serve func(*conn)) error {
+	for i := 0; i < n; i++ {
+		c, err := dial(addr)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go serve(c)
+	}
+	return nil
+}
+
+// SuppressedLeak proves //pslint:lifetime-ok keeps the finding but
+// silences it.
+func SuppressedLeak(addr string, leak bool) error {
+	c, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	if leak {
+		//pslint:lifetime-ok fixture: directive must cover a real leak
+		return nil // want-suppressed `rl.conn c may reach this return`
+	}
+	return c.Close()
+}
+
+// SuppressedSpawnNeedsReason: a bare directive suppresses but demands
+// its reason.
+func SuppressedSpawnNeedsReason(n int, work func()) {
+	for i := 0; i < n; i++ {
+		//pslint:lifetime-ok
+		go work() // want `needs a reason` // want-suppressed `WaitGroup`
+	}
+}

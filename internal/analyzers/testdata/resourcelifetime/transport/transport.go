@@ -1,0 +1,16 @@
+// Package transport is a stand-in for the engine's fabric surface:
+// ListenNet acquires, Close/Abort tear down. Matched by package base
+// name + function name like the real module.
+package transport
+
+// Fabric is a live endpoint with a teardown obligation.
+type Fabric struct{ closed bool }
+
+// Close tears the fabric down.
+func (f *Fabric) Close() error { f.closed = true; return nil }
+
+// Abort tears it down on the failure path.
+func (f *Fabric) Abort() { f.closed = true }
+
+// ListenNet acquires a fabric the caller must Close or Abort.
+func ListenNet(addr string) (*Fabric, error) { return &Fabric{}, nil }

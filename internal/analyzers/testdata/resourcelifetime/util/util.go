@@ -1,0 +1,23 @@
+// Package util holds lifetime hazards in an out-of-scope package:
+// the analyzer must stay silent here (scope is transport/live only).
+package util
+
+type conn struct{}
+
+func (c *conn) Close() error { return nil }
+
+//pslint:acquires
+func dial(addr string) (*conn, error) { return &conn{}, nil }
+
+// LeakEverywhere would be flagged twice in a scoped package.
+func LeakEverywhere(addr string, n int, work func()) error {
+	c, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		go work()
+	}
+	_ = c
+	return nil
+}

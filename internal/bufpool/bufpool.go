@@ -3,12 +3,15 @@
 // simulated transport — creation scatters, particle exchanges,
 // balancing donations, ghost bands — performs zero heap allocations.
 //
-// Ownership follows the message: the encoder Gets a buffer, the
-// transport carries it, and the unique receiver Puts it back (via
-// transport.Message.Release) once the payload is fully decoded. A
-// missed Put is safe (the buffer is garbage collected); a double Put
-// is not (two users would share backing memory), so payloads shared
-// between several receivers are never released.
+// Ownership follows the message: the encoder Gets a buffer, hands it
+// to exactly one send, and whoever the send leaves owning it Puts it
+// back — the unique receiver via transport.Message.Release on the
+// virtual fabric, the sender itself once the frame drains on the net
+// fabric. A missed Put is safe (the buffer is garbage collected); a
+// double Put is not (two users would share backing memory), so every
+// send carries a buffer encoded for that destination alone and
+// broadcasts encode per peer. The bufownership analyzer checks this
+// contract statically (DESIGN.md §15).
 //
 // Buffers come back dirty: Get does not zero the returned slice, so
 // encoders must write every byte they claim, including padding.

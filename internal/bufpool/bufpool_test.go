@@ -1,6 +1,9 @@
 package bufpool
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func TestGetLengthAndCapacity(t *testing.T) {
 	for _, n := range []int{1, 4, 63, 64, 65, 140, 4096, 4097, 1 << 20} {
@@ -27,18 +30,24 @@ func TestGetZeroAndNegative(t *testing.T) {
 
 func TestPutGetReusesBuffer(t *testing.T) {
 	// A buffer filed under class c must come back for any request the
-	// class serves. Stamp the backing array to prove identity.
-	b := Get(1000) // class 10, cap 1024
-	b[0] = 0xAB
-	Put(b)
-	got := Get(600) // class 10 as well (ceil log2 600 = 10)
-	if got[0] != 0xAB {
-		t.Fatalf("Get after Put returned a fresh buffer (byte %#x), want the pooled one", got[0])
+	// class serves. Stamp the backing array to prove identity. Retried
+	// because the race detector makes sync.Pool drop a fraction of
+	// Puts on purpose.
+	reused := false
+	for try := 0; try < 20 && !reused; try++ {
+		b := Get(1000) // class 10, cap 1024
+		b[0] = 0xAB
+		Put(b)
+		got := Get(600) // class 10 as well (ceil log2 600 = 10)
+		if len(got) != 600 {
+			t.Fatalf("reused buffer has len %d, want 600", len(got))
+		}
+		reused = got[0] == 0xAB
+		Put(got)
 	}
-	if len(got) != 600 {
-		t.Fatalf("reused buffer has len %d, want 600", len(got))
+	if !reused {
+		t.Fatal("Get after Put never returned the pooled buffer")
 	}
-	Put(got)
 }
 
 func TestClassInvariant(t *testing.T) {
@@ -73,6 +82,64 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("steady-state Get/Put allocates %.2f objects/op, want 0", allocs)
 	}
+}
+
+// TestPutZeroCapBuffer: releasing an empty message payload (a zero-cap
+// slice, the shape a Release of a drained Message produces) must be a
+// silent no-op, not a class-table panic — capClass(0) is -1.
+func TestPutZeroCapBuffer(t *testing.T) {
+	Put([]byte{})
+	Put(make([]byte, 0))
+	var nilSlice []byte
+	Put(nilSlice)
+}
+
+// TestPutAdoptsForeignBuffer: Put files any in-range buffer by its
+// capacity, including one the pool never handed out — the net fabric's
+// send path reclaims payloads that non-pooled encoders built with
+// make. Adoption must serve later Gets of the same class. Retried for
+// the race detector's deliberate sync.Pool drops.
+func TestPutAdoptsForeignBuffer(t *testing.T) {
+	adopted := false
+	for try := 0; try < 20 && !adopted; try++ {
+		foreign := make([]byte, 512) // class 9, never came from Get
+		foreign[0] = 0x5A
+		Put(foreign)
+		got := Get(512)
+		adopted = got[0] == 0x5A
+		Put(got)
+	}
+	if !adopted {
+		t.Fatal("Get(512) never returned the adopted foreign buffer")
+	}
+}
+
+// TestConcurrentGetPut hammers the pool from many goroutines across
+// several size classes. Run under -race (make race does) this is the
+// proof the capacity-keyed pools and the header-box pool are safe for
+// the net fabric's pattern: reader goroutines Get while the owner
+// goroutine Puts.
+func TestConcurrentGetPut(t *testing.T) {
+	sizes := []int{64, 1000, 4096, 1 << 16}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				n := sizes[(seed+i)%len(sizes)]
+				b := Get(n)
+				if len(b) != n {
+					t.Errorf("Get(%d) returned len %d", n, len(b))
+					return
+				}
+				b[0] = byte(i) // touch the buffer so -race sees any sharing
+				b[n-1] = byte(seed)
+				Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 func BenchmarkGetPut(b *testing.B) {

@@ -127,9 +127,9 @@ func (dynamicLB) managerSystemSteps(m *managerProc, si int) []step {
 				}
 				m.lbMovedStored += o.Count
 			}
-			dims := encodeEdges(m.slab(si).Edges())
+			// Sends consume buffer ownership: encode per destination.
 			for c := 0; c < m.nCalc; c++ {
-				m.ep.Send(rankCalc0+c, transport.TagNewDims, dims)
+				m.ep.Send(rankCalc0+c, transport.TagNewDims, encodeEdges(m.slab(si).Edges()))
 			}
 			return nil
 		})},
@@ -275,9 +275,9 @@ func (dynamicLB) managerBatchSteps(m *managerProc) []step {
 			for si := range edgeTables {
 				edgeTables[si] = m.slab(si).Edges()
 			}
-			dims := encodeMultiEdges(edgeTables)
+			// Sends consume buffer ownership: encode per destination.
 			for c := 0; c < m.nCalc; c++ {
-				m.ep.Send(rankCalc0+c, transport.TagNewDims, dims)
+				m.ep.Send(rankCalc0+c, transport.TagNewDims, encodeMultiEdges(edgeTables))
 			}
 			return nil
 		})},
@@ -409,14 +409,14 @@ func (decentralLB) calcBalanceSteps(c *calcProc, si int) []step {
 // x ≡ frame (mod 2) are active, which alternates the pairing each frame
 // and guarantees a process never both sends and receives.
 func (c *calcProc) executeDecentralized(frame, si int, rep loadbalance.Report) error {
-	enc := encodeLoadReport(rep)
 	hasLeft := c.idx > 0
 	hasRight := c.idx < c.nCalc-1
+	// Sends consume buffer ownership: encode once per neighbor.
 	if hasLeft {
-		c.ep.Send(rankCalc0+c.idx-1, transport.TagLoadReport, enc)
+		c.ep.Send(rankCalc0+c.idx-1, transport.TagLoadReport, encodeLoadReport(rep))
 	}
 	if hasRight {
-		c.ep.Send(rankCalc0+c.idx+1, transport.TagLoadReport, enc)
+		c.ep.Send(rankCalc0+c.idx+1, transport.TagLoadReport, encodeLoadReport(rep))
 	}
 	var left, right loadbalance.Report
 	if hasLeft {

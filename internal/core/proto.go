@@ -211,6 +211,7 @@ func decodeCountedSeq(b []byte, what string, size func([]byte) int) ([][]byte, e
 // goes straight back.
 //
 //pslint:hotpath
+//pslint:pooled
 func encodeCountedSeqPooled(slots [][]byte) []byte {
 	size := 4
 	for _, s := range slots {
@@ -228,6 +229,8 @@ func encodeCountedSeqPooled(slots [][]byte) []byte {
 
 // encodeMultiBatch concatenates particle batches (one per (system,
 // create-action) slot, or one per system) behind a count prefix.
+//
+//pslint:pooled
 func encodeMultiBatch(batches [][]particle.Particle) []byte {
 	return encodeCountedSeqPooled(encodeFixedSeqSlots(batches, particle.EncodeBatch))
 }

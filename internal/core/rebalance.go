@@ -50,9 +50,9 @@ func (rebalanceLB) managerSystemSteps(m *managerProc, si int) []step {
 		// gets the full table every frame — the geometry is a few dozen
 		// floats, far below one particle batch.
 		{phase: "dims-broadcast", sys: si, traced: true, run: always(func() error {
-			dims := domain.Encode(m.decomps[si])
+			// Sends consume buffer ownership: encode per destination.
 			for c := 0; c < m.nCalc; c++ {
-				m.ep.Send(rankCalc0+c, transport.TagNewDims, dims)
+				m.ep.Send(rankCalc0+c, transport.TagNewDims, domain.Encode(m.decomps[si]))
 			}
 			return nil
 		})},
@@ -117,13 +117,13 @@ func (rebalanceLB) managerBatchSteps(m *managerProc) []step {
 		// One combined broadcast: a counted sequence of self-sizing
 		// decomposition blobs, one per system.
 		{phase: "dims-broadcast", sys: -1, run: always(func() error {
-			slots := make([][]byte, len(scn.Systems))
-			for si := range slots {
-				slots[si] = domain.Encode(m.decomps[si])
-			}
-			dims := encodeCountedSeq(slots)
+			// Sends consume buffer ownership: encode per destination.
 			for c := 0; c < m.nCalc; c++ {
-				m.ep.Send(rankCalc0+c, transport.TagNewDims, dims)
+				slots := make([][]byte, len(scn.Systems))
+				for si := range slots {
+					slots[si] = domain.Encode(m.decomps[si])
+				}
+				m.ep.Send(rankCalc0+c, transport.TagNewDims, encodeCountedSeq(slots))
 			}
 			return nil
 		})},

@@ -278,12 +278,14 @@ func (c *simsCalc) run() error {
 // needs before any inter-particle test: every calculator ships its full
 // set to every other.
 func (c *simsCalc) broadcastGhosts(si int) ([]particle.Particle, error) {
-	payload := particle.EncodeBatch(c.sets[si])
+	// Each send consumes ownership of its pooled buffer, so every
+	// destination gets its own encoding of the set.
 	for p := 0; p < c.nCalc; p++ {
 		if p == c.idx {
 			continue
 		}
 		c.ghostsSent += len(c.sets[si])
+		payload := particle.EncodeBatch(c.sets[si])
 		c.ep.SendSized(rankCalc0+p, transport.TagParticles, payload,
 			billed(len(payload), c.scn.Ratio))
 	}

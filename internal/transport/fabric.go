@@ -35,6 +35,13 @@ type Fabric interface {
 	SetFrame(f int)
 
 	// Send transmits payload to process to, billed at its physical size.
+	//
+	// Every send consumes ownership of payload: the caller must not
+	// read, reuse or Release the buffer after the call returns. On the
+	// virtual fabric the unique receiver Releases it; on the net fabric
+	// the sender returns it to bufpool once the frame drains. A
+	// broadcast therefore encodes one buffer per destination — the
+	// bufownership analyzer checks this contract (DESIGN.md §15).
 	Send(to int, tag Tag, payload []byte)
 	// SendScaled transmits payload billed at Billed(len(payload), ratio).
 	SendScaled(to int, tag Tag, payload []byte, ratio float64)
@@ -217,14 +224,19 @@ func (e *endpointCore) ingest(m Message) {
 	}
 }
 
-// takePending pops the oldest stashed message for key, if any.
+// takePending pops the oldest stashed message for key, if any. The
+// queue shifts down in place instead of advancing the slice, so its
+// backing array survives drain/refill cycles and the steady-state
+// stash path allocates nothing (queues are a handful of messages).
 func (e *endpointCore) takePending(key pendKey) (Message, bool) {
 	q := e.pending[key]
 	if len(q) == 0 {
 		return Message{}, false
 	}
 	m := q[0]
-	e.pending[key] = q[1:]
+	copy(q, q[1:])
+	q[len(q)-1] = Message{} // drop the payload reference
+	e.pending[key] = q[:len(q)-1]
 	return m, true
 }
 

@@ -55,16 +55,19 @@ func testSendRecvIntegrity(t *testing.T, f Factory) {
 	for i := range payload {
 		payload[i] = byte(i * 7)
 	}
+	// The send consumes ownership of payload (the net fabric reclaims it
+	// into the pool), so the comparison runs against a private copy.
+	want := append([]byte(nil), payload...)
 	a.Send(b.Rank(), transport.TagParticles, payload)
 	m := b.Recv(a.Rank(), transport.TagParticles)
 	if m.From != a.Rank() || m.To != b.Rank() || m.Tag != transport.TagParticles {
 		t.Errorf("envelope = %+v", m)
 	}
-	if len(m.Payload) != len(payload) {
-		t.Fatalf("payload length %d, want %d", len(m.Payload), len(payload))
+	if len(m.Payload) != len(want) {
+		t.Fatalf("payload length %d, want %d", len(m.Payload), len(want))
 	}
-	for i := range payload {
-		if m.Payload[i] != payload[i] {
+	for i := range want {
+		if m.Payload[i] != want[i] {
 			t.Fatalf("payload corrupt at byte %d", i)
 		}
 	}

@@ -46,10 +46,14 @@ type NetFabric struct {
 	peers []net.Conn // lazily dialed send connections, owner-goroutine only
 
 	// hdr and wbufs are the send path's reusable header scratch and
-	// writev vector: a steady-state send performs zero heap allocations
-	// beyond the payload the encoder pooled.
+	// writev vector; wvec is the slice header WriteTo consumes (it
+	// advances its receiver, so it runs on this separate field and
+	// wbufs keeps its backing array). With the payload drawn from
+	// bufpool and returned there once the frame drains, a steady-state
+	// send performs zero heap allocations.
 	hdr   [frameHeaderSize]byte
 	wbufs net.Buffers
+	wvec  net.Buffers
 
 	inbox chan Message
 	abort chan struct{}
@@ -303,11 +307,12 @@ func (f *NetFabric) SendScaled(to int, tag Tag, payload []byte, ratio float64) {
 
 // SendSized charges the sender-side cost model (identically to the
 // virtual fabric) and writes one frame to the peer. The payload is
-// written zero-copy from the encoder's buffer via a writev vector; the
-// caller keeps ownership of the payload, exactly as on the virtual
-// fabric — over sockets the receiver decodes into its own pooled copy,
-// so the sender's buffer is recycled by the GC (or by the caller) and
-// never shared.
+// written zero-copy from the encoder's buffer via a writev vector, and
+// the send consumes ownership of it: once the frame has drained, the
+// buffer goes back to the pool, so the caller must not touch the
+// payload after SendSized returns (the contract bufownership checks).
+// The receiver decodes into its own pooled copy on the far side, so
+// the reclaimed buffer is never shared.
 func (f *NetFabric) SendSized(to int, tag Tag, payload []byte, bytes int) {
 	corr, ready := f.chargeSend(to, tag, len(payload), bytes)
 	m := Message{
@@ -321,7 +326,17 @@ func (f *NetFabric) SendSized(to int, tag Tag, payload []byte, bytes int) {
 		f.wbufs = append(f.wbufs, payload)
 	}
 	c.SetWriteDeadline(time.Now().Add(f.opts.IOTimeout))
-	if _, err := f.wbufs.WriteTo(c); err != nil {
+	f.wvec = f.wbufs
+	_, err := f.wvec.WriteTo(c)
+	// Drop the scratch references so neither vector aliases the buffer
+	// the pool is about to own again.
+	f.wvec = nil
+	for i := range f.wbufs {
+		f.wbufs[i] = nil
+	}
+	f.wbufs = f.wbufs[:0]
+	bufpool.Put(payload)
+	if err != nil {
 		select {
 		case <-f.abort:
 			panic(f.errOrAborted())

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"pscluster/internal/bufpool"
 	"pscluster/internal/cluster"
 )
 
@@ -98,34 +99,65 @@ func TestNetVirtualClockParity(t *testing.T) {
 }
 
 // Socket receive paths must hand every receiver its own pool-backed
-// payload copy: a sender broadcasting one buffer to two peers must not
-// create shared ownership, and both receivers may Release
-// unconditionally. Run under -race this also asserts the reader
-// goroutines never touch a delivered payload again.
+// payload copy: a broadcast encodes one buffer per destination (each
+// send consumes its payload's ownership), and every receiver may
+// Release unconditionally because its copy aliases nothing — not the
+// sender's buffers, not a sibling receiver's. Run under -race this
+// also asserts the reader goroutines never touch a delivered payload
+// again.
 func TestNetRecvPayloadsUniquelyOwned(t *testing.T) {
 	fabs := netFabrics(t, []int{0, 2, 3}, 4)
 	src := fabs[0]
-	shared := []byte("broadcast payload shared between two receivers")
-	src.Send(2, TagLBOrder, shared)
-	src.Send(3, TagLBOrder, shared)
+	const text = "broadcast payload encoded once per receiver"
+	for _, to := range []int{2, 3} {
+		buf := bufpool.Get(len(text))
+		copy(buf, text)
+		src.Send(to, TagLBOrder, buf)
+	}
 	m2 := fabs[1].Recv(0, TagLBOrder)
 	m3 := fabs[2].Recv(0, TagLBOrder)
-	if string(m2.Payload) != string(shared) || string(m3.Payload) != string(shared) {
+	if string(m2.Payload) != text || string(m3.Payload) != text {
 		t.Fatalf("payloads corrupted: %q / %q", m2.Payload, m3.Payload)
-	}
-	if &m2.Payload[0] == &shared[0] || &m3.Payload[0] == &shared[0] {
-		t.Error("received payload aliases the sender's buffer")
 	}
 	if &m2.Payload[0] == &m3.Payload[0] {
 		t.Error("two receivers share one payload buffer")
 	}
-	// The fix for the broadcast double-Release hazard: on the net fabric
-	// BOTH receivers of a shared send may Release — each owns its copy.
+	// Each receiver uniquely owns its copy: both Release unconditionally.
 	m2.Release()
 	m3.Release()
-	// The sender's buffer is untouched and still the sender's to reuse.
-	if string(shared) != "broadcast payload shared between two receivers" {
-		t.Error("sender buffer clobbered")
+}
+
+// The send path must return the payload to the pool once the frame has
+// drained: a send-side buffer is reclaimed by the fabric, not leaked to
+// the GC. The peer is a bare listener that never reads, so no receive
+// path competes for the reclaimed buffer; the next same-class Get must
+// observe it. Retried because a GC between Send and Get can
+// legitimately empty the pool, and the race detector makes sync.Pool
+// drop a fraction of Puts on purpose.
+func TestNetSendPathReclaimsBuffers(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	fabs := netFabrics(t, []int{2}, 4)
+	src := fabs[0]
+	addrs := []string{"", "", src.Addr(), ln.Addr().String()}
+	if err := src.SetPeers(addrs); err != nil {
+		t.Fatal(err)
+	}
+	const n = 1 << 12
+	reclaimed := false
+	for try := 0; try < 20 && !reclaimed; try++ {
+		buf := bufpool.Get(n)
+		first := &buf[0]
+		src.Send(3, TagParticles, buf)
+		got := bufpool.Get(n)
+		reclaimed = &got[0] == first
+		bufpool.Put(got)
+	}
+	if !reclaimed {
+		t.Error("send path never returned the payload buffer to the pool")
 	}
 }
 

@@ -57,12 +57,13 @@ func BenchmarkNetTransportVirtual(b *testing.B) {
 		b.Run(sz.name, func(b *testing.B) {
 			r := benchRouter(b, 2)
 			a, c := r.Endpoint(2), r.Endpoint(3)
-			payload := make([]byte, sz.n)
 			b.SetBytes(int64(sz.n))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				a.Send(3, TagParticles, payload)
-				c.Recv(2, TagParticles)
+				a.Send(3, TagParticles, bufpool.Get(sz.n))
+				m := c.Recv(2, TagParticles)
+				m.Release()
 			}
 		})
 	}
@@ -70,18 +71,19 @@ func BenchmarkNetTransportVirtual(b *testing.B) {
 
 // BenchmarkNetTransportTCP is the same exchange over a real loopback
 // socket: frame encode, writev, kernel round trip, frame decode and the
-// pooled receive-side copy. Recv payloads are pool-backed and uniquely
-// owned, so the receiver Releases each one — the steady state recycles
-// buffers instead of allocating, which is what allocs/op verifies.
+// pooled receive-side copy. The sender draws each payload from bufpool
+// and the send path reclaims it once the frame drains; the receiver's
+// copy is pool-backed and uniquely owned, so Release recycles it too —
+// the steady state allocates nothing, which is what allocs/op verifies.
 func BenchmarkNetTransportTCP(b *testing.B) {
 	for _, sz := range benchSizes {
 		b.Run(sz.name, func(b *testing.B) {
 			a, c := benchNetPair(b)
-			payload := make([]byte, sz.n)
 			b.SetBytes(int64(sz.n))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				a.Send(3, TagParticles, payload)
+				a.Send(3, TagParticles, bufpool.Get(sz.n))
 				m := c.Recv(2, TagParticles)
 				m.Release()
 			}

@@ -107,16 +107,14 @@ type Message struct {
 }
 
 // Release returns the message's payload to the wire-buffer pool and
-// clears it. Call it only when this receiver uniquely owns the payload
-// — the sender encoded it through the pooled wire codecs for this
-// destination alone — and only after the payload is fully decoded.
-// Over the virtual fabric, payloads a sender shares between several
-// receivers (broadcast dimension tables, replicated load reports) must
-// never be released: a missed Release merely leaves the buffer to the
-// garbage collector, but a double Put would hand the same backing
-// memory to two users. The net fabric removes that hazard class on its
-// receive path by construction — every received payload is a pool-
-// backed copy owned uniquely by this receiver (see NetFabric).
+// clears it. Call it only after the payload is fully decoded, and at
+// most once. Under the ownership contract (DESIGN.md §15) every send
+// carries a buffer encoded for that destination alone — broadcasts
+// encode per peer — so the receiver uniquely owns the payload on both
+// fabrics and may always Release it. A missed Release merely leaves
+// the buffer to the garbage collector; a double Release would hand the
+// same backing memory to two users, which is why the bufownership
+// analyzer checks both sides of the contract.
 func (m *Message) Release() {
 	if m.Payload == nil {
 		return
