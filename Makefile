@@ -7,7 +7,7 @@ CORE_COVER_FLOOR ?= 85
 # is regenerated under comparable conditions across machines.
 BENCHTIME ?= 100x
 
-.PHONY: all build vet lint lint-selftest test race race-obs bench bench-tables bench-smoke decomp-smoke fuzz-smoke serve-smoke net-smoke cover ci
+.PHONY: all build vet lint lint-selftest test race race-obs bench bench-tables bench-smoke decomp-smoke fuzz-smoke serve-smoke net-smoke render-smoke cover ci
 
 all: ci
 
@@ -67,6 +67,9 @@ bench:
 	$(GO) test -run '^$$' -bench 'NetTransport' -benchtime $(BENCHTIME) -benchmem \
 	  ./internal/transport/ | \
 	  tee /dev/stderr | $(GO) run ./cmd/psbench -benchjson BENCH_nettransport.json
+	$(GO) test -run '^$$' -bench 'RenderTiled|RenderPipelined' -benchtime $(BENCHTIME) -benchmem \
+	  ./internal/render/ | \
+	  tee /dev/stderr | $(GO) run ./cmd/psbench -benchjson BENCH_render.json
 
 # Full paper-table benchmark suite (slow; regenerates every experiment).
 bench-tables:
@@ -106,6 +109,12 @@ fuzz-smoke:
 # /metrics exposition per rank.
 net-smoke:
 	GO=$(GO) sh scripts/net_smoke.sh
+
+# Render plane smoke: run one small rasterized scenario at render
+# widths 1 and 4 through the psanim binary, diff the per-frame
+# checksums and compare every written PPM byte for byte.
+render-smoke:
+	GO=$(GO) sh scripts/render_smoke.sh
 
 # Telemetry smoke: run `psanim -serve` on a small scenario and drive
 # the live HTTP plane end to end — /healthz, /metrics (validated by

@@ -9,7 +9,7 @@
 //	       [-space finite|infinite] [-decomp slab|grid|voronoi] [-frames N]
 //	       [-out DIR] [-seq] [-config scenario.json] [-dump scenario.json]
 //	       [-trace trace.json] [-metrics out.prom] [-timeline] [-aos]
-//	       [-workers N] [-unfused] [-serve :9090]
+//	       [-workers N] [-render-workers N] [-unfused] [-serve :9090]
 //
 // Scenarios can also be described declaratively: -dump writes the
 // selected built-in scenario as JSON, -config runs one from a file (see
@@ -65,6 +65,8 @@ func main() {
 		"data-plane ablation: use the record (AoS) particle store instead of the columnar one")
 	workers := flag.Int("workers", 0,
 		"host worker goroutines per compute pass (0 = scenario value, -1 = GOMAXPROCS); bit-identical at any width")
+	renderWorkers := flag.Int("render-workers", 0,
+		"image-generator splat workers over owned framebuffer tiles (0 = scenario value, -1 = GOMAXPROCS); bit-identical at any width")
 	unfused := flag.Bool("unfused", false,
 		"kernel ablation: run each action as its own column pass instead of the fused kernels")
 	serve := flag.String("serve", "",
@@ -146,6 +148,9 @@ func main() {
 	scn.AoSStore = *aos
 	if *workers != 0 {
 		scn.Workers = *workers
+	}
+	if *renderWorkers != 0 {
+		scn.Render.RenderWorkers = *renderWorkers
 	}
 	if *unfused {
 		scn.Unfused = true

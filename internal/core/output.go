@@ -8,20 +8,35 @@ import (
 	"pscluster/internal/render"
 )
 
-// writeFramePPM writes one rasterized frame to the scenario's output
-// directory as frame-NNNN.ppm.
-func writeFramePPM(dir string, frame int, fb *render.Framebuffer) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// ensureOutputDir creates the scenario's frame-output directory once
+// per run, before the first frame renders — writeFramePPM used to
+// MkdirAll on every frame.
+func ensureOutputDir(scn *Scenario) error {
+	if !scn.Render.Rasterize || scn.Render.OutputDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(scn.Render.OutputDir, 0o755); err != nil {
 		return fmt.Errorf("core: creating output dir: %w", err)
 	}
+	return nil
+}
+
+// writeFramePPM writes one rasterized frame to the scenario's output
+// directory (already created by ensureOutputDir) as frame-NNNN.ppm.
+// The Close error is returned: on a full disk the write error often
+// only surfaces at Close, and dropping it would silently lose frames.
+func writeFramePPM(dir string, frame int, fb *render.Framebuffer) error {
 	path := filepath.Join(dir, fmt.Sprintf("frame-%04d.ppm", frame))
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("core: creating frame file: %w", err)
 	}
-	defer f.Close()
 	if err := fb.WritePPM(f); err != nil {
+		f.Close()
 		return fmt.Errorf("core: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: closing %s: %w", path, err)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync"
 
@@ -527,6 +528,10 @@ type calcProc struct {
 	// are copied into the target store by AddBatch.
 	wire particle.Batch
 
+	// renderBlobs is the batched render send's reusable slot slice (the
+	// pooled blob buffers themselves are consumed by the combine).
+	renderBlobs [][]byte
+
 	fs calcFrame
 }
 
@@ -601,6 +606,7 @@ func (c *calcProc) run() error {
 	c.others = c.otherCalcRanks()
 	c.fs.work = make([]float64, len(scn.Systems))
 	c.fs.oldLoad = make([]int, len(scn.Systems))
+	c.renderBlobs = make([][]byte, 0, len(scn.Systems))
 	width := scn.Workers
 	if width == 0 {
 		width = 1
@@ -624,12 +630,45 @@ type imageGenProc struct {
 	fb  *render.Framebuffer // nil unless the scenario rasterizes
 	cam render.Camera
 
+	// The tiled render plane (DESIGN §16). plane is nil when the
+	// scenario renders serially; fbs double-buffers frames in overlapped
+	// (PipelineFrames) mode, with finish[i] carrying the async
+	// checksum+write job still running on fbs[i]. wire is the serial
+	// path's reusable decode scratch; gather and blobs are the collect
+	// phase's per-frame message/slot scratch.
+	plane  *render.Plane
+	fbs    [2]*render.Framebuffer
+	fbIdx  int
+	finish [2]<-chan error
+	wire   particle.Batch
+	gather []transport.Message
+	blobs  [][][]byte
+
 	checksums  []uint64
 	frameTimes []float64
 	events     []Event
 	rec        *obs.Recorder // nil unless the run is profiled
 
 	fs imageFrame
+}
+
+// overlap reports whether frame rasterization runs on the plane's
+// finisher goroutine, overlapped with the next frame's collect.
+func (g *imageGenProc) overlap() bool {
+	return g.plane != nil && g.scn.PipelineFrames
+}
+
+// renderWidth resolves the configured render-worker width: 0 and 1 are
+// the serial splatter, negative means GOMAXPROCS.
+func renderWidth(scn *Scenario) int {
+	w := scn.Render.RenderWorkers
+	if w < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w == 0 {
+		return 1
+	}
+	return w
 }
 
 // imageFrame is the image generator's per-frame scratch: the running
@@ -652,9 +691,46 @@ func (g *imageGenProc) annotateLive(fr *obs.FrameRecord) {
 
 func (g *imageGenProc) run() error {
 	scn := g.scn
+	// Preallocate the checksum log: overlapped finish jobs write their
+	// slot through a pointer, so the backing array must never move.
+	g.checksums = make([]uint64, 0, scn.Frames)
+	g.gather = make([]transport.Message, len(g.calcRanks))
+	g.blobs = make([][][]byte, len(g.calcRanks))
 	if scn.Render.Rasterize {
-		g.fb = render.NewFramebuffer(scn.Render.Width, scn.Render.Height)
+		g.fbs[0] = render.NewFramebuffer(scn.Render.Width, scn.Render.Height)
+		g.fb = g.fbs[0]
 		g.cam = defaultCamera(scn)
+		if err := ensureOutputDir(scn); err != nil {
+			return err
+		}
+		if w := renderWidth(scn); w > 1 {
+			g.plane = render.NewPlane(w)
+			defer g.plane.Close()
+			if scn.PipelineFrames {
+				g.fbs[1] = render.NewFramebuffer(scn.Render.Width, scn.Render.Height)
+				// Start at 1 so the first frame's beginFrameFB flips to 0.
+				g.fbIdx = 1
+			}
+		}
 	}
-	return runProgram(g, scn.Schedule.plan().compileImage(g))
+	if err := runProgram(g, scn.Schedule.plan().compileImage(g)); err != nil {
+		return err
+	}
+	return g.drainFinish()
+}
+
+// drainFinish joins the overlapped finish jobs still in flight after
+// the last frame, surfacing the first error.
+func (g *imageGenProc) drainFinish() error {
+	var first error
+	for i, ch := range g.finish {
+		if ch == nil {
+			continue
+		}
+		g.finish[i] = nil
+		if err := <-ch; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

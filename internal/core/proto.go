@@ -175,19 +175,28 @@ func encodeCountedSeq(slots [][]byte) []byte {
 // is guaranteed at least 4 bytes). Corrupt input — short headers,
 // truncated slots, trailing bytes — returns an error, never garbage.
 func decodeCountedSeq(b []byte, what string, size func([]byte) int) ([][]byte, error) {
+	return decodeCountedSeqInto(nil, b, what, size)
+}
+
+// decodeCountedSeqInto is decodeCountedSeq appending into dst[:0] — the
+// reusable-scratch form for per-frame decode paths.
+func decodeCountedSeqInto(dst [][]byte, b []byte, what string, size func([]byte) int) ([][]byte, error) {
 	if len(b) < 4 {
 		return nil, fmt.Errorf("core: %s of %d bytes has no header", what, len(b))
 	}
 	n := int(binary.LittleEndian.Uint32(b))
 	b = b[4:]
-	// Every slot needs at least its 4-byte count, which bounds a sane n;
-	// capping the allocation keeps a corrupt count from exhausting
-	// memory before the truncation check rejects it.
-	capHint := n
-	if maxSlots := len(b) / 4; capHint > maxSlots {
-		capHint = maxSlots
+	out := dst[:0]
+	if cap(out) == 0 {
+		// Every slot needs at least its 4-byte count, which bounds a sane
+		// n; capping the allocation keeps a corrupt count from exhausting
+		// memory before the truncation check rejects it.
+		capHint := n
+		if maxSlots := len(b) / 4; capHint > maxSlots {
+			capHint = maxSlots
+		}
+		out = make([][]byte, 0, capHint)
 	}
-	out := make([][]byte, 0, capHint)
 	for i := 0; i < n; i++ {
 		if len(b) < 4 {
 			return nil, fmt.Errorf("core: %s truncated at slot %d", what, i)
@@ -332,17 +341,31 @@ func decodeBoundarySys(b []byte) (sys, edge int, value float64, err error) {
 }
 
 // encodeMultiRender concatenates per-system render batches behind a
-// count prefix.
+// count prefix. The blobs are pooled encodeRenderSet buffers and are
+// consumed (returned to the pool); the combined payload is pooled too,
+// released by its receiver.
+//
+//pslint:pooled
 func encodeMultiRender(blobs [][]byte) []byte {
-	return encodeCountedSeq(blobs)
+	return encodeCountedSeqPooled(blobs)
+}
+
+// renderSlotSize reads the full width of the render blob at the head of
+// a multi-render payload.
+func renderSlotSize(rest []byte) int {
+	return 4 + int(binary.LittleEndian.Uint32(rest))*renderRecordSize
 }
 
 // decodeMultiRender splits a multi-render payload into its per-system
 // render batches.
 func decodeMultiRender(b []byte) ([][]byte, error) {
-	return decodeCountedSeq(b, "multi-render", func(rest []byte) int {
-		return 4 + int(binary.LittleEndian.Uint32(rest))*renderRecordSize
-	})
+	return decodeMultiRenderInto(nil, b)
+}
+
+// decodeMultiRenderInto is decodeMultiRender appending into a reusable
+// slot slice — the image generator's per-frame gather scratch.
+func decodeMultiRenderInto(dst [][]byte, b []byte) ([][]byte, error) {
+	return decodeCountedSeqInto(dst, b, "multi-render", renderSlotSize)
 }
 
 // renderRecordSize is the compact on-wire size of one particle sent to
@@ -350,27 +373,47 @@ func decodeMultiRender(b []byte) ([][]byte, error) {
 // (f32 each).
 const renderRecordSize = 32
 
+// putRenderRecord writes one 32-byte render record at b[off:].
+//
+//pslint:hotpath
+func putRenderRecord(b []byte, off int, pos, color geom.Vec3, alpha, size float64) {
+	le := binary.LittleEndian
+	le.PutUint32(b[off:], math.Float32bits(float32(pos.X)))
+	le.PutUint32(b[off+4:], math.Float32bits(float32(pos.Y)))
+	le.PutUint32(b[off+8:], math.Float32bits(float32(pos.Z)))
+	le.PutUint32(b[off+12:], math.Float32bits(float32(color.X)))
+	le.PutUint32(b[off+16:], math.Float32bits(float32(color.Y)))
+	le.PutUint32(b[off+20:], math.Float32bits(float32(color.Z)))
+	le.PutUint32(b[off+24:], math.Float32bits(float32(alpha)))
+	le.PutUint32(b[off+28:], math.Float32bits(float32(size)))
+}
+
+// encodeRenderRecords appends a columnar batch's render records at
+// b[off:], returning the next offset.
+//
+//pslint:hotpath
+func encodeRenderRecords(b []byte, off int, batch *particle.Batch) int {
+	for i := range batch.Pos {
+		putRenderRecord(b, off, batch.Pos[i], batch.Color[i], batch.Alpha[i], batch.Size[i])
+		off += renderRecordSize
+	}
+	return off
+}
+
 // encodeRenderBatch packs particles into compact render records with a
 // count prefix. Both engines hash frames through this quantization, so
-// sequential and parallel checksums agree bit-for-bit.
+// sequential and parallel checksums agree bit-for-bit. The buffer is
+// pooled: its send's receiver releases it.
+//
+//pslint:hotpath
+//pslint:pooled
 func encodeRenderBatch(ps []particle.Particle) []byte {
-	b := make([]byte, 4, 4+len(ps)*renderRecordSize)
+	b := bufpool.Get(4 + len(ps)*renderRecordSize)
 	binary.LittleEndian.PutUint32(b, uint32(len(ps)))
-	var rec [renderRecordSize]byte
+	off := 4
 	for i := range ps {
-		p := &ps[i]
-		putF32 := func(off int, v float64) {
-			binary.LittleEndian.PutUint32(rec[off:], math.Float32bits(float32(v)))
-		}
-		putF32(0, p.Pos.X)
-		putF32(4, p.Pos.Y)
-		putF32(8, p.Pos.Z)
-		putF32(12, p.Color.X)
-		putF32(16, p.Color.Y)
-		putF32(20, p.Color.Z)
-		putF32(24, p.Alpha)
-		putF32(28, p.Size)
-		b = append(b, rec[:]...)
+		putRenderRecord(b, off, ps[i].Pos, ps[i].Color, ps[i].Alpha, ps[i].Size)
+		off += renderRecordSize
 	}
 	return b
 }
@@ -378,26 +421,34 @@ func encodeRenderBatch(ps []particle.Particle) []byte {
 // encodeRenderSet packs a store's particles into compact render
 // records straight from its bin columns, in store iteration order —
 // byte-identical to encodeRenderBatch(st.All()) without materializing
-// the particle slice.
+// the particle slice. The buffer is pooled: its send's receiver
+// releases it.
+//
+//pslint:hotpath
+//pslint:pooled
 func encodeRenderSet(st particle.Set) []byte {
-	b := make([]byte, 4, 4+st.Len()*renderRecordSize)
+	b := bufpool.Get(4 + st.Len()*renderRecordSize)
 	binary.LittleEndian.PutUint32(b, uint32(st.Len()))
-	var rec [renderRecordSize]byte
-	st.EachBatch(func(batch *particle.Batch) {
-		for i := range batch.Pos {
-			putF32 := func(off int, v float64) {
-				binary.LittleEndian.PutUint32(rec[off:], math.Float32bits(float32(v)))
-			}
-			putF32(0, batch.Pos[i].X)
-			putF32(4, batch.Pos[i].Y)
-			putF32(8, batch.Pos[i].Z)
-			putF32(12, batch.Color[i].X)
-			putF32(16, batch.Color[i].Y)
-			putF32(20, batch.Color[i].Z)
-			putF32(24, batch.Alpha[i])
-			putF32(28, batch.Size[i])
-			b = append(b, rec[:]...)
+	if cs, ok := st.(*particle.ColumnStore); ok {
+		// Index the bins directly: the closure-free walk keeps the
+		// steady-state render send at zero allocations. The AoS
+		// fallback lives in its own function so its closure capture
+		// cannot force this path's locals to the heap.
+		off := 4
+		for bi, nb := 0, cs.NumBins(); bi < nb; bi++ {
+			off = encodeRenderRecords(b, off, cs.Bin(bi))
 		}
+		return b
+	}
+	return encodeRenderSetSlow(b, st)
+}
+
+// encodeRenderSetSlow is encodeRenderSet's AoS-ablation fallback for
+// stores without indexable bin columns.
+func encodeRenderSetSlow(b []byte, st particle.Set) []byte {
+	off := 4
+	st.EachBatch(func(batch *particle.Batch) { //pslint:alloc-ok AoS ablation path, not the steady-state store
+		off = encodeRenderRecords(b, off, batch)
 	})
 	return b
 }
@@ -405,28 +456,45 @@ func encodeRenderSet(st particle.Set) []byte {
 // decodeRenderColumns unpacks compact render records straight into
 // batch columns (only the rendering columns are populated).
 func decodeRenderColumns(b []byte) (*particle.Batch, error) {
+	cols := &particle.Batch{}
+	if err := decodeRenderColumnsInto(cols, b); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+// decodeRenderColumnsInto unpacks compact render records into a
+// reusable batch, truncating it first — the image generator's
+// per-message decode scratch.
+//
+//pslint:hotpath
+func decodeRenderColumnsInto(cols *particle.Batch, b []byte) error {
 	if len(b) < 4 {
-		return nil, fmt.Errorf("core: render batch of %d bytes has no header", len(b))
+		return fmt.Errorf("core: render batch of %d bytes has no header", len(b))
 	}
 	n := int(binary.LittleEndian.Uint32(b))
 	b = b[4:]
 	if len(b) != n*renderRecordSize {
-		return nil, fmt.Errorf("core: render batch of %d records needs %d bytes, have %d",
+		return fmt.Errorf("core: render batch of %d records needs %d bytes, have %d",
 			n, n*renderRecordSize, len(b))
 	}
-	cols := &particle.Batch{}
+	cols.Clear()
 	cols.Grow(n)
+	le := binary.LittleEndian
 	for i := 0; i < n; i++ {
 		rec := b[i*renderRecordSize:]
-		getF32 := func(off int) float64 {
-			return float64(math.Float32frombits(binary.LittleEndian.Uint32(rec[off:])))
-		}
-		cols.Pos[i] = geom.V(getF32(0), getF32(4), getF32(8))
-		cols.Color[i] = geom.V(getF32(12), getF32(16), getF32(20))
-		cols.Alpha[i] = getF32(24)
-		cols.Size[i] = getF32(28)
+		cols.Pos[i] = geom.V(
+			float64(math.Float32frombits(le.Uint32(rec))),
+			float64(math.Float32frombits(le.Uint32(rec[4:]))),
+			float64(math.Float32frombits(le.Uint32(rec[8:]))))
+		cols.Color[i] = geom.V(
+			float64(math.Float32frombits(le.Uint32(rec[12:]))),
+			float64(math.Float32frombits(le.Uint32(rec[16:]))),
+			float64(math.Float32frombits(le.Uint32(rec[20:]))))
+		cols.Alpha[i] = float64(math.Float32frombits(le.Uint32(rec[24:])))
+		cols.Size[i] = float64(math.Float32frombits(le.Uint32(rec[28:])))
 	}
-	return cols, nil
+	return nil
 }
 
 // decodeRenderBatch unpacks compact render records into particles (only

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled mirrors the build's -race flag for tests whose
+// assertions the race runtime itself perturbs (sync.Pool drops a
+// fraction of Puts on purpose under the detector).
+const raceEnabled = false

@@ -7,6 +7,7 @@ import (
 	"pscluster/internal/domain"
 	"pscluster/internal/geom"
 	"pscluster/internal/particle"
+	"pscluster/internal/render"
 	"pscluster/internal/transport"
 )
 
@@ -135,11 +136,23 @@ func (perSystemPlan) compileCalc(c *calcProc, pol lbPolicy) []step {
 
 func (perSystemPlan) compileImage(g *imageGenProc) []step {
 	return imageSteps(g, func() error {
+		// Streamed ingest: each batch is decoded and handed to the splat
+		// workers as it arrives, overlapping splatting with the remaining
+		// gathers. The fabric ops and the clock charges keep exactly the
+		// historical sequence — all receives for the system, then every
+		// blob's AdvanceWork in rank order — so virtual times are
+		// untouched; only host work moved.
 		for range g.scn.Systems {
-			for _, msg := range g.ep.RecvFromEach(g.calcRanks, transport.TagRenderBatch) {
-				if err := g.ingestBlob(msg.Payload); err != nil {
+			for i, r := range g.calcRanks {
+				msg := g.ep.Recv(r, transport.TagRenderBatch)
+				g.gather[i] = msg
+				if err := g.splatBlob(msg.Payload); err != nil {
 					return err
 				}
+			}
+			for i := range g.gather {
+				g.chargeBlob(g.gather[i].Payload)
+				g.gather[i].Release()
 			}
 		}
 		return nil
@@ -221,16 +234,28 @@ func (batchedPlan) compileCalc(c *calcProc, pol lbPolicy) []step {
 func (batchedPlan) compileImage(g *imageGenProc) []step {
 	return imageSteps(g, func() error {
 		// One combined message per calculator carries every system.
-		for _, msg := range g.ep.RecvFromEach(g.calcRanks, transport.TagRenderBatch) {
-			blobs, err := decodeMultiRender(msg.Payload)
+		// Streamed like the per-system plan: split and splat each
+		// calculator's blobs on arrival, then charge everything in the
+		// historical rank-then-system order before releasing.
+		for i, r := range g.calcRanks {
+			msg := g.ep.Recv(r, transport.TagRenderBatch)
+			g.gather[i] = msg
+			blobs, err := decodeMultiRenderInto(g.blobs[i], msg.Payload)
 			if err != nil {
 				return err
 			}
+			g.blobs[i] = blobs
 			for _, blob := range blobs {
-				if err := g.ingestBlob(blob); err != nil {
+				if err := g.splatBlob(blob); err != nil {
 					return err
 				}
 			}
+		}
+		for i := range g.calcRanks {
+			for _, blob := range g.blobs[i] {
+				g.chargeBlob(blob)
+			}
+			g.gather[i].Release()
 		}
 		return nil
 	})
@@ -485,16 +510,19 @@ func (c *calcProc) batchedExchange() error {
 }
 
 // batchedRenderSend is one combined render send with one blob per
-// system, billed as the sum of the per-system render wire sizes.
+// system, billed as the sum of the per-system render wire sizes. The
+// per-system blobs come from the pool and are consumed by the combine;
+// the slot slice itself is per-calculator scratch — the whole send is
+// allocation-free at steady state.
 func (c *calcProc) batchedRenderSend() {
 	scn := c.scn
-	nSys := len(scn.Systems)
-	blobs := make([][]byte, nSys)
+	blobs := c.renderBlobs[:0]
 	bill := 4
 	for si := range scn.Systems {
-		blobs[si] = encodeRenderSet(c.stores[si])
+		blobs = append(blobs, encodeRenderSet(c.stores[si]))
 		bill += 4 + int(float64(c.stores[si].Len()*scn.Render.BytesPerParticle)*scn.Ratio)
 	}
+	c.renderBlobs = blobs
 	payload := encodeMultiRender(blobs)
 	if bill < len(payload) {
 		bill = len(payload)
@@ -514,20 +542,16 @@ func imageSteps(g *imageGenProc, collect func() error) []step {
 	scn := g.scn
 	return []step{
 		{phase: "render-collect", sys: -1, run: always(func() error {
-			if g.fb != nil {
-				g.fb.Clear()
+			if err := g.beginFrameFB(); err != nil {
+				return err
 			}
 			return collect()
 		})},
 		{phase: "image-generation", sys: -1, traced: true, run: always(func() error {
 			g.ep.Clock().AdvanceWork(scn.Render.FrameOverhead, g.rate)
-			if g.fb != nil {
-				g.fs.frameSum = g.fb.Checksum()
-				if err := maybeWriteFrame(scn, g.fs.frame, g.fb); err != nil {
-					return err
-				}
+			if err := g.generateImage(); err != nil {
+				return err
 			}
-			g.checksums = append(g.checksums, g.fs.frameSum)
 			g.frameTimes = append(g.frameTimes, g.ep.Clock().Now())
 			return nil
 		})},
@@ -544,21 +568,89 @@ func imageSteps(g *imageGenProc, collect func() error) []step {
 	}
 }
 
-// ingestBlob accounts, hashes and (when rasterizing) splats one
-// system's render batch from one calculator.
-func (g *imageGenProc) ingestBlob(blob []byte) error {
+// beginFrameFB readies the framebuffer for a new frame. In overlapped
+// mode the buffers alternate, so the incoming frame first waits out any
+// finish job still rasterizing the buffer it is about to clear.
+func (g *imageGenProc) beginFrameFB() error {
+	if g.fb == nil {
+		return nil
+	}
+	if g.overlap() {
+		g.fbIdx ^= 1
+		g.fb = g.fbs[g.fbIdx]
+		if ch := g.finish[g.fbIdx]; ch != nil {
+			g.finish[g.fbIdx] = nil
+			if err := <-ch; err != nil {
+				return err
+			}
+		}
+	}
+	g.fb.Clear()
+	return nil
+}
+
+// generateImage closes the frame's image: checksum and (when asked)
+// the PPM file. With a render plane the splat backlog is barriered
+// first; in overlapped mode the checksum+write moves to the plane's
+// finisher goroutine and the program goroutine sails on to collect the
+// next frame — beginFrameFB joins the job before reusing its buffer,
+// and run() drains the last frames' jobs.
+func (g *imageGenProc) generateImage() error {
+	if g.fb == nil {
+		g.checksums = append(g.checksums, g.fs.frameSum)
+		return nil
+	}
+	if g.plane != nil {
+		g.plane.Barrier()
+	}
+	if g.overlap() {
+		g.checksums = append(g.checksums, 0)
+		dst := &g.checksums[len(g.checksums)-1]
+		scn, frame, fb := g.scn, g.fs.frame, g.fb
+		g.finish[g.fbIdx] = g.plane.FinishAsync(fb, func(fb *render.Framebuffer) error {
+			*dst = fb.Checksum()
+			return maybeWriteFrame(scn, frame, fb)
+		})
+		return nil
+	}
+	sum := g.fb.Checksum()
+	if err := maybeWriteFrame(g.scn, g.fs.frame, g.fb); err != nil {
+		return err
+	}
+	g.checksums = append(g.checksums, sum)
+	return nil
+}
+
+// splatBlob is the host-side half of the historical ingestBlob: decode
+// one render batch and splat it, either through the render plane (the
+// workers splat their owned rows while this goroutine keeps gathering)
+// or serially through the reusable decode scratch. No clock or hash
+// state is touched — chargeBlob does the model-visible half.
+func (g *imageGenProc) splatBlob(blob []byte) error {
+	if g.fb == nil {
+		return nil
+	}
+	if g.plane != nil {
+		return g.plane.Ingest(g.fb, g.cam, blob, decodeRenderColumnsInto)
+	}
+	if err := decodeRenderColumnsInto(&g.wire, blob); err != nil {
+		return err
+	}
+	g.fb.SplatColumns(g.cam, &g.wire)
+	return nil
+}
+
+// chargeBlob advances the virtual clock (and, when not rasterizing,
+// the order-independent frame hash) for one render batch — the exact
+// charges ingestBlob made, in the same canonical order, so streaming
+// the splats cannot move virtual time.
+func (g *imageGenProc) chargeBlob(blob []byte) {
 	scn := g.scn
 	count := (len(blob) - 4) / renderRecordSize
 	g.ep.Clock().AdvanceWork(scn.Render.CostPerParticle*float64(count)*scn.Ratio, g.rate)
-	g.fs.frameSum += hashRenderRecords(blob)
-	if g.fb != nil {
-		cols, err := decodeRenderColumns(blob)
-		if err != nil {
-			return err
-		}
-		g.fb.SplatColumns(g.cam, cols)
+	if g.fb == nil {
+		g.fs.frameSum += hashRenderRecords(blob)
 	}
-	return nil
 }
 
 // applyToSet runs one per-particle action over every bin batch of st:

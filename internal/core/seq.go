@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pscluster/internal/actions"
+	"pscluster/internal/bufpool"
 	"pscluster/internal/cluster"
 	"pscluster/internal/geom"
 	"pscluster/internal/particle"
@@ -36,9 +37,13 @@ func RunSequential(scn Scenario, node cluster.NodeType, comp cluster.Compiler) (
 
 	var fb *render.Framebuffer
 	var cam render.Camera
+	var wire particle.Batch // reusable render-record decode scratch
 	if scn.Render.Rasterize {
 		fb = render.NewFramebuffer(scn.Render.Width, scn.Render.Height)
 		cam = defaultCamera(&scn)
+		if err := ensureOutputDir(&scn); err != nil {
+			return nil, err
+		}
 	}
 
 	// The sequential engine shares the parallel engine's compute plane:
@@ -108,17 +113,19 @@ func RunSequential(scn Scenario, node cluster.NodeType, comp cluster.Compiler) (
 			st.RemoveDead()
 			emit(frame, si, "calculus")
 
-			// Render this system's particles.
+			// Render this system's particles. The batch buffer is pooled —
+			// this engine is its own receiver, so it releases it.
 			batch := encodeRenderSet(st)
 			clock.AdvanceWork(scn.Render.CostPerParticle*float64(st.Len())*scn.Ratio, rate)
 			frameSum += hashRenderRecords(batch)
 			if fb != nil {
-				cols, err := decodeRenderColumns(batch)
-				if err != nil {
+				if err := decodeRenderColumnsInto(&wire, batch); err != nil {
+					bufpool.Put(batch)
 					return nil, err
 				}
-				fb.SplatColumns(cam, cols)
+				fb.SplatColumns(cam, &wire)
 			}
+			bufpool.Put(batch)
 			emit(frame, si, "render")
 		}
 		clock.AdvanceWork(scn.Render.FrameOverhead, rate)
@@ -146,11 +153,23 @@ func RunSequential(scn Scenario, node cluster.NodeType, comp cluster.Compiler) (
 }
 
 // defaultCamera frames the scenario's space (or the central portion of
-// an infinite one) for the rasterizer.
+// an infinite one) for the rasterizer: orthographic by default, or a
+// pinhole pulled back along +Z when the scenario asks for perspective.
 func defaultCamera(scn *Scenario) render.Camera {
 	region := scn.Space
 	if scn.Mode == InfiniteSpace || region.Size().Len2() == 0 {
 		region = geom.Box(geom.V(-120, -120, -120), geom.V(120, 120, 120))
+	}
+	if scn.Render.Perspective {
+		center := region.Min.Add(region.Max).Scale(0.5)
+		ext := region.Size().Len()
+		return render.PerspectiveCamera{
+			Eye:  center.Add(geom.V(0, 0, 1.5*ext)),
+			Look: center,
+			Up:   geom.V(0, 1, 0),
+			FOV:  1.0,
+			W:    scn.Render.Width, H: scn.Render.Height,
+		}
 	}
 	return render.OrthoCamera{Region: region, W: scn.Render.Width, H: scn.Render.Height}
 }

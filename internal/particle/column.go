@@ -128,6 +128,11 @@ func (s *ColumnStore) AppendBins(dst []*Batch) []*Batch {
 	return dst
 }
 
+// Bin returns bin bi's live columns (possibly empty). The indexable,
+// closure-free form of EachBatch: allocation-sensitive encoders walk
+// bins by index so nothing escapes. The pointer aliases the live bin.
+func (s *ColumnStore) Bin(bi int) *Batch { return &s.bins[bi] }
+
 // All returns a copy of every stored particle, in deterministic order.
 func (s *ColumnStore) All() []Particle {
 	out := make([]Particle, 0, s.count)

@@ -1,6 +1,7 @@
 package render
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -64,4 +65,143 @@ func BenchmarkWritePPM(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchColumns is benchBatch as a columnar render batch.
+func benchColumns(n int) *particle.Batch {
+	ps := benchBatch(n)
+	cols := &particle.Batch{}
+	for i := range ps {
+		cols.Pos = append(cols.Pos, ps[i].Pos)
+		cols.Color = append(cols.Color, ps[i].Color)
+		cols.Alpha = append(cols.Alpha, ps[i].Alpha)
+		cols.Size = append(cols.Size, ps[i].Size)
+	}
+	return cols
+}
+
+// benchDecode stands in for the wire decode in plane benchmarks: it
+// copies a template's render columns into the leased batch, charging
+// roughly what decodeRenderColumnsInto charges without dragging the
+// core codec into this package.
+func benchDecode(src *particle.Batch) func(*particle.Batch, []byte) error {
+	return func(dst *particle.Batch, _ []byte) error {
+		dst.Clear()
+		dst.Pos = append(dst.Pos, src.Pos...)
+		dst.Color = append(dst.Color, src.Color...)
+		dst.Alpha = append(dst.Alpha, src.Alpha...)
+		dst.Size = append(dst.Size, src.Size...)
+		return nil
+	}
+}
+
+// BenchmarkRenderTiled is the tiled-vs-serial number behind
+// BENCH_render.json: one op renders a frame of 8 ingested batches,
+// either through the serial splatter or through a plane of the given
+// width. On a single-core host the widths are expected flat — the
+// artifact records that honestly.
+func BenchmarkRenderTiled(b *testing.B) {
+	const nBatches, perBatch = 8, 2000
+	cam := OrthoCamera{Region: geom.Box(geom.V(-10, -10, -10), geom.V(10, 10, 10)), W: 256, H: 256}
+	decode := benchDecode(benchColumns(perBatch))
+	b.Run("serial", func(b *testing.B) {
+		fb := NewFramebuffer(256, 256)
+		var wire particle.Batch
+		for i := 0; i < b.N; i++ {
+			fb.Clear()
+			for j := 0; j < nBatches; j++ {
+				if err := decode(&wire, nil); err != nil {
+					b.Fatal(err)
+				}
+				fb.SplatColumns(cam, &wire)
+			}
+		}
+	})
+	for _, width := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", width), func(b *testing.B) {
+			p := NewPlane(width)
+			defer p.Close()
+			fb := NewFramebuffer(256, 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fb.Clear()
+				for j := 0; j < nBatches; j++ {
+					if err := p.Ingest(fb, cam, nil, decode); err != nil {
+						b.Fatal(err)
+					}
+				}
+				p.Barrier()
+			}
+		})
+	}
+}
+
+// BenchmarkRenderPipelined is the pipelined-vs-sync number behind
+// BENCH_render.json: one op renders 4 frames at plane width 4, with the
+// per-frame finish (checksum + tone-mapped PPM to io.Discard) either
+// inline after the barrier or overlapped on the finisher goroutine
+// while the next frame ingests — the PipelineFrames shape.
+func BenchmarkRenderPipelined(b *testing.B) {
+	const frames, nBatches, perBatch = 4, 4, 2000
+	cam := OrthoCamera{Region: geom.Box(geom.V(-10, -10, -10), geom.V(10, 10, 10)), W: 256, H: 256}
+	decode := benchDecode(benchColumns(perBatch))
+	finish := func(fb *Framebuffer) error {
+		_ = fb.Checksum()
+		return fb.WritePPM(io.Discard)
+	}
+	b.Run("sync", func(b *testing.B) {
+		p := NewPlane(4)
+		defer p.Close()
+		fb := NewFramebuffer(256, 256)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for f := 0; f < frames; f++ {
+				fb.Clear()
+				for j := 0; j < nBatches; j++ {
+					if err := p.Ingest(fb, cam, nil, decode); err != nil {
+						b.Fatal(err)
+					}
+				}
+				p.Barrier()
+				if err := finish(fb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		p := NewPlane(4)
+		defer p.Close()
+		fbs := [2]*Framebuffer{NewFramebuffer(256, 256), NewFramebuffer(256, 256)}
+		var pending [2]<-chan error
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for f := 0; f < frames; f++ {
+				cur := f & 1
+				if pending[cur] != nil {
+					if err := <-pending[cur]; err != nil {
+						b.Fatal(err)
+					}
+					pending[cur] = nil
+				}
+				fb := fbs[cur]
+				fb.Clear()
+				for j := 0; j < nBatches; j++ {
+					if err := p.Ingest(fb, cam, nil, decode); err != nil {
+						b.Fatal(err)
+					}
+				}
+				p.Barrier()
+				pending[cur] = p.FinishAsync(fb, finish)
+			}
+		}
+		b.StopTimer()
+		for _, ch := range pending {
+			if ch != nil {
+				if err := <-ch; err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }

@@ -12,7 +12,10 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
+	"runtime"
+	"sync"
 
+	"pscluster/internal/bufpool"
 	"pscluster/internal/geom"
 	"pscluster/internal/particle"
 )
@@ -106,7 +109,21 @@ func (f *Framebuffer) Splat(cam Camera, p *particle.Particle) {
 
 // splatPoint is the splat body shared by the record and columnar entry
 // points.
+//
+//pslint:hotpath
 func (f *Framebuffer) splatPoint(cam Camera, pos, color geom.Vec3, alpha, size float64) {
+	f.splatPointOwned(cam, pos, color, alpha, size, 0, 1)
+}
+
+// splatPointOwned splats one particle into only the pixel rows owned by
+// worker `owner` of `stride` total (rows y with y % stride == owner).
+// The per-pixel weights are the exact expressions of the serial
+// splatter — the ownership filter only skips whole rows — so summing
+// the stride-1 result over all owners reproduces the serial image bit
+// for bit.
+//
+//pslint:hotpath
+func (f *Framebuffer) splatPointOwned(cam Camera, pos, color geom.Vec3, alpha, size float64, owner, stride int) {
 	x, y, scale, ok := cam.Project(pos)
 	if !ok {
 		return
@@ -121,12 +138,26 @@ func (f *Framebuffer) splatPoint(cam Camera, pos, color geom.Vec3, alpha, size f
 	cx, cy := int(x), int(y)
 	ir := int(r) + 1
 	inv := 1 / (r * r)
-	for dy := -ir; dy <= ir; dy++ {
+	// Clip the disc to the image rows, then advance to the first row the
+	// owner holds; stepping by stride keeps y0 % stride == owner without
+	// a per-row modulus (and sidesteps negative-y remainders entirely).
+	y0, y1 := cy-ir, cy+ir
+	if y0 < 0 {
+		y0 = 0
+	}
+	if y1 > f.H-1 {
+		y1 = f.H - 1
+	}
+	if off := (owner - y0%stride + stride) % stride; off != 0 {
+		y0 += off
+	}
+	for py := y0; py <= y1; py += stride {
+		dy := py - cy
 		for dx := -ir; dx <= ir; dx++ {
 			d2 := float64(dx*dx + dy*dy)
 			w := (1 - d2*inv) * alpha
 			if w > 0 {
-				f.add(cx+dx, cy+dy, color, w)
+				f.add(cx+dx, py, color, w)
 			}
 		}
 	}
@@ -142,9 +173,21 @@ func (f *Framebuffer) SplatBatch(cam Camera, ps []particle.Particle) {
 // SplatColumns renders a columnar batch, reading only the rendering
 // columns — the image generator's ingest path for decoded render
 // records.
+//
+//pslint:hotpath
 func (f *Framebuffer) SplatColumns(cam Camera, b *particle.Batch) {
 	for i := range b.Pos {
 		f.splatPoint(cam, b.Pos[i], b.Color[i], b.Alpha[i], b.Size[i])
+	}
+}
+
+// SplatColumnsOwned renders a columnar batch into only the rows owned
+// by worker `owner` of `stride` — the render plane's per-worker ingest.
+//
+//pslint:hotpath
+func (f *Framebuffer) SplatColumnsOwned(cam Camera, b *particle.Batch, owner, stride int) {
+	for i := range b.Pos {
+		f.splatPointOwned(cam, b.Pos[i], b.Color[i], b.Alpha[i], b.Size[i], owner, stride)
 	}
 }
 
@@ -174,22 +217,59 @@ func (f *Framebuffer) Checksum() uint64 {
 }
 
 // WritePPM writes the frame as a binary PPM (P6), tone-mapping the
-// accumulated energy with a simple x/(1+x) curve.
+// accumulated energy with a simple x/(1+x) curve. The tone-map fans out
+// across host goroutines; each worker maps a disjoint block of rows
+// into a pooled scratch buffer, so the bytes written are independent of
+// the worker count.
 func (f *Framebuffer) WritePPM(w io.Writer) error {
+	return f.writePPM(w, runtime.GOMAXPROCS(0))
+}
+
+// writePPM is WritePPM at an explicit tone-map width (tests drive the
+// width directly to prove byte identity).
+func (f *Framebuffer) writePPM(w io.Writer, workers int) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", f.W, f.H); err != nil {
 		return err
 	}
+	buf := bufpool.Get(3 * f.W * f.H)
+	if workers > f.H {
+		workers = f.H
+	}
+	if workers <= 1 {
+		f.toneRows(buf, 0, f.H)
+	} else {
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			y0, y1 := k*f.H/workers, (k+1)*f.H/workers
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				f.toneRows(buf, y0, y1)
+			}()
+		}
+		wg.Wait()
+	}
+	_, err := bw.Write(buf)
+	bufpool.Put(buf)
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// toneRows tone-maps rows [y0, y1) into their slots of buf.
+func (f *Framebuffer) toneRows(buf []byte, y0, y1 int) {
 	tone := func(v float64) byte {
 		if v < 0 {
 			v = 0
 		}
 		return byte(255 * v / (1 + v))
 	}
-	for _, p := range f.pix {
-		if _, err := bw.Write([]byte{tone(p.X), tone(p.Y), tone(p.Z)}); err != nil {
-			return err
-		}
+	for i := y0 * f.W; i < y1*f.W; i++ {
+		p := f.pix[i]
+		buf[3*i] = tone(p.X)
+		buf[3*i+1] = tone(p.Y)
+		buf[3*i+2] = tone(p.Z)
 	}
-	return bw.Flush()
 }

@@ -260,6 +260,7 @@ type jsonScenario struct {
 	PipelineFrames   bool         `json:"pipeline_frames,omitempty"`
 	AoSStore         bool         `json:"aos_store,omitempty"`
 	Workers          int          `json:"workers,omitempty"`
+	RenderWorkers    int          `json:"render_workers,omitempty"`
 	Unfused          bool         `json:"unfused,omitempty"`
 	ExchangeScanWork float64      `json:"exchange_scan_work,omitempty"`
 }
@@ -279,6 +280,7 @@ func Encode(scn core.Scenario) ([]byte, error) {
 		PipelineFrames:   scn.PipelineFrames,
 		AoSStore:         scn.AoSStore,
 		Workers:          scn.Workers,
+		RenderWorkers:    scn.Render.RenderWorkers,
 		Unfused:          scn.Unfused,
 		ExchangeScanWork: scn.ExchangeScanWork,
 	}
@@ -356,6 +358,7 @@ func Decode(data []byte) (core.Scenario, error) {
 		Unfused:          js.Unfused,
 		ExchangeScanWork: js.ExchangeScanWork,
 	}
+	scn.Render.RenderWorkers = js.RenderWorkers
 	switch js.Mode {
 	case "finite":
 		scn.Mode = core.FiniteSpace

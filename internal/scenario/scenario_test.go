@@ -69,6 +69,7 @@ func fullScenario() core.Scenario {
 		Schedule:         core.BatchedSchedule,
 		GhostCollisions:  true,
 		Workers:          2,
+		Render:           core.RenderConfig{RenderWorkers: 3},
 		Unfused:          true,
 		ExchangeScanWork: 1.5,
 		Decomp:           core.DecompGrid,

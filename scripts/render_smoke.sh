@@ -1,0 +1,44 @@
+#!/bin/sh
+# Render plane smoke test: run ONE small rasterized scenario twice —
+# serial splatting (-render-workers 1) and the tiled render plane at
+# width 4 — and require the per-frame checksum lines to diff clean and
+# the written PPM frames to compare byte for byte. The tiled plane's
+# whole contract is that worker width is invisible to the output; this
+# script is that contract checked end to end through the psanim binary.
+# Run via `make render-smoke`.
+set -eu
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+fail() { echo "FAIL: $1"; exit 1; }
+
+echo "building psanim..."
+$GO build -o "$workdir/psanim" ./cmd/psanim
+
+run() { # $1 = render-workers, $2 = frame dir
+    "$workdir/psanim" -scenario snow -frames 3 -procs 2 -nodes 4 \
+        -out "$2" -checksums -render-workers "$1" >"$2.log" 2>&1 \
+        || { cat "$2.log"; fail "render-workers=$1 run"; }
+    grep '^frame [0-9]* checksum ' "$2.log" >"$2.sums"
+    [ -s "$2.sums" ] || fail "render-workers=$1 run printed no checksum lines"
+}
+
+echo "running serial (render-workers 1) and tiled (render-workers 4)..."
+run 1 "$workdir/serial"
+run 4 "$workdir/tiled"
+
+diff -u "$workdir/serial.sums" "$workdir/tiled.sums" \
+    || fail "frame checksums differ between render widths 1 and 4"
+
+ppms=0
+for f in "$workdir/serial"/frame-*.ppm; do
+    [ -e "$f" ] || fail "serial run wrote no PPM frames"
+    cmp "$f" "$workdir/tiled/$(basename "$f")" \
+        || fail "$(basename "$f") differs between render widths 1 and 4"
+    ppms=$((ppms + 1))
+done
+[ "$ppms" -eq 3 ] || fail "expected 3 PPM frames, found $ppms"
+
+echo "render smoke OK: checksums and $ppms PPM frames identical at widths 1 and 4"
